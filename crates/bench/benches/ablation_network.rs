@@ -1,0 +1,83 @@
+//! Ablation: exact max-min fair solver vs the snapshot-rate gauge
+//! (DESIGN.md "Fluid-flow resources" / "Connection-resource model").
+//!
+//! Measures (a) the cost gap per flow-arrival under growing concurrency —
+//! the reason the web stack uses the gauge — and (b) prints a one-shot
+//! accuracy comparison of aggregate transfer times so the approximation
+//! error is visible alongside the speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edison_net::{LinkGauge, Network};
+use edison_simcore::time::SimTime;
+use std::hint::black_box;
+
+/// Drive `n` staggered equal flows through one shared link with the exact
+/// solver; returns the last completion time.
+fn exact_last_completion(n: u64) -> f64 {
+    let mut net = Network::new();
+    let link = net.add_link_bytes(1e6);
+    let mut now = SimTime::ZERO;
+    for f in 0..n {
+        net.start_flow(now, f, 1e5, vec![link], f64::INFINITY);
+        now = SimTime::from_secs_f64(0.01 * (f + 1) as f64);
+        net.take_finished(now);
+    }
+    let mut last = now;
+    while let Some((_, at)) = net.next_completion(last) {
+        last = at;
+        net.take_finished(last);
+    }
+    last.as_secs_f64()
+}
+
+/// Same workload through the snapshot gauge.
+fn gauge_last_completion(n: u64) -> f64 {
+    let mut g = LinkGauge::new();
+    let link = g.add_link_bps(8e6, 1.0); // 1e6 bytes/s
+    let path = [link];
+    let mut finishes: Vec<f64> = Vec::new();
+    for f in 0..n {
+        let t0 = 0.01 * f as f64;
+        // release any finished claims first (approximation bookkeeping)
+        finishes.retain(|&done| {
+            if done <= t0 {
+                g.end(&path);
+                false
+            } else {
+                true
+            }
+        });
+        let dur = g.begin_transfer(&path, 1e5);
+        finishes.push(t0 + dur.as_secs_f64());
+    }
+    finishes.iter().copied().fold(0.0, f64::max)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // one-shot accuracy readout
+    for n in [10u64, 50, 100] {
+        let exact = exact_last_completion(n);
+        let approx = gauge_last_completion(n);
+        println!(
+            "ablation_network: n={n}: exact makespan {exact:.3}s, snapshot {approx:.3}s, error {:+.1}%",
+            (approx / exact - 1.0) * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("ablation_network");
+    for n in [10u64, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("exact_maxmin", n), &n, |b, &n| {
+            b.iter(|| black_box(exact_last_completion(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot_gauge", n), &n, |b, &n| {
+            b.iter(|| black_box(gauge_last_completion(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the Section-4 artefacts (Tables 2, 3, 5; Figures 2–3; the
+//! DMIPS / memory-bandwidth / iperf text numbers) and benches each
+//! generator. The regenerated tables are printed once before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edison_core::experiments::individual;
+use std::hint::black_box;
+
+fn print_once() {
+    for report in [
+        individual::table1(),
+        individual::table2(),
+        individual::table3(),
+        individual::table4(),
+        individual::sec41_dmips(),
+        individual::fig02_03(),
+        individual::sec42_membw(),
+        individual::table5(),
+        individual::sec44_net(),
+        individual::table6(),
+        individual::table9(),
+    ] {
+        println!("{report}");
+    }
+}
+
+fn bench_individual(c: &mut Criterion) {
+    print_once();
+    c.bench_function("table2/replacement_ratios", |b| b.iter(|| black_box(individual::table2())));
+    c.bench_function("table3/power_endpoints", |b| b.iter(|| black_box(individual::table3())));
+    c.bench_function("table5/storage", |b| b.iter(|| black_box(individual::table5())));
+    c.bench_function("fig02_03/sysbench_cpu", |b| b.iter(|| black_box(individual::fig02_03())));
+    c.bench_function("sec41/dhrystone", |b| b.iter(|| black_box(individual::sec41_dmips())));
+    c.bench_function("sec42/membw", |b| b.iter(|| black_box(individual::sec42_membw())));
+    c.bench_function("sec44/iperf_ping", |b| b.iter(|| black_box(individual::sec44_net())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_individual
+}
+criterion_main!(benches);

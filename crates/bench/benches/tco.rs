@@ -1,0 +1,13 @@
+//! Regenerates Table 10 and benches the Equation-(1) evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edison_core::experiments::tco_exp;
+use std::hint::black_box;
+
+fn bench_tco(c: &mut Criterion) {
+    println!("{}", tco_exp::table10());
+    c.bench_function("table10/equation1", |b| b.iter(|| black_box(edison_tco::table10())));
+}
+
+criterion_group!(benches, bench_tco);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! A token bucket, used for the node accept-rate limit.
+//!
+//! The paper attributes the web clusters' throughput ceilings to "the
+//! ability to create new TCP ports and new threads"; a token bucket with
+//! rate = sustainable accepts/s and a small burst allowance reproduces both
+//! the steady-state ceiling and tolerance of short SYN bursts.
+
+use edison_simcore::time::SimTime;
+
+/// Continuous-refill token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// `rate` tokens/second, holding at most `burst` tokens. Starts full.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0 && burst > 0.0);
+        TokenBucket { rate, burst, tokens: burst, last: SimTime::ZERO }
+    }
+
+    /// Refill for elapsed time, then take `n` tokens if available.
+    pub fn try_take(&mut self, now: SimTime, n: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens available right now.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        if dt > 0.0 {
+            self.tokens = (self.tokens + self.rate * dt).min(self.burst);
+            self.last = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert!(b.try_take(t(0.0), 1.0));
+        }
+        assert!(!b.try_take(t(0.0), 1.0));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        while b.try_take(t(0.0), 1.0) {}
+        // after 0.35 s, 3.5 tokens accumulated
+        assert!(b.try_take(t(0.35), 3.0));
+        assert!(!b.try_take(t(0.35), 1.0));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        while b.try_take(t(0.0), 1.0) {}
+        assert!((b.available(t(100.0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let mut b = TokenBucket::new(60.0, 60.0);
+        // offer 100 SYNs/s for 10 s → ~60/s accepted after the initial burst
+        let mut accepted = 0;
+        for i in 0..1000 {
+            let now = t(i as f64 * 0.01);
+            if b.try_take(now, 1.0) {
+                accepted += 1;
+            }
+        }
+        assert!((600..=700).contains(&accepted), "accepted {accepted}");
+    }
+}

@@ -1,0 +1,80 @@
+//! `repro` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! repro --list               list experiment ids
+//! repro table8               run one experiment (quick budget)
+//! repro --full table8        run one experiment at paper scale
+//! repro --all                run everything (quick)
+//! repro --all --full --out reports/   write one file per experiment
+//! ```
+
+use edison_core::registry::{self, RunBudget};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list = false;
+    let mut run_all = false;
+    let mut full = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--all" => run_all = true,
+            "--full" => full = true,
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(args.get(i).expect("--out needs a directory")));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--list] [--all] [--full] [--out DIR] [IDS...]");
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+
+    if list || (!run_all && ids.is_empty()) {
+        println!("available experiments:");
+        for e in registry::all() {
+            println!("  {:<14} {}", e.id, e.title);
+        }
+        if !list {
+            println!("\nrun with: repro --all  or  repro <id>...");
+        }
+        return;
+    }
+
+    let budget = if full { RunBudget::full() } else { RunBudget::quick() };
+    let experiments: Vec<_> = if run_all {
+        registry::all()
+    } else {
+        ids.iter()
+            .map(|id| registry::find(id).unwrap_or_else(|| panic!("unknown experiment '{id}' (try --list)")))
+            .collect()
+    };
+
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    for e in experiments {
+        eprintln!("running {} ...", e.id);
+        let t0 = std::time::Instant::now();
+        let report = (e.run)(&budget);
+        eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+        let text = format!("{report}");
+        match &out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{}.txt", e.id));
+                fs::write(&path, &text).expect("write report");
+                println!("wrote {}", path.display());
+            }
+            None => println!("{text}"),
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! MapReduce experiments: Figures 12–19 and Table 8 (§5.2–§5.3).
+
+use crate::paper;
+use crate::registry::RunBudget;
+use crate::report::{table, Comparison, Report};
+use edison_mapreduce::engine::{run_job, ClusterSetup, JobOutcome};
+use edison_mapreduce::jobs::{self, JobProfile, Tune};
+
+const MIB: u64 = 1024 * 1024;
+
+/// The Table 8 cluster columns: (label, setup builder).
+fn clusters(budget: &RunBudget) -> Vec<(String, ClusterSetup)> {
+    let sizes: &[usize] = if budget.full_scalability { &[35, 17, 8, 4] } else { &[35, 8] };
+    let mut v: Vec<(String, ClusterSetup)> = sizes
+        .iter()
+        .map(|&n| (format!("edison-{n}"), ClusterSetup::edison(n)))
+        .collect();
+    let dell_sizes: &[usize] = if budget.full_scalability { &[2, 1] } else { &[2] };
+    for &n in dell_sizes {
+        v.push((format!("dell-{n}"), ClusterSetup::dell(n)));
+    }
+    v
+}
+
+/// Job profile for a cluster label, with the paper's per-size re-tuning:
+/// combined-input jobs scale the split count so each vcore still gets one
+/// container (block size is raised as the cluster shrinks).
+fn profile_for(job: &str, setup: &ClusterSetup) -> JobProfile {
+    let tune = setup.tune;
+    let mut p = match job {
+        "wordcount" => jobs::wordcount(tune),
+        "wordcount2" => jobs::wordcount2(tune),
+        "logcount" => jobs::logcount(tune),
+        "logcount2" => jobs::logcount2(tune),
+        "pi" => jobs::pi(tune),
+        "terasort" => jobs::terasort(tune),
+        other => panic!("unknown job {other}"),
+    };
+    // per-cluster-size re-tuning of one-container-per-vcore jobs
+    let vcores_total = match tune {
+        Tune::Edison => 2 * setup.workers as u32,
+        Tune::Dell => 12 * setup.workers as u32,
+    };
+    if matches!(job, "wordcount2" | "logcount2" | "pi") {
+        // total work (input bytes / pi samples) is preserved by the re-split
+        p = p.with_map_tasks(vcores_total.max(1));
+    }
+    p
+}
+
+fn setup_for(job: &str, base: &ClusterSetup) -> ClusterSetup {
+    let mut s = base.clone();
+    if job == "terasort" {
+        // §5.2.4: block size 64 MB on both clusters for fairness
+        s = s.with_block(64 * MIB);
+    }
+    if matches!(job, "wordcount2" | "logcount2") {
+        // the paper raises the block size on smaller clusters so the
+        // combined splits still fit one per vcore
+        let split = 1024 * MIB / (2 * s.workers as u64).max(1);
+        let block = split.max(s.block_bytes);
+        s = s.with_block(block);
+    }
+    s
+}
+
+/// Run one (job, cluster) cell.
+pub fn run_cell(job: &str, label: &str, base: &ClusterSetup) -> JobOutcome {
+    let setup = setup_for(job, base);
+    let profile = profile_for(job, &setup);
+    let _ = label;
+    run_job(&profile, &setup)
+}
+
+/// Figures 12–17: utilisation/power timelines for wordcount, wordcount2
+/// and pi on both full clusters.
+pub fn fig12_17(_budget: &RunBudget) -> Report {
+    let mut body = String::new();
+    let mut comparisons = Vec::new();
+    let cells = [
+        ("fig12", "wordcount", "edison-35"),
+        ("fig15", "wordcount", "dell-2"),
+        ("fig13", "wordcount2", "edison-35"),
+        ("fig16", "wordcount2", "dell-2"),
+        ("fig14", "pi", "edison-35"),
+        ("fig17", "pi", "dell-2"),
+    ];
+    for (fig, job, cluster) in cells {
+        let base = if cluster.starts_with("edison") {
+            ClusterSetup::edison(35)
+        } else {
+            ClusterSetup::dell(2)
+        };
+        let out = run_cell(job, cluster, &base);
+        body.push_str(&format!(
+            "{fig} ({job} on {cluster}): finish {:.0}s, energy {:.0}J, cpu-rise {:.0}s, first reduce at {:.0}s ({:.0}% of runtime), peak power {:.1}W, mean cpu {:.0}%\n",
+            out.finish_time_s,
+            out.energy_j,
+            out.cpu_rise_s,
+            out.first_reduce_s,
+            100.0 * out.first_reduce_s / out.finish_time_s,
+            out.timeline.power_w.max_value(),
+            out.timeline.cpu_pct.mean_value(),
+        ));
+        if let Some(cell) = paper::table8_cell(job, cluster) {
+            comparisons.push(Comparison::new(format!("{job} {cluster} time (s)"), cell.seconds, out.finish_time_s));
+            comparisons.push(Comparison::new(format!("{job} {cluster} energy (J)"), cell.joules, out.energy_j));
+        }
+    }
+    Report {
+        id: "fig12_17".into(),
+        title: "MapReduce utilisation timelines (Figures 12-17)".into(),
+        body,
+        comparisons,
+    }
+}
+
+/// Table 8 / Figures 18–19: the full job × cluster-size matrix.
+pub fn table8(budget: &RunBudget) -> Report {
+    let jobs_list = ["wordcount", "wordcount2", "logcount", "logcount2", "pi", "terasort"];
+    let cols = clusters(budget);
+    // run cells in parallel: each is an independent deterministic sim
+    let mut results: Vec<Vec<Option<JobOutcome>>> =
+        jobs_list.iter().map(|_| cols.iter().map(|_| None).collect()).collect();
+    crossbeam::thread::scope(|scope| {
+        for (ji, row) in results.iter_mut().enumerate() {
+            let job = jobs_list[ji];
+            for (ci, slot) in row.iter_mut().enumerate() {
+                let (label, base) = &cols[ci];
+                scope.spawn(move |_| {
+                    *slot = Some(run_cell(job, label, base));
+                });
+            }
+        }
+    })
+    .expect("table8 threads");
+
+    let headers: Vec<&str> = std::iter::once("job").chain(cols.iter().map(|(l, _)| l.as_str())).collect();
+    let mut rows = Vec::new();
+    let mut comparisons = Vec::new();
+    for (ji, job) in jobs_list.iter().enumerate() {
+        let mut row = vec![job.to_string()];
+        // find the least-energy cell (the paper's bold)
+        let min_energy = results[ji]
+            .iter()
+            .map(|o| o.as_ref().unwrap().energy_j)
+            .fold(f64::INFINITY, f64::min);
+        for (ci, (label, _)) in cols.iter().enumerate() {
+            let out = results[ji][ci].as_ref().unwrap();
+            let bold = if (out.energy_j - min_energy).abs() < 1e-9 { "*" } else { "" };
+            row.push(format!("{:.0}s,{:.0}J{bold}", out.finish_time_s, out.energy_j));
+            if let Some(cell) = paper::table8_cell(job, label) {
+                comparisons.push(Comparison::new(format!("{job} {label} time (s)"), cell.seconds, out.finish_time_s));
+                comparisons.push(Comparison::new(format!("{job} {label} energy (J)"), cell.joules, out.energy_j));
+            }
+        }
+        rows.push(row);
+    }
+    let mut body = table(&headers, &rows);
+    body.push_str("* = least energy (the paper's bold cells)\n");
+
+    // Figure 18/19 are the same matrix plotted as time and energy; derive
+    // the headline efficiency ratios the abstract quotes.
+    if let (Some(we), Some(wd)) = (find(&results, &cols, 0, "edison-35"), find(&results, &cols, 0, "dell-2")) {
+        body.push_str(&format!(
+            "wordcount work-done-per-joule gain (edison-35 vs dell-2): {:.2}x (paper 2.28x)\n",
+            wd.energy_j / we.energy_j
+        ));
+    }
+    if let (Some(pe), Some(pd)) = (find(&results, &cols, 4, "edison-35"), find(&results, &cols, 4, "dell-2")) {
+        body.push_str(&format!(
+            "pi energy: edison-35 {:.0}J vs dell-2 {:.0}J (paper: Edison 23.3% LESS efficient)\n",
+            pe.energy_j, pd.energy_j
+        ));
+    }
+    Report {
+        id: "table8".into(),
+        title: "Execution time and energy across cluster sizes (Table 8, Figures 18-19)".into(),
+        body,
+        comparisons,
+    }
+}
+
+fn find<'a>(
+    results: &'a [Vec<Option<JobOutcome>>],
+    cols: &[(String, ClusterSetup)],
+    job_idx: usize,
+    label: &str,
+) -> Option<&'a JobOutcome> {
+    let ci = cols.iter().position(|(l, _)| l == label)?;
+    results[job_idx][ci].as_ref()
+}
+
+/// Speed-up summary (§5.3): mean speed-up per cluster doubling.
+pub fn scalability_speedup(_budget: &RunBudget) -> Report {
+    let jobs_list = ["wordcount2", "logcount2", "pi"];
+    let sizes = [4usize, 8, 17, 35];
+    let mut body = String::new();
+    let mut ratios = Vec::new();
+    for job in jobs_list {
+        let mut times = Vec::new();
+        for &n in &sizes {
+            let out = run_cell(job, &format!("edison-{n}"), &ClusterSetup::edison(n));
+            times.push(out.finish_time_s);
+        }
+        let mut speedups = Vec::new();
+        for w in times.windows(2) {
+            speedups.push(w[0] / w[1]);
+        }
+        let mean = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+        ratios.push(mean);
+        body.push_str(&format!(
+            "{job}: times {:?} → mean speed-up per doubling {mean:.2}\n",
+            times.iter().map(|t| t.round()).collect::<Vec<_>>()
+        ));
+    }
+    let overall = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    body.push_str(&format!("overall mean speed-up: {overall:.2} (paper: 1.90 on Edison)\n"));
+    Report {
+        id: "sec53_speedup".into(),
+        title: "Scalability speed-up (Section 5.3)".into(),
+        body,
+        comparisons: vec![Comparison::new("mean Edison speed-up per doubling", 1.90, overall)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_scale_with_cluster_size() {
+        let p35 = profile_for("wordcount2", &ClusterSetup::edison(35));
+        let p8 = profile_for("wordcount2", &ClusterSetup::edison(8));
+        assert_eq!(p35.map_tasks, 70);
+        assert_eq!(p8.map_tasks, 16);
+        let s8 = setup_for("wordcount2", &ClusterSetup::edison(8));
+        assert!(s8.block_bytes >= 64 * MIB, "block raised on small clusters");
+    }
+
+    #[test]
+    fn terasort_uses_64mb_blocks_on_edison() {
+        let s = setup_for("terasort", &ClusterSetup::edison(35));
+        assert_eq!(s.block_bytes, 64 * MIB);
+    }
+
+    #[test]
+    fn quick_budget_trims_columns() {
+        let b = RunBudget::quick();
+        let c = clusters(&b);
+        assert!(c.len() < 6);
+        assert!(c.iter().any(|(l, _)| l == "edison-35"));
+        assert!(c.iter().any(|(l, _)| l == "dell-2"));
+    }
+
+    #[test]
+    fn one_cell_runs() {
+        let out = run_cell("logcount2", "edison-8", &ClusterSetup::edison(8));
+        assert!(out.finish_time_s > 10.0);
+        assert!(out.energy_j > 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per group of paper artefacts.
+//!
+//! * [`individual`] — Tables 1–6, 9, Figures 2–3, the §4 text numbers.
+//! * [`webservice`] — Figures 4–11, Table 7.
+//! * [`mapred`] — Figures 12–19, Table 8.
+//! * [`tco_exp`] — Table 10.
+//! * [`extensions`] — hybrid tier, failure injection, platform what-ifs.
+
+pub mod extensions;
+pub mod individual;
+pub mod mapred;
+pub mod tco_exp;
+pub mod webservice;

@@ -1,0 +1,41 @@
+//! Table 10: the 3-year TCO comparison (§6).
+
+use crate::paper;
+use crate::report::{table, Comparison, Report};
+
+/// Table 10 via Equation (1) over the preset power/cost constants.
+pub fn table10() -> Report {
+    let rows_model = edison_tco::table10();
+    let mut rows = Vec::new();
+    let mut comparisons = Vec::new();
+    for (row, (name, pd, pe)) in rows_model.iter().zip(paper::TABLE10) {
+        rows.push(vec![
+            row.scenario.to_string(),
+            format!("${:.1}", row.dell_total),
+            format!("${:.1}", row.edison_total),
+            format!("{:.0}%", row.saving() * 100.0),
+        ]);
+        comparisons.push(Comparison::new(format!("{name}: Dell TCO ($)"), *pd, row.dell_total));
+        comparisons.push(Comparison::new(format!("{name}: Edison TCO ($)"), *pe, row.edison_total));
+    }
+    Report {
+        id: "table10".into(),
+        title: "TCO comparison (Table 10)".into(),
+        body: table(&["Scenario", "Dell cluster", "Edison cluster", "saving"], &rows),
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table10_report_is_tight_to_paper() {
+        let r = table10();
+        assert_eq!(r.comparisons.len(), 8);
+        for c in &r.comparisons {
+            assert!((0.98..1.02).contains(&c.ratio()), "{}: {}", c.metric, c.ratio());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Web-service experiments: Figures 4–11 and Table 7 (§5.1).
+//!
+//! Each figure point is one full `edison_web::stack` run; sweep points are
+//! executed in parallel with crossbeam scoped threads (each simulation is
+//! independent and deterministic).
+
+use crate::chart::{bar_chart, chart, Scale};
+use crate::paper;
+use crate::registry::RunBudget;
+use crate::report::{series_table, table, Comparison, Report, Series};
+use edison_web::httperf::{self, concurrency_sweep, HttperfResult, RunOpts};
+use edison_web::pyclient;
+use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+
+/// Label a scenario the way the paper's legends do ("24 Edison", "2 Dell").
+fn legend(s: &WebScenario) -> String {
+    let p = match s.platform {
+        Platform::Edison => "Edison",
+        Platform::Dell => "Dell",
+    };
+    format!("{} {p}", s.web_servers)
+}
+
+/// All scale configurations of Table 6 that exist.
+fn all_scenarios() -> Vec<WebScenario> {
+    let mut v = Vec::new();
+    for platform in [Platform::Edison, Platform::Dell] {
+        for scale in [ClusterScale::Full, ClusterScale::Half, ClusterScale::Quarter, ClusterScale::Eighth] {
+            if let Some(s) = WebScenario::table6(platform, scale) {
+                v.push(s);
+            }
+        }
+    }
+    v
+}
+
+fn opts(budget: &RunBudget) -> RunOpts {
+    RunOpts { seed: 20160509, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s }
+}
+
+/// Run a full concurrency sweep for one scenario/mix, in parallel.
+pub fn sweep(scenario: &WebScenario, mix: WorkloadMix, budget: &RunBudget) -> Vec<HttperfResult> {
+    let concs = concurrency_sweep();
+    let opts = opts(budget);
+    let mut results: Vec<Option<HttperfResult>> = (0..concs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &c) in results.iter_mut().zip(&concs) {
+            scope.spawn(move |_| {
+                *slot = Some(httperf::run_point(scenario, mix, c, opts));
+            });
+        }
+    })
+    .expect("sweep threads");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// A point is "shown" in the paper's figures while server-side errors stay
+/// negligible; beyond that the paper excludes it.
+fn shown(r: &HttperfResult) -> bool {
+    r.error_rate < 0.02
+}
+
+fn throughput_series(scenarios: &[WebScenario], mix: WorkloadMix, budget: &RunBudget) -> (Vec<Series>, Vec<Series>, Vec<(String, Vec<HttperfResult>)>) {
+    let mut tput = Vec::new();
+    let mut delay = Vec::new();
+    let mut raw = Vec::new();
+    for sc in scenarios {
+        let rs = sweep(sc, mix, budget);
+        let label = legend(sc);
+        tput.push(Series {
+            label: label.clone(),
+            points: rs.iter().filter(|r| shown(r)).map(|r| (r.concurrency, r.requests_per_sec)).collect(),
+        });
+        delay.push(Series {
+            label: label.clone(),
+            points: rs.iter().filter(|r| shown(r)).map(|r| (r.concurrency, r.mean_delay_ms)).collect(),
+        });
+        raw.push((label, rs));
+    }
+    (tput, delay, raw)
+}
+
+fn power_summary(raw: &[(String, Vec<HttperfResult>)]) -> String {
+    let mut out = String::new();
+    for (label, rs) in raw {
+        let max_p = rs.iter().map(|r| r.mean_power_w).fold(0.0, f64::max);
+        let min_p = rs.iter().map(|r| r.mean_power_w).fold(f64::INFINITY, f64::min);
+        let peak = rs.iter().filter(|r| shown(r)).map(|r| r.requests_per_sec).fold(0.0, f64::max);
+        out.push_str(&format!(
+            "{label}: power {min_p:.1}-{max_p:.1} W, peak {peak:.0} req/s\n"
+        ));
+    }
+    out
+}
+
+/// Figures 4 and 7: lightest load (93 % hits, 0 % images), all scales,
+/// with cluster power.
+pub fn fig04_07(budget: &RunBudget) -> Report {
+    let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::lightest(), budget);
+    let mut body = String::from("Figure 4 (throughput, req/s) + power lines:\n");
+    body.push_str(&series_table("conc", &tput));
+    body.push_str(&chart(&tput, 64, 16, Scale::Log, Scale::Linear));
+    body.push_str(&power_summary(&raw));
+    body.push_str("\nFigure 7 (mean response delay, ms):\n");
+    body.push_str(&series_table("conc", &delay));
+    body.push_str(&chart(&delay, 64, 16, Scale::Log, Scale::Log));
+
+    // headline comparisons: peak throughput of the full clusters + the
+    // work-done-per-joule ratio at peak
+    let full_e = raw.iter().find(|(l, _)| l == "24 Edison").expect("full edison");
+    let full_d = raw.iter().find(|(l, _)| l == "2 Dell").expect("full dell");
+    let peak = |rs: &[HttperfResult]| {
+        rs.iter()
+            .filter(|r| shown(r))
+            .max_by(|a, b| a.requests_per_sec.partial_cmp(&b.requests_per_sec).unwrap())
+            .cloned()
+            .expect("nonempty")
+    };
+    let pe = peak(&full_e.1);
+    let pd = peak(&full_d.1);
+    let efficiency = pe.requests_per_joule / pd.requests_per_joule;
+    // low-load delay comparison: Edison ≈ 5× Dell
+    let low_e = &full_e.1[1];
+    let low_d = &full_d.1[1];
+    Report {
+        id: "fig04_07".into(),
+        title: "Web throughput & delay, no image query (Figures 4 and 7)".into(),
+        body,
+        comparisons: vec![
+            Comparison::new("Edison peak throughput (req/s)", paper::WEB_PEAK_RPS, pe.requests_per_sec),
+            Comparison::new("Dell peak throughput (req/s)", paper::WEB_PEAK_RPS, pd.requests_per_sec),
+            Comparison::new("Edison cluster power at peak (W)", 57.0, pe.mean_power_w),
+            Comparison::new("Dell cluster power at peak (W)", 190.0, pd.mean_power_w),
+            Comparison::new("work-done-per-joule gain", paper::WEB_EFFICIENCY_GAIN, efficiency),
+            Comparison::new("low-load delay ratio (Edison/Dell)", 5.0, low_e.mean_delay_ms / low_d.mean_delay_ms),
+        ],
+    }
+}
+
+/// Figures 5 and 8: lower hit ratios and moderate image mixes, full
+/// clusters only.
+pub fn fig05_08(budget: &RunBudget) -> Report {
+    let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
+    let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+    let mixes = [
+        ("cache=77%", WorkloadMix::hit(0.77)),
+        ("cache=60%", WorkloadMix::hit(0.60)),
+        ("img=6%", WorkloadMix::img6()),
+        ("img=10%", WorkloadMix::img10()),
+    ];
+    let mut tput = Vec::new();
+    let mut delay = Vec::new();
+    for (name, mix) in mixes {
+        for (sc, plat) in [(&full_e, "Edison"), (&full_d, "Dell")] {
+            let rs = sweep(sc, mix, budget);
+            tput.push(Series {
+                label: format!("{plat} {name}"),
+                points: rs.iter().filter(|r| shown(r)).map(|r| (r.concurrency, r.requests_per_sec)).collect(),
+            });
+            delay.push(Series {
+                label: format!("{plat} {name}"),
+                points: rs.iter().filter(|r| shown(r)).map(|r| (r.concurrency, r.mean_delay_ms)).collect(),
+            });
+        }
+    }
+    let mut body = String::from("Figure 5 (throughput, req/s):\n");
+    body.push_str(&series_table("conc", &tput));
+    body.push_str("\nFigure 8 (mean response delay, ms):\n");
+    body.push_str(&series_table("conc", &delay));
+    // the paper's observation: peak throughput changes little across mixes
+    let peak = |s: &Series| s.points.iter().map(|p| p.1).fold(0.0, f64::max);
+    let e77 = peak(&tput[0]);
+    let e10 = peak(&tput[6]);
+    Report {
+        id: "fig05_08".into(),
+        title: "Web throughput & delay, higher image %, lower hit ratio (Figures 5 and 8)".into(),
+        body,
+        comparisons: vec![Comparison::new(
+            "Edison peak ratio img10/cache77 (≈1: small mix penalty)",
+            0.95,
+            e10 / e77,
+        )],
+    }
+}
+
+/// Figures 6 and 9: the heaviest fair mix (20 % images), all scales.
+pub fn fig06_09(budget: &RunBudget) -> Report {
+    let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::img20(), budget);
+    let mut body = String::from("Figure 6 (throughput, req/s, 20% image) + power lines:\n");
+    body.push_str(&series_table("conc", &tput));
+    body.push_str(&chart(&tput, 64, 16, Scale::Log, Scale::Linear));
+    body.push_str(&power_summary(&raw));
+    body.push_str("\nFigure 9 (mean response delay, ms):\n");
+    body.push_str(&series_table("conc", &delay));
+    body.push_str(&chart(&delay, 64, 16, Scale::Log, Scale::Log));
+    let peak = |label: &str| {
+        raw.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, rs)| {
+                rs.iter().filter(|r| shown(r)).map(|r| r.requests_per_sec).fold(0.0, f64::max)
+            })
+            .unwrap_or(0.0)
+    };
+    let pe = peak("24 Edison");
+    let pd = peak("2 Dell");
+    // §5.1.2: throughput at 20 % images ≈ 85 % of the lightest workload
+    Report {
+        id: "fig06_09".into(),
+        title: "Web throughput & delay, 20% image query (Figures 6 and 9)".into(),
+        body,
+        comparisons: vec![
+            Comparison::new("Edison peak (req/s, ≈85% of light)", 0.85 * paper::WEB_PEAK_RPS, pe),
+            Comparison::new("Dell peak (req/s)", 0.85 * paper::WEB_PEAK_RPS, pd),
+        ],
+    }
+}
+
+/// Figures 10 and 11: python-client delay distributions at ~6000 req/s,
+/// 20 % images.
+pub fn fig10_11(budget: &RunBudget) -> Report {
+    let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
+    let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+    let rate = 6000.0;
+    let e = pyclient::run_distribution(&full_e, WorkloadMix::img20(), rate, 7, budget.web_measure_s);
+    let d = pyclient::run_distribution(&full_d, WorkloadMix::img20(), rate, 7, budget.web_measure_s);
+    let fmt_hist = |name: &str, dist: &pyclient::DelayDistribution| {
+        let mut s = format!("{name}: {} samples, {} SYN drops, {} client errors\n", dist.samples(), dist.syn_drops, dist.client_errors);
+        let buckets: Vec<(f64, u64)> = (0..16)
+            .map(|i| {
+                let lo = i as f64 * 0.5;
+                let mass: u64 = (0..5).map(|j| dist.hist.count_at(lo + j as f64 * 0.1 + 0.05)).sum();
+                (lo + 0.25, mass)
+            })
+            .collect();
+        s.push_str(&bar_chart(&buckets, 50));
+        s
+    };
+    let mut body = String::new();
+    body.push_str(&fmt_hist("Figure 10, Edison", &e));
+    body.push_str(&fmt_hist("Figure 11, Dell", &d));
+    // spike structure on Dell: mass near 1 s and 3 s from SYN retries
+    let spike = |dist: &pyclient::DelayDistribution, t: f64| -> f64 {
+        (0..4).map(|j| dist.hist.count_at(t + j as f64 * 0.1)).sum::<u64>() as f64
+    };
+    let d1 = spike(&d, 1.0);
+    let d3 = spike(&d, 3.0);
+    let e1 = spike(&e, 1.0);
+    body.push_str(&format!("Dell retry spikes: ~1s mass {d1}, ~3s mass {d3}; Edison ~1s mass {e1}\n"));
+    Report {
+        id: "fig10_11".into(),
+        title: "Response delay distributions (Figures 10 and 11)".into(),
+        body,
+        comparisons: vec![
+            Comparison::new("Dell 1s-spike present (mass>0 → 1)", 1.0, f64::from(d1 > 0.0)),
+            Comparison::new("Dell 3s-spike present", 1.0, f64::from(d3 > 0.0)),
+            Comparison::new("Edison spike-free at 1s (mass≈0 → 1)", 1.0, f64::from(e1 <= d1 / 4.0)),
+        ],
+    }
+}
+
+/// Table 7: delay decomposition at fixed request rates (20 % images, 93 %
+/// hits).
+pub fn table7(budget: &RunBudget) -> Report {
+    let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
+    let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+    let rates = [480.0, 960.0, 1920.0, 3840.0, 7680.0];
+    let o = opts(budget);
+    // all ten runs are independent — execute them concurrently
+    let mut cells: Vec<Option<(httperf::HttperfResult, httperf::HttperfResult)>> =
+        rates.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &rps) in cells.iter_mut().zip(&rates) {
+            let (fe, fd) = (&full_e, &full_d);
+            scope.spawn(move |_| {
+                let conc = rps / httperf::CALLS_PER_CONN;
+                let e = httperf::run_point(fe, WorkloadMix::img20(), conc, o);
+                let d = httperf::run_point(fd, WorkloadMix::img20(), conc, o);
+                *slot = Some((e, d));
+            });
+        }
+    })
+    .expect("table7 threads");
+    let mut rows = Vec::new();
+    let mut comparisons = Vec::new();
+    for (i, &rps) in rates.iter().enumerate() {
+        let (e, d) = cells[i].take().expect("filled");
+        rows.push(vec![
+            format!("{rps:.0}"),
+            format!("({:.2}, {:.2})", e.db_delay_ms, d.db_delay_ms),
+            format!("({:.2}, {:.2})", e.cache_delay_ms, d.cache_delay_ms),
+            format!("({:.2}, {:.2})", e.mean_delay_ms, d.mean_delay_ms),
+        ]);
+        let p = paper::TABLE7[i];
+        if i == 0 || i == rates.len() - 1 {
+            comparisons.push(Comparison::new(format!("Edison db delay @{rps} (ms)"), p.1, e.db_delay_ms));
+            comparisons.push(Comparison::new(format!("Dell db delay @{rps} (ms)"), p.2, d.db_delay_ms));
+            comparisons.push(Comparison::new(format!("Edison cache delay @{rps} (ms)"), p.3, e.cache_delay_ms));
+            comparisons.push(Comparison::new(format!("Dell cache delay @{rps} (ms)"), p.4, d.cache_delay_ms));
+        }
+    }
+    Report {
+        id: "table7".into(),
+        title: "Time delay decomposition (Table 7), (Edison, Dell) ms".into(),
+        body: table(&["# Request/s", "Database delay", "Cache delay", "Total"], &rows),
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_legends() {
+        let s = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
+        assert_eq!(legend(&s), "24 Edison");
+        let s = WebScenario::table6(Platform::Dell, ClusterScale::Half).unwrap();
+        assert_eq!(legend(&s), "1 Dell");
+    }
+
+    #[test]
+    fn all_scenarios_count() {
+        // 4 Edison scales + 2 Dell scales
+        assert_eq!(all_scenarios().len(), 6);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_monotone_low_end() {
+        // minimal budget: eighth-scale Edison only, truncated sweep
+        let sc = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+        let budget = RunBudget::quick();
+        let rs = sweep(&sc, WorkloadMix::lightest(), &budget);
+        assert_eq!(rs.len(), 9);
+        // below saturation, throughput tracks concurrency
+        assert!(rs[1].requests_per_sec > rs[0].requests_per_sec);
+        assert!(rs[2].requests_per_sec > rs[1].requests_per_sec);
+    }
+}

@@ -1,0 +1,27 @@
+//! # edison-core
+//!
+//! The experiment harness: one entry point per table and figure of the
+//! paper, producing text reports (and paper-vs-measured comparisons) from
+//! the simulation substrates.
+//!
+//! ```no_run
+//! use edison_core::registry;
+//!
+//! for exp in registry::all() {
+//!     let report = (exp.run)(&registry::RunBudget::quick());
+//!     println!("{report}");
+//! }
+//! ```
+//!
+//! The `repro` binary drives the same registry from the command line:
+//! `repro --list`, `repro table8`, `repro --all --full`.
+
+pub mod chart;
+pub mod experiments;
+pub mod export;
+pub mod paper;
+pub mod registry;
+pub mod report;
+
+pub use registry::{all, find, RunBudget};
+pub use report::{Comparison, Report};

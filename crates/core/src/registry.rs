@@ -1,0 +1,109 @@
+//! The experiment registry: every table/figure behind one uniform entry.
+
+use crate::experiments::{extensions, individual, mapred, tco_exp, webservice};
+use crate::report::Report;
+
+/// How much simulated time / how many sweep columns an experiment may
+/// spend. `quick` keeps CI fast; `full` is the paper-scale run the `repro`
+/// binary uses.
+#[derive(Debug, Clone)]
+pub struct RunBudget {
+    /// httperf warm-up seconds.
+    pub web_warmup_s: u64,
+    /// httperf measurement seconds per point.
+    pub web_measure_s: u64,
+    /// Run all six Table 8 cluster sizes (vs a reduced column set).
+    pub full_scalability: bool,
+}
+
+impl RunBudget {
+    /// CI-friendly budget.
+    pub fn quick() -> Self {
+        RunBudget { web_warmup_s: 2, web_measure_s: 6, full_scalability: false }
+    }
+
+    /// Paper-scale budget (minutes of wall time in release builds).
+    pub fn full() -> Self {
+        RunBudget { web_warmup_s: 5, web_measure_s: 20, full_scalability: true }
+    }
+}
+
+/// A registered experiment.
+pub struct Experiment {
+    /// Stable id (`table8`, `fig04_07`, …).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Execute and render.
+    pub run: fn(&RunBudget) -> Report,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "table1", title: "Related-work micro server specs", run: |_| individual::table1() },
+        Experiment { id: "table2", title: "Edison vs Dell resource ratios", run: |_| individual::table2() },
+        Experiment { id: "table3", title: "Idle/busy power", run: |_| individual::table3() },
+        Experiment { id: "table4", title: "Software versions", run: |_| individual::table4() },
+        Experiment { id: "sec41_dmips", title: "Dhrystone DMIPS", run: |_| individual::sec41_dmips() },
+        Experiment { id: "fig02_03", title: "Sysbench CPU sweep", run: |_| individual::fig02_03() },
+        Experiment { id: "sec42_membw", title: "Memory bandwidth sweep", run: |_| individual::sec42_membw() },
+        Experiment { id: "table5", title: "Storage throughput/latency", run: |_| individual::table5() },
+        Experiment { id: "sec44_net", title: "iperf/ping network tests", run: |_| individual::sec44_net() },
+        Experiment { id: "table6", title: "Web cluster scale configs", run: |_| individual::table6() },
+        Experiment { id: "fig04_07", title: "Web throughput/delay, lightest load", run: webservice::fig04_07 },
+        Experiment { id: "fig05_08", title: "Web throughput/delay, mixed loads", run: webservice::fig05_08 },
+        Experiment { id: "fig06_09", title: "Web throughput/delay, 20% images", run: webservice::fig06_09 },
+        Experiment { id: "fig10_11", title: "Delay distributions", run: webservice::fig10_11 },
+        Experiment { id: "table7", title: "Delay decomposition", run: webservice::table7 },
+        Experiment { id: "fig12_17", title: "MapReduce timelines", run: mapred::fig12_17 },
+        Experiment { id: "table8", title: "Time/energy matrix (+Fig 18-19)", run: mapred::table8 },
+        Experiment { id: "sec53_speedup", title: "Scalability speed-up", run: mapred::scalability_speedup },
+        Experiment { id: "table9", title: "TCO constants", run: |_| individual::table9() },
+        Experiment { id: "table10", title: "TCO comparison", run: |_| tco_exp::table10() },
+        Experiment { id: "ext_hybrid", title: "EXT: hybrid web tier (§7 vision)", run: extensions::ext_hybrid },
+        Experiment { id: "ext_failure", title: "EXT: node-failure impact", run: extensions::ext_failure },
+        Experiment { id: "ext_platforms", title: "EXT: related-work platform what-if", run: extensions::ext_platforms },
+        Experiment { id: "ext_dvfs", title: "EXT: DVFS vs substitution (§1)", run: extensions::ext_dvfs },
+    ]
+}
+
+/// Find an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        // tables 1-10 (7 via table7, 8 via table8...)
+        for t in ["table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "table10"] {
+            assert!(ids.contains(&t), "missing {t}");
+        }
+        // all 19 figures are covered by these grouped ids
+        for f in ["fig02_03", "fig04_07", "fig05_08", "fig06_09", "fig10_11", "fig12_17", "table8"] {
+            assert!(ids.contains(&f), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("table8").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn cheap_experiments_run_under_quick_budget() {
+        let b = RunBudget::quick();
+        for id in ["table1", "table2", "table3", "table4", "table5", "table6", "table9", "table10", "sec41_dmips", "sec42_membw", "sec44_net", "fig02_03"] {
+            let e = find(id).unwrap();
+            let r = (e.run)(&b);
+            assert_eq!(r.id, id);
+            assert!(!r.body.is_empty());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # edison-hw
+//!
+//! Hardware models for the reproduction of the VLDB'16 Edison micro-server
+//! study. A [`specs::ServerSpec`] bundles parametric CPU, memory, storage,
+//! NIC and power models; [`presets`] instantiates the two platforms the
+//! paper measures — the Intel **Edison** compute module and the **Dell
+//! PowerEdge R620** — with every constant taken from the paper's Section 3–4
+//! measurements (Tables 2, 3, 5 and the in-text DMIPS / sysbench / iperf /
+//! ping numbers), plus the related-work platforms of Table 1.
+//!
+//! [`calib`] holds the *workload* cost coefficients (CPU instructions per
+//! HTTP request, per map-record, container start-up costs, …) that were
+//! fitted once against a subset of the paper's cluster results and are then
+//! held fixed across all experiments — see DESIGN.md §1 "Calibration
+//! policy".
+
+pub mod calib;
+pub mod dvfs;
+pub mod power;
+pub mod presets;
+pub mod related;
+pub mod specs;
+
+pub use power::PowerModel;
+pub use specs::{CpuSpec, MemSpec, NicSpec, ServerSpec, StorageSpec};

@@ -1,0 +1,188 @@
+//! Concrete platform presets, with every constant traceable to the paper.
+//!
+//! | Constant | Source |
+//! |---|---|
+//! | CPU cores/clock, RAM, NIC line rate | Table 2 |
+//! | Single-thread DMIPS 632.3 / 11383 | §4.1 |
+//! | SMT factor 1.3 (Dell) | fitted to the §5.2.3 pi-estimation aggregate-CPU ratio (≈70×/node), consistent with the paper's "90–108×" per-node claim given its own 15–18× single-thread band |
+//! | Memory peak bandwidth 2.2 / 36 GB/s, saturation threads 2 / 12 | §4.2 |
+//! | Storage throughputs & latencies | Table 5 |
+//! | TCP/UDP efficiencies 0.939 / 0.942 / 0.948 | §4.4 |
+//! | Power endpoints | Table 3 |
+//! | Unit costs $120 / $2500 | Table 9 and §6 |
+//! | Related-work platform specs | Table 1 |
+
+use crate::power::PowerModel;
+use crate::specs::{CpuSpec, MemSpec, NicSpec, OsLimits, ServerSpec, StorageSpec, GIB, MIB};
+
+/// The Intel Edison micro server **including** its 100 Mbps USB Ethernet
+/// adaptor — the configuration every cluster experiment uses. Node power
+/// endpoints are anchored to the measured 1.40 W idle / 1.68 W busy.
+pub fn edison() -> ServerSpec {
+    ServerSpec {
+        name: "Intel Edison".into(),
+        cpu: CpuSpec {
+            cores: 2,
+            threads: 2,
+            clock_mhz: 500,
+            single_thread_mips: 632.3,
+            smt_factor: 1.0,
+        },
+        mem: MemSpec {
+            total_bytes: GIB,
+            peak_bw: 2.2e9,
+            saturation_threads: 2,
+            overhead_bytes: 32.0 * 1024.0,
+        },
+        storage: StorageSpec {
+            capacity_bytes: 8 * GIB,
+            write_bw: 4.5e6,
+            buffered_write_bw: 9.3e6,
+            read_bw: 19.5e6,
+            buffered_read_bw: 737.0e6,
+            write_latency_s: 18.0e-3,
+            read_latency_s: 7.0e-3,
+        },
+        nic: NicSpec { line_rate_bps: 100.0e6, tcp_efficiency: 0.939, udp_efficiency: 0.948 },
+        // The adaptor draws ~1 W — more than the module itself. The measured
+        // with-adaptor endpoints (1.40/1.68 W) imply a slightly narrower
+        // module range under load than the bare measurement (0.36/0.75 W);
+        // we anchor the node-level endpoints, which drive all cluster
+        // results, and absorb the difference in `busy_w`.
+        power: PowerModel { idle_w: 0.36, busy_w: 0.64, adapter_w: 1.04 },
+        os: OsLimits {
+            max_connections: 1_000,
+            // SYN/accept path sustainable rate after the paper's tuning
+            // (port-reuse on, raised fd limits); interrupt-bound on the
+            // USB NIC. Fitted jointly with the web-tier error onsets.
+            max_accept_rate: 400.0,
+            base_memory: 260 * MIB,
+        },
+        unit_cost_usd: 120.0,
+    }
+}
+
+/// The Edison module without the Ethernet adaptor (Table 3 first row);
+/// used for the Table 3 experiment and the integrated-NIC what-if ablation.
+pub fn edison_bare() -> ServerSpec {
+    let mut s = edison();
+    s.name = "Intel Edison (no Ethernet adaptor)".into();
+    s.power = PowerModel { idle_w: 0.36, busy_w: 0.75, adapter_w: 0.0 };
+    s
+}
+
+/// The Dell PowerEdge R620 (Intel Xeon E5-2620: 6 cores / 12 threads at
+/// 2 GHz, 16 GB RAM, 1 TB SAS 15K, 1 GbE).
+pub fn dell_r620() -> ServerSpec {
+    ServerSpec {
+        name: "Dell PowerEdge R620".into(),
+        cpu: CpuSpec {
+            cores: 6,
+            threads: 12,
+            clock_mhz: 2000,
+            single_thread_mips: 11_383.0,
+            smt_factor: 1.3,
+        },
+        mem: MemSpec {
+            total_bytes: 16 * GIB,
+            peak_bw: 36.0e9,
+            saturation_threads: 12,
+            overhead_bytes: 32.0 * 1024.0,
+        },
+        storage: StorageSpec {
+            capacity_bytes: 1024 * GIB,
+            write_bw: 24.0e6,
+            buffered_write_bw: 83.2e6,
+            read_bw: 86.1e6,
+            buffered_read_bw: 3.1e9,
+            write_latency_s: 5.04e-3,
+            read_latency_s: 0.829e-3,
+        },
+        nic: NicSpec { line_rate_bps: 1.0e9, tcp_efficiency: 0.942, udp_efficiency: 0.948 },
+        power: PowerModel { idle_w: 52.0, busy_w: 109.0, adapter_w: 0.0 },
+        os: OsLimits {
+            max_connections: 20_000,
+            // Sustainable accepts/s per server: the paper observes Dell web
+            // throughput capped by "the ability to create new TCP ports and
+            // new threads" at ≈45 % CPU; 700 conn/s reproduces the peak at
+            // concurrency 1024 and the sag + client errors beyond 2048.
+            max_accept_rate: 700.0,
+            base_memory: 2 * GIB,
+        },
+        unit_cost_usd: 2_500.0,
+    }
+}
+
+/// One row of Table 1 (related-work micro-server platforms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelatedWorkRow {
+    /// Platform / project name.
+    pub name: &'static str,
+    /// CPU description exactly as tabulated.
+    pub cpu: &'static str,
+    /// Installed memory in MiB.
+    pub memory_mib: u32,
+    /// True for the paper's "sensor-class" category (< 1 W class).
+    pub sensor_class: bool,
+}
+
+/// Table 1: micro-server specifications in related work.
+pub fn related_work() -> Vec<RelatedWorkRow> {
+    vec![
+        RelatedWorkRow { name: "Big.LITTLE", cpu: "4x600MHz, 4x1.6GHz", memory_mib: 2048, sensor_class: false },
+        RelatedWorkRow { name: "WattDB", cpu: "2x1.66GHz", memory_mib: 2048, sensor_class: false },
+        RelatedWorkRow { name: "Gordon", cpu: "2x1.9GHz", memory_mib: 2048, sensor_class: false },
+        RelatedWorkRow { name: "Diamondville", cpu: "2x1.6GHz", memory_mib: 4096, sensor_class: false },
+        RelatedWorkRow { name: "Raspberry Pi", cpu: "4x900MHz", memory_mib: 1024, sensor_class: false },
+        RelatedWorkRow { name: "FAWN", cpu: "1x500MHz", memory_mib: 256, sensor_class: true },
+        RelatedWorkRow { name: "Edison", cpu: "2x500MHz", memory_mib: 1024, sensor_class: true },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dell_aggregate_cpu_ratio_matches_pi_experiment() {
+        // The §5.2.3 pi job implies an aggregate per-node ratio of about
+        // 35·200 / (2·50) = 70 between one Dell and one Edison node.
+        let ratio = dell_r620().cpu.total_mips() / edison().cpu.total_mips();
+        assert!((65.0..75.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_thread_gap_matches_dhrystone() {
+        let gap = dell_r620().cpu.single_thread_mips / edison().cpu.single_thread_mips;
+        assert!((17.5..18.5).contains(&gap), "gap {gap}");
+    }
+
+    #[test]
+    fn edison_memory_fits_mapreduce_budget() {
+        // §5.2: 960 MB physical, ~600 MB available for tasks after OS +
+        // datanode + nodemanager. Our base_memory models the OS share.
+        let e = edison();
+        assert!(e.mem.total_bytes >= 960 * MIB);
+        assert!(e.os.base_memory < 300 * MIB);
+    }
+
+    #[test]
+    fn table1_has_two_sensor_class_rows() {
+        let rows = related_work();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.iter().filter(|r| r.sensor_class).count(), 2);
+        assert_eq!(rows.last().unwrap().name, "Edison");
+    }
+
+    #[test]
+    fn storage_gap_is_smallest_component_gap() {
+        // §4 headline: CPU gap ~100x ≫ mem 16x ≫ nic 10x ≫ storage 4-9x.
+        let e = edison();
+        let d = dell_r620();
+        let cpu = d.cpu.total_mips() / e.cpu.total_mips();
+        let mem = d.mem.peak_bw / e.mem.peak_bw;
+        let nic = d.nic.line_rate_bps / e.nic.line_rate_bps;
+        let sto = d.storage.read_bw / e.storage.read_bw;
+        assert!(cpu > mem && mem > nic && nic > sto);
+    }
+}

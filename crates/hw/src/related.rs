@@ -1,0 +1,188 @@
+//! Full hardware models for the Table 1 related-work platforms.
+//!
+//! The paper tabulates only CPU and RAM for these platforms; the remaining
+//! fields are estimates from the cited papers and public datasheets,
+//! documented per preset. They power the `ext_platforms` what-if
+//! experiment: *how would the paper's headline workloads land on the other
+//! micro-server platforms of its era?* Estimates are deliberately
+//! conservative; treat the outputs as qualitative shape, not measurement.
+
+use crate::power::PowerModel;
+use crate::specs::{CpuSpec, MemSpec, NicSpec, OsLimits, ServerSpec, StorageSpec, GIB, MIB};
+
+fn default_os(max_conn: u32, accept: f64, base_mb: u64) -> OsLimits {
+    OsLimits { max_connections: max_conn, max_accept_rate: accept, base_memory: base_mb * MIB }
+}
+
+/// Raspberry Pi 2 (the [51]/[44] cluster papers): 4×900 MHz Cortex-A7,
+/// 1 GB, 100 Mbps NIC, microSD storage, ≈1.1/2.1 W.
+pub fn raspberry_pi2() -> ServerSpec {
+    ServerSpec {
+        name: "Raspberry Pi 2".into(),
+        cpu: CpuSpec {
+            cores: 4,
+            threads: 4,
+            clock_mhz: 900,
+            // Cortex-A7 ≈ 1.9 DMIPS/MHz
+            single_thread_mips: 1_710.0,
+            smt_factor: 1.0,
+        },
+        mem: MemSpec {
+            total_bytes: GIB,
+            peak_bw: 1.6e9,
+            saturation_threads: 2,
+            overhead_bytes: 32.0 * 1024.0,
+        },
+        storage: StorageSpec {
+            capacity_bytes: 16 * GIB,
+            write_bw: 5.0e6,
+            buffered_write_bw: 10.0e6,
+            read_bw: 18.0e6,
+            buffered_read_bw: 400.0e6,
+            write_latency_s: 15.0e-3,
+            read_latency_s: 6.0e-3,
+        },
+        nic: NicSpec { line_rate_bps: 100.0e6, tcp_efficiency: 0.939, udp_efficiency: 0.948 },
+        power: PowerModel { idle_w: 1.1, busy_w: 2.1, adapter_w: 0.0 },
+        os: default_os(2_000, 500.0, 300),
+        unit_cost_usd: 55.0,
+    }
+}
+
+/// FAWN node (Andersen et al. [21]): 1×500 MHz AMD Geode LX, 256 MB,
+/// 100 Mbps, CompactFlash; ≈3.6/4.7 W per the FAWN paper.
+pub fn fawn() -> ServerSpec {
+    ServerSpec {
+        name: "FAWN (Geode LX)".into(),
+        cpu: CpuSpec {
+            cores: 1,
+            threads: 1,
+            clock_mhz: 500,
+            // Geode LX ≈ 1.0 DMIPS/MHz
+            single_thread_mips: 500.0,
+            smt_factor: 1.0,
+        },
+        mem: MemSpec {
+            total_bytes: 256 * MIB,
+            peak_bw: 0.8e9,
+            saturation_threads: 1,
+            overhead_bytes: 32.0 * 1024.0,
+        },
+        storage: StorageSpec {
+            capacity_bytes: 4 * GIB,
+            write_bw: 4.0e6,
+            buffered_write_bw: 8.0e6,
+            read_bw: 28.0e6, // CF random reads are FAWN's design point
+            buffered_read_bw: 200.0e6,
+            write_latency_s: 10.0e-3,
+            read_latency_s: 1.0e-3,
+        },
+        nic: NicSpec { line_rate_bps: 100.0e6, tcp_efficiency: 0.939, udp_efficiency: 0.948 },
+        power: PowerModel { idle_w: 3.6, busy_w: 4.7, adapter_w: 0.0 },
+        os: default_os(1_000, 300.0, 80),
+        unit_cost_usd: 150.0,
+    }
+}
+
+/// Intel Atom "Diamondville" node (Janapa Reddi et al. [29]): 2×1.6 GHz,
+/// 4 GB, 1 Gbps.
+pub fn diamondville() -> ServerSpec {
+    ServerSpec {
+        name: "Atom Diamondville".into(),
+        cpu: CpuSpec {
+            cores: 2,
+            threads: 4,
+            clock_mhz: 1600,
+            // in-order Atom ≈ 2.5 DMIPS/MHz
+            single_thread_mips: 4_000.0,
+            smt_factor: 1.25,
+        },
+        mem: MemSpec {
+            total_bytes: 4 * GIB,
+            peak_bw: 4.0e9,
+            saturation_threads: 4,
+            overhead_bytes: 32.0 * 1024.0,
+        },
+        storage: StorageSpec {
+            capacity_bytes: 160 * GIB,
+            write_bw: 35.0e6,
+            buffered_write_bw: 70.0e6,
+            read_bw: 60.0e6,
+            buffered_read_bw: 1.2e9,
+            write_latency_s: 8.0e-3,
+            read_latency_s: 4.0e-3,
+        },
+        nic: NicSpec { line_rate_bps: 1.0e9, tcp_efficiency: 0.942, udp_efficiency: 0.948 },
+        power: PowerModel { idle_w: 18.0, busy_w: 29.0, adapter_w: 0.0 },
+        os: default_os(8_000, 900.0, 700),
+        unit_cost_usd: 400.0,
+    }
+}
+
+/// Every related-work platform with a full model, plus the two measured
+/// platforms, keyed by Table 1-style names.
+pub fn all_platforms() -> Vec<ServerSpec> {
+    vec![
+        crate::presets::edison(),
+        fawn(),
+        raspberry_pi2(),
+        diamondville(),
+        crate::presets::dell_r620(),
+    ]
+}
+
+/// Work-done-per-joule for a pure-CPU workload of `mi` MI on one node:
+/// the simplest cross-platform figure of merit (MI per joule at full tilt).
+pub fn mi_per_joule(spec: &ServerSpec) -> f64 {
+    spec.cpu.total_mips() / spec.power.node_busy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn table1_ram_matches_full_models() {
+        assert_eq!(raspberry_pi2().mem.total_bytes, GIB);
+        assert_eq!(fawn().mem.total_bytes, 256 * MIB);
+        assert_eq!(diamondville().mem.total_bytes, 4 * GIB);
+    }
+
+    #[test]
+    fn sensor_class_platforms_stay_under_5_watts() {
+        for spec in [presets::edison_bare(), fawn()] {
+            assert!(spec.power.node_busy() < 5.0, "{}: {}", spec.name, spec.power.node_busy());
+        }
+    }
+
+    #[test]
+    fn edison_wins_cpu_efficiency_among_micro_platforms() {
+        // The Edison module (without its power-hungry adaptor) has the best
+        // MI/J of the sensor-class platforms — the premise of building the
+        // cluster from Edisons rather than FAWN-class Geodes.
+        let edison = mi_per_joule(&presets::edison_bare());
+        let fawn_eff = mi_per_joule(&fawn());
+        assert!(edison > 3.0 * fawn_eff, "edison {edison:.0} vs fawn {fawn_eff:.0}");
+    }
+
+    #[test]
+    fn dell_beats_everything_on_raw_speed_only() {
+        let specs = all_platforms();
+        let dell = presets::dell_r620();
+        for s in &specs {
+            if s.name != dell.name {
+                assert!(s.cpu.total_mips() < dell.cpu.total_mips(), "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptor_negates_the_edison_power_advantage_vs_pi() {
+        // With the USB adaptor the Edison node draws comparable power to a
+        // busy Pi 2 — the integration lesson of the paper's §7.
+        let edison = presets::edison().power.node_busy();
+        let pi = raspberry_pi2().power.node_busy();
+        assert!((edison - pi).abs() < 0.6, "edison {edison} vs pi {pi}");
+    }
+}

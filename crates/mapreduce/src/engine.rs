@@ -1,0 +1,925 @@
+//! The cluster job executor: YARN scheduling + the map/shuffle/reduce
+//! pipeline as one discrete-event world per job run.
+//!
+//! A run reproduces the §5.2 setup: one external Dell master (namenode +
+//! resource manager, excluded from energy accounting, as the paper does)
+//! plus N slave nodes of one platform. Each task walks explicit phases:
+//!
+//! ```text
+//! map:    grant → container launch (JVM CPU) → input read (disk or
+//!         remote flow) → map CPU → sort/spill CPU → spill write (disk)
+//! reduce: grant → launch → fetch each map's partition (network flows,
+//!         as maps finish) → external merge (disk) → reduce CPU →
+//!         output write (disk) → replication pipeline (flow)
+//! ```
+//!
+//! Container-allocation waves, data-locality, the Edison memory ceiling
+//! and the reduce-phase start times of Figures 12–17 all emerge from these
+//! mechanics rather than being scripted.
+
+use crate::hdfs::Namenode;
+use crate::jobs::{JobProfile, Tune};
+use crate::yarn::{heartbeat, Grant, NodeCapacity, PendingTask};
+use edison_cluster::{Cluster, NodeId};
+use edison_hw::{calib, presets};
+use edison_net::{HostId, LinkGauge, Topology};
+use edison_simcore::rng::SimRng;
+use edison_simcore::stats::TimeSeries;
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simcore::{Ctx, Model, Simulation};
+use std::collections::VecDeque;
+
+const MIB: u64 = 1024 * 1024;
+/// CPU-task id reserved for the application master.
+const AM_ID: u64 = u64::MAX;
+/// Disk-job id base for per-node job localisation (base + node index).
+const LOCALIZE_BASE: u64 = u64::MAX / 2;
+/// Hadoop's default reduce slow-start threshold.
+const REDUCE_SLOWSTART: f64 = 0.05;
+
+/// Cluster-side configuration of a run.
+#[derive(Debug, Clone)]
+pub struct ClusterSetup {
+    /// Platform tuning (selects hardware spec + job containers).
+    pub tune: Tune,
+    /// Slave node count (Table 8 columns: 35/17/8/4 Edison, 2/1 Dell).
+    pub workers: usize,
+    /// HDFS block size, bytes (16 MB Edison / 64 MB Dell; 64 MB both for
+    /// terasort).
+    pub block_bytes: u64,
+    /// HDFS replication (2 Edison / 1 Dell — tuned for ≈95 % locality).
+    pub replication: u32,
+    /// Per-node memory schedulable for containers (≈600 MB Edison, 12 GB
+    /// Dell after OS + datanode + nodemanager).
+    pub schedulable_mem: u64,
+    /// Application-master container size (100 MB / 500 MB).
+    pub am_mem: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fault injection: slow node `index` down by the given CPU factor
+    /// (> 1), modelling a degraded SD card / thermally-throttled module.
+    pub straggler: Option<(usize, f64)>,
+    /// Hadoop speculative execution: duplicate suspiciously slow maps once
+    /// most of the map phase has completed. On by default (Hadoop's
+    /// default); with homogeneous nodes it never triggers, so calibrated
+    /// results are unaffected.
+    pub speculation: bool,
+}
+
+impl ClusterSetup {
+    /// The paper's Edison slave configuration at a given size.
+    pub fn edison(workers: usize) -> Self {
+        ClusterSetup {
+            tune: Tune::Edison,
+            workers,
+            block_bytes: 16 * MIB,
+            replication: 2.min(workers as u32),
+            schedulable_mem: 600 * MIB,
+            am_mem: 100 * MIB,
+            seed: 20160509,
+            straggler: None,
+            speculation: true,
+        }
+    }
+
+    /// The paper's Dell slave configuration at a given size.
+    pub fn dell(workers: usize) -> Self {
+        ClusterSetup {
+            tune: Tune::Dell,
+            workers,
+            block_bytes: 64 * MIB,
+            replication: 1,
+            schedulable_mem: 12 * 1024 * MIB,
+            am_mem: 500 * MIB,
+            seed: 20160509,
+            straggler: None,
+            speculation: true,
+        }
+    }
+
+    /// Scale the block size so each vcore still gets one map container when
+    /// the cluster shrinks (the paper: "when running wordcount2 … on
+    /// half-scale … we increase the HDFS block size").
+    pub fn with_block(mut self, bytes: u64) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Inject a straggler: node `index` runs its CPU `factor`× slower.
+    pub fn with_straggler(mut self, index: usize, factor: f64) -> Self {
+        assert!(factor > 1.0);
+        self.straggler = Some((index, factor));
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pending,
+    Launching,
+    Reading,
+    MapCpu,
+    SpillCpu,
+    SpillDisk,
+    ShuffleWait,
+    Fetching,
+    MergeDisk,
+    ReduceCpu,
+    OutputDisk,
+    OutputRepl,
+    Done,
+}
+
+#[derive(Debug)]
+struct Task {
+    is_map: bool,
+    phase: Phase,
+    node: usize,
+    /// HDFS block feeding this map (maps only).
+    block: usize,
+    local: bool,
+    /// Reduce shuffle bookkeeping.
+    fetch_pending: VecDeque<usize>,
+    fetched: u32,
+    current_fetch_src: Option<usize>,
+    /// Speculative copy of another map task.
+    dup_of: Option<usize>,
+    /// The logical map this task implements has been counted as complete.
+    logical_done: bool,
+    /// A speculative copy of this task exists (or it already finished).
+    speculated: bool,
+    /// Container grant time (straggler detection).
+    started: SimTime,
+}
+
+/// Events of the MapReduce world.
+#[derive(Debug)]
+pub enum Ev {
+    Heartbeat,
+    AmReady,
+    NodeCpu { node: usize, epoch: u64 },
+    DiskDone { node: usize, job: u64 },
+    FlowEnd { task: usize },
+    Sample,
+}
+
+/// Per-second utilisation/power/progress samples (Figures 12–17).
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    /// Mean CPU utilisation across slaves, 0–100 %.
+    pub cpu_pct: TimeSeries,
+    /// Mean memory utilisation across slaves, 0–100 %.
+    pub mem_pct: TimeSeries,
+    /// Cluster power, W.
+    pub power_w: TimeSeries,
+    /// Completed maps / total maps, 0–100 %.
+    pub map_pct: TimeSeries,
+    /// Completed reduces / total, 0–100 %.
+    pub reduce_pct: TimeSeries,
+}
+
+/// Result of one job run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Wall-clock job time, s.
+    pub finish_time_s: f64,
+    /// Slave-cluster energy over the job, J (master excluded, as in §5.2).
+    pub energy_j: f64,
+    /// Fraction of map tasks that ran data-local.
+    pub data_local_fraction: f64,
+    /// The Figure 12–17 timeline.
+    pub timeline: Timeline,
+    /// Time at which the first reduce container launched, s.
+    pub first_reduce_s: f64,
+    /// Time at which CPU utilisation first exceeded 20 % (the paper's
+    /// "resource allocation time" marker).
+    pub cpu_rise_s: f64,
+    /// Speculative map copies launched (0 on healthy clusters).
+    pub speculative_copies: u32,
+}
+
+impl JobOutcome {
+    /// Work-done-per-joule relative to another outcome of the same job:
+    /// `other.energy / self.energy` (> 1 means self is more efficient).
+    pub fn efficiency_vs(&self, other: &JobOutcome) -> f64 {
+        other.energy_j / self.energy_j
+    }
+}
+
+struct MrWorld {
+    profile: JobProfile,
+    setup: ClusterSetup,
+    nodes: Cluster,
+    topo: Topology,
+    gauge: LinkGauge,
+    hosts: Vec<HostId>,
+    nn: Namenode,
+    tasks: Vec<Task>,
+    n_maps: usize,
+    completed_maps: usize,
+    completed_reduces: usize,
+    local_maps: usize,
+    am_placed: bool,
+    am_ready: bool,
+    reduces_requested: bool,
+    running_containers: Vec<u32>,
+    /// Per-node: job artifacts localised, containers may launch.
+    node_ready: Vec<bool>,
+    /// Memory currently held by running reduce containers (ramp-up cap).
+    running_reduce_mem: u64,
+    /// Durations of completed (non-speculative) map tasks, seconds.
+    map_durations: Vec<f64>,
+    /// Speculative copies launched.
+    speculative_copies: u32,
+    timeline: Timeline,
+    first_reduce: Option<SimTime>,
+    cpu_rise: Option<SimTime>,
+    finish: Option<SimTime>,
+}
+
+impl MrWorld {
+    fn new(profile: JobProfile, setup: ClusterSetup) -> Self {
+        let spec = match setup.tune {
+            Tune::Edison => presets::edison(),
+            Tune::Dell => presets::dell_r620(),
+        };
+        let mut nodes = Cluster::new();
+        for i in 0..setup.workers {
+            match setup.straggler {
+                Some((idx, factor)) if idx == i => {
+                    let mut slow = spec.clone();
+                    slow.cpu.single_thread_mips /= factor;
+                    nodes.push(&slow);
+                }
+                _ => {
+                    nodes.push(&spec);
+                }
+            }
+        }
+        // single-room fabric (the master sits outside the energy boundary
+        // and its control traffic is negligible)
+        let mut topo = Topology::new();
+        let room = topo.add_group(match setup.tune {
+            Tune::Edison => SimDuration::from_micros(650),
+            Tune::Dell => SimDuration::from_micros(120),
+        });
+        let hosts: Vec<HostId> = (0..setup.workers)
+            .map(|_| topo.add_host(room, spec.nic.line_rate_bps, spec.nic.tcp_efficiency))
+            .collect();
+        let gauge = LinkGauge::mirror(topo.network());
+
+        let mut rng = SimRng::new(setup.seed);
+        // HDFS: one file per map split (CombineFileInputFormat is modelled
+        // by the profile's split count — splits are locality-grouped).
+        let mut nn = Namenode::new(setup.workers, setup.replication, setup.block_bytes);
+        let split = profile.split_bytes().max(1);
+        for i in 0..profile.map_tasks {
+            nn.put(&format!("part-{i:05}"), split.min(setup.block_bytes), &mut rng);
+        }
+        let n_maps = profile.map_tasks as usize;
+        let n_tasks = n_maps + profile.reduce_tasks as usize;
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|i| Task {
+                is_map: i < n_maps,
+                phase: Phase::Pending,
+                node: usize::MAX,
+                block: if i < n_maps { i } else { usize::MAX },
+                local: false,
+                fetch_pending: VecDeque::new(),
+                fetched: 0,
+                current_fetch_src: None,
+                dup_of: None,
+                logical_done: false,
+                speculated: false,
+                started: SimTime::ZERO,
+            })
+            .collect();
+        let running_containers = vec![0; setup.workers];
+        let node_ready = vec![false; setup.workers];
+        MrWorld {
+            profile,
+            setup,
+            nodes,
+            topo,
+            gauge,
+            hosts,
+            nn,
+            tasks,
+            n_maps,
+            completed_maps: 0,
+            completed_reduces: 0,
+            local_maps: 0,
+            am_placed: false,
+            am_ready: false,
+            reduces_requested: false,
+            running_containers,
+            node_ready,
+            running_reduce_mem: 0,
+            map_durations: Vec::new(),
+            speculative_copies: 0,
+            timeline: Timeline::default(),
+            first_reduce: None,
+            cpu_rise: None,
+            finish: None,
+        }
+    }
+
+    // ---- derived sizes --------------------------------------------------
+
+    fn map_input_bytes(&self) -> u64 {
+        self.profile.split_bytes().max(1)
+    }
+
+    fn map_output_bytes(&self) -> u64 {
+        (self.profile.shuffle_bytes() / self.profile.map_tasks as u64).max(1)
+    }
+
+    fn fetch_bytes(&self) -> u64 {
+        (self.profile.shuffle_bytes()
+            / (self.profile.map_tasks as u64 * self.profile.reduce_tasks as u64))
+            .max(1)
+    }
+
+    fn shuffle_per_reduce(&self) -> u64 {
+        (self.profile.shuffle_bytes() / self.profile.reduce_tasks as u64).max(1)
+    }
+
+    fn output_per_reduce(&self) -> u64 {
+        (self.profile.output_bytes() / self.profile.reduce_tasks as u64).max(1)
+    }
+
+    fn gc_factor(&self) -> f64 {
+        if self.profile.mem_hungry {
+            1.0 + calib::GC_PRESSURE_FACTOR
+        } else {
+            1.0
+        }
+    }
+
+    // ---- plumbing -------------------------------------------------------
+
+    fn schedule_node_cpu(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if let Some((_, at)) = self.nodes.node(NodeId(node)).next_cpu_completion(now) {
+            let epoch = self.nodes.node(NodeId(node)).cpu_epoch();
+            ctx.schedule_at(at, Ev::NodeCpu { node, epoch });
+        }
+    }
+
+    fn add_cpu(&mut self, node: usize, id: u64, mi: f64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        self.nodes.node_mut(NodeId(node)).add_cpu_task(now, id, mi.max(1e-3));
+        self.schedule_node_cpu(node, now, ctx);
+    }
+
+    fn submit_disk(&mut self, node: usize, job: u64, service: SimDuration, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if let Some((j, at)) = self.nodes.node_mut(NodeId(node)).disk().submit(now, job, service) {
+            ctx.schedule_at(at, Ev::DiskDone { node, job: j });
+        }
+    }
+
+    // ---- scheduling -----------------------------------------------------
+
+    fn run_heartbeat(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if !self.am_placed {
+            // The application master runs on the Dell master node of the
+            // paper's hybrid setup (outside the slave energy boundary);
+            // submission + AM start cost wall time but no slave resources.
+            self.am_placed = true;
+            let master_mips = presets::dell_r620().cpu.single_thread_mips;
+            let setup = SimDuration::from_secs_f64(
+                calib::JOB_SUBMIT_DELAY_S + calib::APP_MASTER_SETUP_MI / master_mips,
+            );
+            ctx.schedule_at(now + setup, Ev::AmReady);
+            return;
+        }
+        if !self.am_ready {
+            return;
+        }
+        if !self.reduces_requested
+            && self.completed_maps as f64 >= REDUCE_SLOWSTART * self.n_maps as f64
+        {
+            self.reduces_requested = true;
+        }
+        if self.setup.speculation {
+            // before building the pending list so fresh copies join this
+            // heartbeat's grants
+            self.maybe_speculate(now);
+        }
+        // build the pending list (deterministic order: maps then reduces,
+        // by index)
+        let mut pending = Vec::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.phase != Phase::Pending {
+                continue;
+            }
+            // drop speculative copies whose original already finished
+            if let Some(orig) = t.dup_of {
+                if self.tasks[orig].phase == Phase::Done {
+                    continue;
+                }
+            }
+            if t.is_map {
+                pending.push(PendingTask { task: i, mem: self.profile.map_container, is_map: true });
+            } else if self.reduces_requested {
+                pending.push(PendingTask {
+                    task: i,
+                    mem: self.profile.reduce_container,
+                    is_map: false,
+                });
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let mut capacity: Vec<NodeCapacity> = (0..self.setup.workers)
+            .map(|i| {
+                let node = self.nodes.node(NodeId(i));
+                let used_beyond_base = node.mem_used() - node.spec().os.base_memory;
+                NodeCapacity {
+                    free_mem: if self.node_ready[i] {
+                        self.setup.schedulable_mem.saturating_sub(used_beyond_base)
+                    } else {
+                        0 // job artifacts not yet localised on this node
+                    },
+                    running: self.running_containers[i],
+                    max_containers: 2 * node.spec().cpu.threads,
+                }
+            })
+            .collect();
+        // Hadoop's reduce ramp-up: while maps are pending, running reduce
+        // containers may hold at most half the cluster's memory.
+        let maps_pending = self.tasks[..self.n_maps].iter().any(|t| t.phase == Phase::Pending);
+        let allowance = if maps_pending {
+            let cap = (calib::REDUCE_RAMPUP_LIMIT
+                * self.setup.workers as f64
+                * self.setup.schedulable_mem as f64) as u64;
+            cap.saturating_sub(self.running_reduce_mem)
+        } else {
+            u64::MAX
+        };
+        let nn = &self.nn;
+        let tasks = &self.tasks;
+        let grants = heartbeat(&pending, &mut capacity, allowance, |task, node| {
+            tasks[task].is_map && nn.is_local(tasks[task].block, node)
+        });
+        let _ = tasks;
+        for Grant { task, node, local } in grants {
+            let mem = if self.tasks[task].is_map {
+                self.profile.map_container
+            } else {
+                self.profile.reduce_container
+            };
+            self.nodes.node_mut(NodeId(node)).alloc_mem(mem).expect("scheduler checked fit");
+            self.running_containers[node] += 1;
+            if !self.tasks[task].is_map {
+                self.running_reduce_mem += self.profile.reduce_container;
+                if self.first_reduce.is_none() {
+                    self.first_reduce = Some(now);
+                }
+            }
+            let t = &mut self.tasks[task];
+            t.node = node;
+            t.local = local;
+            t.phase = Phase::Launching;
+            t.started = now;
+            self.add_cpu(node, task as u64, self.profile.container_startup_mi, now, ctx);
+        }
+    }
+
+    /// Hadoop-style speculation: once ≥75 % of maps finished, a running map
+    /// older than 1.5× the median completed-map duration gets a duplicate,
+    /// which competes through the normal pending/grant path. The first
+    /// finisher wins; the loser runs out without being counted.
+    fn maybe_speculate(&mut self, now: SimTime) {
+        if self.completed_maps * 4 < self.n_maps * 3 || self.map_durations.is_empty() {
+            return;
+        }
+        let mut sorted = self.map_durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let threshold = 1.5 * median;
+        for i in 0..self.n_maps {
+            let t = &self.tasks[i];
+            if t.speculated
+                || t.dup_of.is_some()
+                || matches!(t.phase, Phase::Pending | Phase::Done)
+            {
+                continue;
+            }
+            let age = now.saturating_since(t.started).as_secs_f64();
+            if age > threshold {
+                let block = t.block;
+                self.tasks[i].speculated = true;
+                self.tasks.push(Task {
+                    is_map: true,
+                    phase: Phase::Pending,
+                    node: usize::MAX,
+                    block,
+                    local: false,
+                    fetch_pending: VecDeque::new(),
+                    fetched: 0,
+                    current_fetch_src: None,
+                    dup_of: Some(i),
+                    logical_done: false,
+                    speculated: true,
+                    started: now,
+                });
+                self.speculative_copies += 1;
+            }
+        }
+    }
+
+    // ---- task phase transitions ------------------------------------------
+
+    fn cpu_done(&mut self, node: usize, id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        debug_assert_ne!(id, AM_ID, "the AM runs on the master, not a slave");
+        let task = id as usize;
+        let phase = self.tasks[task].phase;
+        match phase {
+            Phase::Launching => {
+                if self.tasks[task].is_map {
+                    self.start_map_read(task, now, ctx);
+                } else {
+                    self.start_shuffle(task, now, ctx);
+                }
+            }
+            Phase::MapCpu => {
+                // sort/spill CPU on the pre-combine output
+                self.tasks[task].phase = Phase::SpillCpu;
+                let emit_mib = self.map_input_bytes() as f64 / MIB as f64 * 1.1;
+                let mi = self.profile.spill_mi_per_mib * emit_mib;
+                self.add_cpu(node, id, mi, now, ctx);
+            }
+            Phase::SpillCpu => {
+                self.tasks[task].phase = Phase::SpillDisk;
+                let bytes = self.map_output_bytes();
+                let service = self.nodes.node(NodeId(node)).disk_write_time(bytes, false);
+                self.submit_disk(node, id, service, now, ctx);
+            }
+            Phase::ReduceCpu => {
+                self.tasks[task].phase = Phase::OutputDisk;
+                let bytes = self.output_per_reduce();
+                let service = self.nodes.node(NodeId(node)).disk_write_time(bytes, false);
+                self.submit_disk(node, id, service, now, ctx);
+            }
+            other => unreachable!("cpu done for task {task} in phase {other:?}"),
+        }
+    }
+
+    fn start_map_read(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let node = self.tasks[task].node;
+        let block = self.tasks[task].block;
+        let bytes = self.map_input_bytes();
+        self.tasks[task].phase = Phase::Reading;
+        if self.nn.is_local(block, node) {
+            let service = self.nodes.node(NodeId(node)).disk_read_time(bytes, false);
+            self.submit_disk(node, task as u64, service, now, ctx);
+        } else {
+            // remote read: stream from a replica over the fabric
+            let src = self.nn.replica_for(block, node);
+            let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
+            let dur = self.gauge.begin_transfer(&path, bytes as f64);
+            self.tasks[task].current_fetch_src = Some(src);
+            ctx.schedule_at(now + lat + dur, Ev::FlowEnd { task });
+        }
+    }
+
+    fn start_map_cpu(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let node = self.tasks[task].node;
+        self.tasks[task].phase = Phase::MapCpu;
+        let mib = self.map_input_bytes() as f64 / MIB as f64;
+        let mi = self.profile.map_mi_per_mib * mib
+            + self.profile.map_compute_mi
+            + self.profile.task_setup_mi;
+        self.add_cpu(node, task as u64, mi, now, ctx);
+    }
+
+    fn finish_map(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        // this physical container ends regardless of who wins
+        let node = self.tasks[task].node;
+        self.tasks[task].phase = Phase::Done;
+        self.nodes.node_mut(NodeId(node)).free_mem(self.profile.map_container);
+        self.running_containers[node] -= 1;
+        // speculative resolution: the logical map is `origin`; only the
+        // first finisher counts. The loser (if still running) drains
+        // without effect — Hadoop kills it; letting it finish keeps the
+        // engine simpler and costs only its residual slot time.
+        let origin = self.tasks[task].dup_of.unwrap_or(task);
+        if self.tasks[origin].logical_done {
+            return; // the counterpart already won
+        }
+        self.tasks[origin].logical_done = true;
+        self.tasks[origin].phase = Phase::Done; // reducers seed from origins
+        self.map_durations
+            .push(now.saturating_since(self.tasks[task].started).as_secs_f64());
+        self.completed_maps += 1;
+        if self.tasks[task].local {
+            self.local_maps += 1;
+        }
+        // notify shuffling reducers (they fetch from the winner's node)
+        for i in self.n_maps..self.tasks.len() {
+            if self.tasks[i].is_map {
+                continue; // speculative map copies live past the reducers
+            }
+            match self.tasks[i].phase {
+                Phase::ShuffleWait => {
+                    self.tasks[i].fetch_pending.push_back(task);
+                    self.next_fetch(i, now, ctx);
+                }
+                Phase::Fetching => self.tasks[i].fetch_pending.push_back(task),
+                _ => {}
+            }
+        }
+    }
+
+    fn start_shuffle(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        // seed the fetch queue with every logical map already finished
+        // (winners carry the data; originals are marked Done either way)
+        let done: Vec<usize> = (0..self.n_maps)
+            .filter(|&m| self.tasks[m].phase == Phase::Done)
+            .collect();
+        let t = &mut self.tasks[task];
+        t.phase = Phase::ShuffleWait;
+        t.fetch_pending = done.into();
+        self.next_fetch(task, now, ctx);
+    }
+
+    fn next_fetch(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if self.tasks[task].phase == Phase::Fetching {
+            return; // already busy with a fetch
+        }
+        let Some(src_task) = self.tasks[task].fetch_pending.pop_front() else {
+            if self.tasks[task].fetched as usize == self.n_maps {
+                self.start_merge(task, now, ctx);
+            } else {
+                self.tasks[task].phase = Phase::ShuffleWait;
+            }
+            return;
+        };
+        let node = self.tasks[task].node;
+        let src = self.tasks[src_task].node;
+        self.tasks[task].phase = Phase::Fetching;
+        self.tasks[task].current_fetch_src = Some(src);
+        let bytes = self.fetch_bytes();
+        let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
+        let dur = self.gauge.begin_transfer(&path, bytes as f64);
+        // a fetch also pays a fixed RPC latency
+        ctx.schedule_at(now + lat + dur + SimDuration::from_millis(1), Ev::FlowEnd { task });
+    }
+
+    fn start_merge(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let node = self.tasks[task].node;
+        self.tasks[task].phase = Phase::MergeDisk;
+        let bytes = self.shuffle_per_reduce();
+        // external merge: (passes - 1) read+write rounds over the shuffled
+        // runs, plus the initial materialisation
+        let passes = self.profile.merge_passes.max(1) as u64;
+        let node_ref = self.nodes.node(NodeId(node));
+        let mut service = node_ref.disk_write_time(bytes, false);
+        for _ in 1..passes {
+            service = service
+                + node_ref.disk_read_time(bytes, false)
+                + node_ref.disk_write_time(bytes, false);
+        }
+        self.submit_disk(node, task as u64, service, now, ctx);
+    }
+
+    fn disk_done(&mut self, node: usize, job: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let task = job as usize;
+        let phase = self.tasks[task].phase;
+        match phase {
+            Phase::Reading => self.start_map_cpu(task, now, ctx),
+            Phase::SpillDisk => self.finish_map(task, now, ctx),
+            Phase::MergeDisk => {
+                self.tasks[task].phase = Phase::ReduceCpu;
+                let mib = self.shuffle_per_reduce() as f64 / MIB as f64;
+                let mi = self.profile.reduce_mi_per_mib * mib * self.gc_factor()
+                    + self.profile.task_setup_mi
+                    + calib::TASK_CLEANUP_MI;
+                self.add_cpu(node, job, mi, now, ctx);
+            }
+            Phase::OutputDisk => {
+                if self.setup.replication > 1 {
+                    // replication pipeline to the next node
+                    self.tasks[task].phase = Phase::OutputRepl;
+                    let peer = (node + 1) % self.setup.workers;
+                    let (path, lat) = self.topo.path(self.hosts[node], self.hosts[peer]);
+                    let bytes = self.output_per_reduce();
+                    let dur = self.gauge.begin_transfer(&path, bytes as f64);
+                    self.tasks[task].current_fetch_src = Some(node);
+                    ctx.schedule_at(now + lat + dur, Ev::FlowEnd { task });
+                } else {
+                    self.finish_reduce(task, now, ctx);
+                }
+            }
+            other => unreachable!("disk done for task {task} in phase {other:?}"),
+        }
+    }
+
+    fn flow_end(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let phase = self.tasks[task].phase;
+        match phase {
+            Phase::Reading => {
+                let src = self.tasks[task].current_fetch_src.take().expect("flow had a source");
+                let node = self.tasks[task].node;
+                let (path, _) = self.topo.path(self.hosts[src], self.hosts[node]);
+                self.gauge.end(&path);
+                self.start_map_cpu(task, now, ctx);
+            }
+            Phase::Fetching => {
+                let src = self.tasks[task].current_fetch_src.take().expect("fetch had a source");
+                let node = self.tasks[task].node;
+                let (path, _) = self.topo.path(self.hosts[src], self.hosts[node]);
+                self.gauge.end(&path);
+                self.tasks[task].fetched += 1;
+                self.tasks[task].phase = Phase::ShuffleWait;
+                self.next_fetch(task, now, ctx);
+            }
+            Phase::OutputRepl => {
+                let src = self.tasks[task].current_fetch_src.take().expect("repl had a source");
+                let peer = (src + 1) % self.setup.workers;
+                let (path, _) = self.topo.path(self.hosts[src], self.hosts[peer]);
+                self.gauge.end(&path);
+                self.finish_reduce(task, now, ctx);
+            }
+            other => unreachable!("flow end for task {task} in phase {other:?}"),
+        }
+    }
+
+    fn finish_reduce(&mut self, task: usize, now: SimTime, _ctx: &mut Ctx<Ev>) {
+        let node = self.tasks[task].node;
+        self.tasks[task].phase = Phase::Done;
+        self.nodes.node_mut(NodeId(node)).free_mem(self.profile.reduce_container);
+        self.running_containers[node] -= 1;
+        self.running_reduce_mem = self.running_reduce_mem.saturating_sub(self.profile.reduce_container);
+        self.completed_reduces += 1;
+        if self.completed_reduces == self.profile.reduce_tasks as usize {
+            self.finish = Some(now);
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let cpu = self.nodes.mean_cpu_utilization() * 100.0;
+        self.timeline.cpu_pct.push(now, cpu);
+        self.timeline.mem_pct.push(now, self.nodes.mean_mem_utilization() * 100.0);
+        self.timeline.power_w.push(now, self.nodes.power_now());
+        self.timeline
+            .map_pct
+            .push(now, self.completed_maps as f64 / self.n_maps as f64 * 100.0);
+        self.timeline.reduce_pct.push(
+            now,
+            self.completed_reduces as f64 / self.profile.reduce_tasks as f64 * 100.0,
+        );
+        if cpu > 20.0 && self.cpu_rise.is_none() {
+            self.cpu_rise = Some(now);
+        }
+    }
+}
+
+impl Model for MrWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, ctx: &mut Ctx<Ev>) {
+        match event {
+            Ev::AmReady => {
+                self.am_ready = true;
+                // distribute the job artifacts: each slave writes the
+                // framework jars + job files to its disk before its first
+                // container can launch (the quiet period of Figures 12-17)
+                for node in 0..self.setup.workers {
+                    let service = self
+                        .nodes
+                        .node(NodeId(node))
+                        .disk_write_time(calib::JOB_LOCALIZATION_BYTES, false);
+                    let job = LOCALIZE_BASE + node as u64;
+                    self.submit_disk(node, job, service, now, ctx);
+                }
+            }
+            Ev::Heartbeat => {
+                self.run_heartbeat(now, ctx);
+                if self.finish.is_none() {
+                    ctx.schedule_in(
+                        SimDuration::from_secs_f64(calib::CONTAINER_GRANT_DELAY_S),
+                        Ev::Heartbeat,
+                    );
+                }
+            }
+            Ev::NodeCpu { node, epoch } => {
+                if self.nodes.node(NodeId(node)).cpu_epoch() != epoch {
+                    return;
+                }
+                let done = self.nodes.node_mut(NodeId(node)).take_finished_cpu(now);
+                for id in done {
+                    self.cpu_done(node, id, now, ctx);
+                }
+                self.schedule_node_cpu(node, now, ctx);
+            }
+            Ev::DiskDone { node, job } => {
+                if let Some((next, at)) = self.nodes.node_mut(NodeId(node)).disk().complete(now) {
+                    ctx.schedule_at(at, Ev::DiskDone { node, job: next });
+                }
+                if job >= LOCALIZE_BASE {
+                    self.node_ready[(job - LOCALIZE_BASE) as usize] = true;
+                } else {
+                    self.disk_done(node, job, now, ctx);
+                }
+            }
+            Ev::FlowEnd { task } => self.flow_end(task, now, ctx),
+            Ev::Sample => {
+                self.sample(now);
+                if self.finish.is_none() {
+                    ctx.schedule_in(SimDuration::from_secs(1), Ev::Sample);
+                } else {
+                    ctx.stop();
+                }
+            }
+        }
+    }
+}
+
+/// Run one job on one cluster setup to completion.
+pub fn run_job(profile: &JobProfile, setup: &ClusterSetup) -> JobOutcome {
+    let world = MrWorld::new(profile.clone(), setup.clone());
+    let mut sim = Simulation::new(world);
+    sim.schedule_at(SimTime::ZERO, Ev::Heartbeat);
+    sim.schedule_at(SimTime::ZERO, Ev::Sample);
+    sim.run();
+    let w = sim.world();
+    let finish = w.finish.unwrap_or_else(|| {
+        panic!(
+            "job {} did not finish: {}/{} maps, {}/{} reduces",
+            w.profile.name,
+            w.completed_maps,
+            w.n_maps,
+            w.completed_reduces,
+            w.profile.reduce_tasks
+        )
+    });
+    JobOutcome {
+        finish_time_s: finish.as_secs_f64(),
+        energy_j: w.nodes.energy_joules(finish),
+        data_local_fraction: w.local_maps as f64 / w.n_maps as f64,
+        timeline: w.timeline.clone(),
+        first_reduce_s: w.first_reduce.map(|t| t.as_secs_f64()).unwrap_or(0.0),
+        cpu_rise_s: w.cpu_rise.map(|t| t.as_secs_f64()).unwrap_or(0.0),
+        speculative_copies: w.speculative_copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs;
+
+    #[test]
+    fn wordcount_completes_on_both_platforms() {
+        let e = run_job(&jobs::wordcount(Tune::Edison), &ClusterSetup::edison(35));
+        let d = run_job(&jobs::wordcount(Tune::Dell), &ClusterSetup::dell(2));
+        assert!(e.finish_time_s > 0.0 && d.finish_time_s > 0.0);
+        // §5.2.1: Edison slower in time but more work-done-per-joule
+        assert!(e.finish_time_s > d.finish_time_s, "edison {} dell {}", e.finish_time_s, d.finish_time_s);
+        assert!(e.energy_j < d.energy_j, "edison {}J dell {}J", e.energy_j, d.energy_j);
+    }
+
+    #[test]
+    fn pi_favors_dell_energy() {
+        // §5.2.3: the compute-bound job is the one Edison loses on energy.
+        let e = run_job(&jobs::pi(Tune::Edison), &ClusterSetup::edison(35));
+        let d = run_job(&jobs::pi(Tune::Dell), &ClusterSetup::dell(2));
+        assert!(e.finish_time_s > d.finish_time_s);
+        assert!(e.energy_j > d.energy_j, "edison {}J dell {}J", e.energy_j, d.energy_j);
+    }
+
+    #[test]
+    fn data_locality_is_high() {
+        let e = run_job(&jobs::wordcount(Tune::Edison), &ClusterSetup::edison(35));
+        assert!(e.data_local_fraction > 0.85, "locality {}", e.data_local_fraction);
+    }
+
+    #[test]
+    fn optimized_wordcount_is_faster() {
+        let wc = run_job(&jobs::wordcount(Tune::Edison), &ClusterSetup::edison(35));
+        let wc2 = run_job(&jobs::wordcount2(Tune::Edison), &ClusterSetup::edison(35));
+        assert!(
+            wc2.finish_time_s < wc.finish_time_s * 0.8,
+            "wc {} wc2 {}",
+            wc.finish_time_s,
+            wc2.finish_time_s
+        );
+    }
+
+    #[test]
+    fn timeline_is_recorded() {
+        let e = run_job(&jobs::logcount2(Tune::Edison), &ClusterSetup::edison(8));
+        assert!(!e.timeline.cpu_pct.is_empty());
+        assert!(e.timeline.map_pct.points().last().unwrap().1 >= 99.9);
+        assert!(e.timeline.power_w.max_value() > 8.0 * 1.40);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = run_job(&jobs::logcount2(Tune::Edison), &ClusterSetup::edison(4));
+        let b = run_job(&jobs::logcount2(Tune::Edison), &ClusterSetup::edison(4));
+        assert_eq!(a.finish_time_s, b.finish_time_s);
+        assert_eq!(a.energy_j, b.energy_j);
+    }
+}

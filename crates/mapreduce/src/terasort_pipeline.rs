@@ -1,0 +1,142 @@
+//! The full three-stage TeraSort pipeline of §5.2.4: **teragen** (map-only
+//! data generation into HDFS), **terasort** (the timed stage), and
+//! **teravalidate** (order checking). The paper only compares the sort
+//! stage; the other two are modelled here for completeness and exercised
+//! by tests and the bench harness.
+
+use crate::engine::{run_job, ClusterSetup, JobOutcome};
+use crate::jobs::{self, JobProfile, Tune};
+
+const MIB: u64 = 1024 * 1024;
+
+/// teragen: a map-only job that *writes* `bytes` of records into HDFS.
+/// No shuffle, one "reduce" is really the commit of the final file set —
+/// modelled as a single trivial reducer.
+pub fn teragen(tune: Tune, bytes: u64) -> JobProfile {
+    let base = jobs::terasort(tune);
+    JobProfile {
+        name: "teragen",
+        input_files: base.input_files,
+        // teragen's "input" is the row-count specification; the cost is in
+        // the output path, which the engine charges via output_ratio
+        input_bytes: bytes,
+        map_tasks: base.input_files,
+        reduce_tasks: 1,
+        // record synthesis is cheap CPU
+        map_mi_per_mib: base.map_mi_per_mib * 0.3,
+        map_compute_mi: 0.0,
+        shuffle_ratio: 1e-6,
+        combiner: false,
+        reduce_mi_per_mib: 1.0,
+        spill_mi_per_mib: base.spill_mi_per_mib * 0.2,
+        container_startup_mi: base.container_startup_mi,
+        task_setup_mi: base.task_setup_mi,
+        // the generated dataset lands on disk at full size
+        output_ratio: 1.0,
+        map_container: base.map_container,
+        reduce_container: base.reduce_container,
+        merge_passes: 1,
+        mem_hungry: false,
+    }
+}
+
+/// teravalidate: map-only order check over the sorted output (sequential
+/// read + compare), one reducer collecting boundary keys.
+pub fn teravalidate(tune: Tune, bytes: u64) -> JobProfile {
+    let base = jobs::terasort(tune);
+    JobProfile {
+        name: "teravalidate",
+        input_files: base.reduce_tasks, // one input per sort partition
+        input_bytes: bytes,
+        map_tasks: base.reduce_tasks,
+        reduce_tasks: 1,
+        map_mi_per_mib: base.map_mi_per_mib * 0.5,
+        map_compute_mi: 0.0,
+        shuffle_ratio: 1e-6,
+        combiner: false,
+        reduce_mi_per_mib: 1.0,
+        spill_mi_per_mib: base.spill_mi_per_mib * 0.1,
+        container_startup_mi: base.container_startup_mi,
+        task_setup_mi: base.task_setup_mi,
+        output_ratio: 1e-6,
+        map_container: base.map_container,
+        reduce_container: base.reduce_container,
+        merge_passes: 1,
+        mem_hungry: false,
+    }
+}
+
+/// Outcome of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    pub teragen: JobOutcome,
+    /// The stage the paper times and compares (Table 8's terasort row).
+    pub terasort: JobOutcome,
+    pub teravalidate: JobOutcome,
+}
+
+impl PipelineOutcome {
+    /// Total wall time across the three stages.
+    pub fn total_time_s(&self) -> f64 {
+        self.teragen.finish_time_s + self.terasort.finish_time_s + self.teravalidate.finish_time_s
+    }
+
+    /// Total energy across the three stages.
+    pub fn total_energy_j(&self) -> f64 {
+        self.teragen.energy_j + self.terasort.energy_j + self.teravalidate.energy_j
+    }
+}
+
+/// Run teragen → terasort → teravalidate at `bytes` scale (the paper uses
+/// 10 GB; tests shrink it).
+pub fn run_pipeline(tune: Tune, setup: &ClusterSetup, bytes: u64) -> PipelineOutcome {
+    let setup = setup.clone().with_block(64 * MIB);
+    let mut sort = jobs::terasort(tune);
+    sort.input_bytes = bytes;
+    PipelineOutcome {
+        teragen: run_job(&teragen(tune, bytes), &setup),
+        terasort: run_job(&sort, &setup),
+        teravalidate: run_job(&teravalidate(tune, bytes), &setup),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1024 * MIB;
+
+    #[test]
+    fn pipeline_runs_all_three_stages() {
+        let out = run_pipeline(Tune::Edison, &ClusterSetup::edison(8), GIB);
+        assert!(out.teragen.finish_time_s > 0.0);
+        assert!(out.terasort.finish_time_s > 0.0);
+        assert!(out.teravalidate.finish_time_s > 0.0);
+        assert!(out.total_time_s() > out.terasort.finish_time_s);
+    }
+
+    #[test]
+    fn sort_stage_dominates() {
+        // the paper times only terasort because it is the heavy stage
+        let out = run_pipeline(Tune::Dell, &ClusterSetup::dell(2), GIB);
+        assert!(out.terasort.finish_time_s > out.teravalidate.finish_time_s);
+        assert!(out.terasort.energy_j > 0.4 * out.total_energy_j());
+    }
+
+    #[test]
+    fn teragen_is_write_bound_on_edison() {
+        // 1 GiB over 8 SD cards at ≈9.3 MB/s buffered ≈ 14 s of pure disk;
+        // teragen should take clearly longer than that (waves + overheads)
+        // but not be CPU-crushed like the sort.
+        let gen = run_job(&teragen(Tune::Edison, GIB), &ClusterSetup::edison(8).with_block(64 * MIB));
+        let sort_like = run_job(
+            &{
+                let mut s = jobs::terasort(Tune::Edison);
+                s.input_bytes = GIB;
+                s
+            },
+            &ClusterSetup::edison(8).with_block(64 * MIB),
+        );
+        assert!(gen.finish_time_s < sort_like.finish_time_s);
+    }
+}

@@ -1,0 +1,20 @@
+//! # edison-microbench
+//!
+//! The paper's Section-4 individual-server benchmarks, re-implemented
+//! against the simulated hardware:
+//!
+//! * [`dhrystone`] — §4.1, DMIPS via 100 M iterations on one thread;
+//! * [`sysbench_cpu`] — §4.1 / Figures 2–3, primes < 20000 with 1–8 threads;
+//! * [`sysbench_mem`] — §4.2, block-size × thread-count bandwidth sweep;
+//! * [`storage`] — §4.3 / Table 5, `dd` throughput and `ioping` latency;
+//! * [`network`] — §4.4, `iperf3` pairwise throughput and `ping` RTTs.
+//!
+//! Each benchmark drives the same `Node` / `Topology` machinery the cluster
+//! workloads use — they are *executions over the model*, not table lookups,
+//! so a change to the hardware model propagates into every figure.
+
+pub mod dhrystone;
+pub mod network;
+pub mod storage;
+pub mod sysbench_cpu;
+pub mod sysbench_mem;

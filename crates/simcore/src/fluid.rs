@@ -1,0 +1,346 @@
+//! Processor-sharing "fluid" resources.
+//!
+//! A [`FluidResource`] serves a set of concurrent tasks at a total rate of at
+//! most `capacity` work-units per second, with no task exceeding
+//! `per_task_cap`. Between mutations the active task set is constant, so
+//! every task progresses at the same, exactly computable rate
+//!
+//! ```text
+//! rate(n) = min(per_task_cap, capacity / n)
+//! ```
+//!
+//! and the next completion time is known in closed form — no time-stepping.
+//! This models:
+//!
+//! * a **CPU**: capacity = aggregate DMIPS of the node, per-task cap = DMIPS
+//!   of one hardware thread (a single thread cannot use two cores);
+//! * a **network link**: capacity = line rate in bytes/s, per-task cap = ∞
+//!   (one flow may saturate a link).
+//!
+//! ### Event invalidation protocol
+//!
+//! The owning model schedules a tentative completion event carrying the
+//! resource's [`epoch`](FluidResource::epoch). Every mutation (task added or
+//! removed) bumps the epoch; stale events are ignored on delivery and the
+//! model re-schedules from [`next_completion`](FluidResource::next_completion).
+//! The kernel's heap never needs random deletion.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Absolute tolerance under which remaining work counts as finished.
+///
+/// Completion instants are rounded to whole nanoseconds; advancing to a
+/// rounded instant can leave up to `rate × 0.5 ns` of residue — ≈4.4e-5 MI
+/// at the fastest CPU in the repo (the Dell socket). The epsilon must sit
+/// comfortably above that or the completion-event protocol re-schedules
+/// the same instant forever. 1e-3 MI ≈ 1000 instructions: far above any
+/// rounding residue, far below any modelled task.
+const WORK_EPS: f64 = 1e-3;
+
+/// Identifier for a task inside a fluid resource (caller-assigned).
+pub type TaskId = u64;
+
+/// A processor-sharing fluid resource. See module docs.
+#[derive(Debug, Clone)]
+pub struct FluidResource {
+    capacity: f64,
+    per_task_cap: f64,
+    tasks: HashMap<TaskId, f64>, // remaining work units
+    last_update: SimTime,
+    epoch: u64,
+    /// Total work completed over the lifetime of the resource.
+    work_done: f64,
+    /// ∫ utilisation dt (seconds of full-capacity-equivalent use).
+    busy_integral: f64,
+}
+
+impl FluidResource {
+    /// Create a resource with total `capacity` (work-units/second) and a
+    /// per-task rate cap (use `f64::INFINITY` for links).
+    ///
+    /// Panics if `capacity` or `per_task_cap` is not strictly positive.
+    pub fn new(capacity: f64, per_task_cap: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(per_task_cap > 0.0, "per-task cap must be positive");
+        FluidResource {
+            capacity,
+            per_task_cap,
+            tasks: HashMap::new(),
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            work_done: 0.0,
+            busy_integral: 0.0,
+        }
+    }
+
+    /// Total service capacity in work-units/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of in-flight tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Mutation epoch, for the completion-event invalidation protocol.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current per-task service rate (work-units/second); zero when idle.
+    pub fn rate_per_task(&self) -> f64 {
+        let n = self.tasks.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.per_task_cap.min(self.capacity / n as f64)
+        }
+    }
+
+    /// Instantaneous utilisation in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        (self.rate_per_task() * self.tasks.len() as f64 / self.capacity).min(1.0)
+    }
+
+    /// Total work completed so far (work-units).
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// ∫ utilisation dt in seconds, up to the last `advance`.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_integral
+    }
+
+    /// Apply progress between `last_update` and `now` at the current rates.
+    ///
+    /// Idempotent for equal `now`. Panics in debug builds if time runs
+    /// backwards.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "fluid resource time went backwards");
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        if dt > 0.0 {
+            let rate = self.rate_per_task();
+            if rate > 0.0 {
+                let mut done = 0.0;
+                for rem in self.tasks.values_mut() {
+                    let step = rate * dt;
+                    let used = step.min(*rem);
+                    *rem -= used;
+                    done += used;
+                }
+                self.work_done += done;
+                self.busy_integral += self.utilization() * dt;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Add a task with `work` units. Advances to `now` first and bumps the
+    /// epoch.
+    ///
+    /// Panics if the id is already in flight or `work` is not finite/positive.
+    pub fn add(&mut self, now: SimTime, id: TaskId, work: f64) {
+        assert!(work.is_finite() && work > 0.0, "invalid work amount {work}");
+        self.advance(now);
+        let prev = self.tasks.insert(id, work);
+        assert!(prev.is_none(), "duplicate fluid task id {id}");
+        self.epoch += 1;
+    }
+
+    /// Remove a task regardless of progress (e.g. a cancelled transfer).
+    /// Returns its remaining work, or `None` if unknown.
+    pub fn cancel(&mut self, now: SimTime, id: TaskId) -> Option<f64> {
+        self.advance(now);
+        let rem = self.tasks.remove(&id);
+        if rem.is_some() {
+            self.epoch += 1;
+        }
+        rem
+    }
+
+    /// The next task to finish and its completion time, if any.
+    ///
+    /// All in-flight tasks share one rate, so the task with the least
+    /// remaining work finishes first; ties broken by lowest id for
+    /// determinism.
+    pub fn next_completion(&self, now: SimTime) -> Option<(TaskId, SimTime)> {
+        let rate = self.rate_per_task();
+        if rate <= 0.0 {
+            return None;
+        }
+        let (&id, &rem) = self
+            .tasks
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))?;
+        let dt = (rem / rate).max(0.0);
+        // Round the completion instant *up* (plus 1 ns of slack) so that
+        // advancing to it always clears the task's remaining work; rounding
+        // to nearest can land half a nanosecond early and strand residue
+        // above any epsilon.
+        let dt_nanos = (dt * 1e9).ceil() as u64 + 1;
+        Some((id, now + SimDuration(dt_nanos)))
+    }
+
+    /// Pop every task whose remaining work is (numerically) zero at `now`.
+    ///
+    /// Call this from the completion-event handler after verifying the epoch;
+    /// it advances to `now`, removes finished tasks, and bumps the epoch if
+    /// anything was removed. Returned ids are sorted for determinism.
+    pub fn take_finished(&mut self, now: SimTime) -> Vec<TaskId> {
+        self.advance(now);
+        let mut done: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|&(_, &rem)| rem <= WORK_EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        done.sort_unstable();
+        for id in &done {
+            self.tasks.remove(id);
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Remaining work of a task, if in flight (advances nothing).
+    pub fn remaining(&self, id: TaskId) -> Option<f64> {
+        self.tasks.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_task_runs_at_cap() {
+        // capacity 100/s, cap 10/s per task: a lone task runs at 10/s.
+        let mut r = FluidResource::new(100.0, 10.0);
+        r.add(t(0.0), 1, 50.0);
+        let (id, at) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, 1);
+        assert!((at.as_secs_f64() - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sharing_splits_capacity() {
+        // capacity 10/s, no per-task cap: two tasks get 5/s each.
+        let mut r = FluidResource::new(10.0, f64::INFINITY);
+        r.add(t(0.0), 1, 10.0);
+        r.add(t(0.0), 2, 20.0);
+        let (id, at) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, 1);
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-8);
+        // after task 1 finishes, task 2 speeds up to 10/s with 10 left.
+        let done = r.take_finished(at);
+        assert_eq!(done, vec![1]);
+        let (id2, at2) = r.next_completion(at).unwrap();
+        assert_eq!(id2, 2);
+        assert!((at2.as_secs_f64() - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_task() {
+        let mut r = FluidResource::new(10.0, f64::INFINITY);
+        r.add(t(0.0), 1, 10.0); // alone: would finish at t=1
+        r.add(t(0.5), 2, 10.0); // 1 has 5 left; now both at 5/s
+        let (id, at) = r.next_completion(t(0.5)).unwrap();
+        assert_eq!(id, 1);
+        assert!((at.as_secs_f64() - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn epoch_bumps_on_mutation() {
+        let mut r = FluidResource::new(1.0, 1.0);
+        let e0 = r.epoch();
+        r.add(t(0.0), 1, 1.0);
+        assert!(r.epoch() > e0);
+        let e1 = r.epoch();
+        r.cancel(t(0.5), 1);
+        assert!(r.epoch() > e1);
+        // cancelling a missing task does not bump
+        let e2 = r.epoch();
+        assert!(r.cancel(t(0.6), 99).is_none());
+        assert_eq!(r.epoch(), e2);
+    }
+
+    #[test]
+    fn utilization_and_busy_integral() {
+        let mut r = FluidResource::new(10.0, 5.0);
+        assert_eq!(r.utilization(), 0.0);
+        r.add(t(0.0), 1, 5.0); // runs at 5/s → 50% utilisation
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        r.advance(t(1.0));
+        let done = r.take_finished(t(1.0));
+        assert_eq!(done, vec![1]);
+        assert!((r.busy_seconds() - 0.5).abs() < 1e-9);
+        assert!((r.work_done() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_conservation_under_mutation_storm() {
+        // total completed work must equal total submitted work.
+        let mut r = FluidResource::new(7.0, 3.0);
+        let mut now = t(0.0);
+        let mut submitted = 0.0;
+        for i in 0..50u64 {
+            let w = 1.0 + (i % 7) as f64;
+            r.add(now, i, w);
+            submitted += w;
+            now = now + SimDuration::from_millis(137);
+            r.advance(now);
+            r.take_finished(now);
+        }
+        // drain
+        while let Some((_, at)) = r.next_completion(now) {
+            now = at;
+            r.take_finished(now);
+        }
+        assert!(r.is_empty());
+        assert!(
+            (r.work_done() - submitted).abs() < 1e-3,
+            "done {} vs submitted {submitted}",
+            r.work_done()
+        );
+    }
+
+    #[test]
+    fn cancel_returns_remaining() {
+        let mut r = FluidResource::new(10.0, 10.0);
+        r.add(t(0.0), 1, 10.0);
+        let rem = r.cancel(t(0.5), 1).unwrap();
+        assert!((rem - 5.0).abs() < 1e-9);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut r = FluidResource::new(10.0, f64::INFINITY);
+        r.add(t(0.0), 7, 5.0);
+        r.add(t(0.0), 3, 5.0);
+        let (id, _) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_id_panics() {
+        let mut r = FluidResource::new(1.0, 1.0);
+        r.add(t(0.0), 1, 1.0);
+        r.add(t(0.0), 1, 1.0);
+    }
+}

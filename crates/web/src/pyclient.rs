@@ -1,0 +1,95 @@
+//! The python/urllib2 delay loggers of §5.1.2 (Figures 10 and 11).
+//!
+//! 30 Dell machines repeatedly issue single-request connections at a high
+//! aggregate rate (~6000 req/s) against the heaviest workload (20 % image).
+//! urllib2 opens a fresh TCP connection per request, so the logged delay
+//! includes connection establishment — and when a SYN is dropped, the
+//! kernel's retransmit backoff parks the connection for 1 s, then 3 s, then
+//! 7 s cumulative, which is exactly where the Dell histogram spikes.
+
+use crate::scenario::{WebScenario, WorkloadMix};
+use crate::stack::{run, GenMode, StackConfig};
+use edison_simcore::stats::Histogram;
+use edison_simcore::time::SimDuration;
+
+/// Result of a delay-distribution run.
+#[derive(Debug)]
+pub struct DelayDistribution {
+    /// Histogram over 0–8 s in 0.1 s buckets (the figures' axes).
+    pub hist: Histogram,
+    /// Completed requests during the window.
+    pub completed: u64,
+    /// Connections that exhausted their SYN retries.
+    pub client_errors: u64,
+    /// Total SYN drops (each adds a 1/2/4 s penalty to some connection).
+    pub syn_drops: u64,
+}
+
+impl DelayDistribution {
+    /// Mass of the histogram bucket containing `t` seconds.
+    pub fn mass_at(&self, t: f64) -> u64 {
+        self.hist.count_at(t)
+    }
+
+    /// Total samples logged.
+    pub fn samples(&self) -> u64 {
+        self.hist.count()
+    }
+}
+
+/// Run the python-logger experiment: open-loop single-call connections at
+/// `requests_per_sec` against `scenario` under `mix`.
+pub fn run_distribution(
+    scenario: &WebScenario,
+    mix: WorkloadMix,
+    requests_per_sec: f64,
+    seed: u64,
+    measure_s: u64,
+) -> DelayDistribution {
+    let mut cfg = StackConfig::new(
+        scenario.clone(),
+        mix,
+        GenMode::Python { requests_per_sec },
+        seed,
+    );
+    cfg.warmup = SimDuration::from_secs(3);
+    cfg.measure = SimDuration::from_secs(measure_s);
+    // the paper uses 30 logging machines
+    cfg.clients = 30;
+    let world = run(cfg);
+    DelayDistribution {
+        completed: world.metrics.completed,
+        client_errors: world.metrics.client_errors,
+        syn_drops: world.metrics.syn_drops,
+        hist: world.metrics.conn_delay_hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ClusterScale, Platform};
+
+    #[test]
+    fn edison_distribution_has_no_retry_spikes_at_scale_load() {
+        // An eighth-size Edison cluster at proportional load: 3 web servers
+        // ≈ 1/8 of 6000 ≈ 750 req/s. Accept gates hold, so no SYN spikes.
+        let sc = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+        let d = run_distribution(&sc, WorkloadMix::img20(), 700.0, 3, 8);
+        assert!(d.samples() > 1000);
+        let early: u64 = (0..10).map(|i| d.mass_at(i as f64 * 0.1 + 0.05)).sum();
+        let spike_1s = d.mass_at(1.05);
+        assert!(early > 20 * spike_1s.max(1), "early {early} vs 1s {spike_1s}");
+    }
+
+    #[test]
+    fn dell_overload_shows_backoff_spikes() {
+        // 1 Dell web server at 2000 conn/s ≫ its ~700/s accept capacity →
+        // mass at the 1 s and 3 s retry points.
+        let sc = WebScenario::table6(Platform::Dell, ClusterScale::Half).unwrap();
+        let d = run_distribution(&sc, WorkloadMix::img20(), 2000.0, 3, 8);
+        assert!(d.syn_drops > 0, "expected SYN drops");
+        let spike_1s = d.mass_at(1.05) + d.mass_at(1.15);
+        assert!(spike_1s > 0, "expected a 1 s retry spike");
+    }
+}

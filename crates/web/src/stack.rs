@@ -1,0 +1,1088 @@
+//! The LLMP web-service discrete-event model (§5.1).
+//!
+//! One [`WebWorld`] holds a web+cache cluster of a single platform, the two
+//! shared Dell MySQL servers, the two-room network fabric and a load
+//! generator. A request walks the same path the paper's PHP page does:
+//!
+//! ```text
+//! client ──SYN──▶ web server (accept gate → PHP worker pool)
+//!   stage-1 CPU (parse + PHP)
+//!   ──▶ memcached get (real LRU store on a cache node)
+//!        hit:  cache ──reply body──▶ web
+//!        miss: web ──query──▶ MySQL (CPU + 2 % buffer-pool disk miss) ──▶ web
+//!   stage-2 CPU (assemble, per-KiB)
+//!   ──reply body──▶ client
+//! ```
+//!
+//! Overload produces exactly the failure modes the paper reports:
+//!
+//! * **5xx server errors** when a web node's PHP backlog overflows (the
+//!   Edison onset beyond concurrency 1024);
+//! * **SYN drops** when a node's accept gate saturates, with kernel retries
+//!   at +1 s/+2 s/+4 s and client-side failure after three retries (the
+//!   Dell behaviour beyond 2048, and the Figure 10/11 delay spikes);
+//! * **listen-queue collapse**: sustained SYN pressure above the accept
+//!   capacity degrades the effective accept rate quadratically, producing
+//!   the throughput sag the Dell cluster shows at concurrency 2048.
+
+use crate::db::{self, RowQuery};
+use crate::memcached::{Key, LruStore};
+use crate::scenario::{Platform, WebScenario, WorkloadMix, ROWS_PER_TABLE};
+use edison_cluster::node::AdmitError;
+use edison_cluster::{Cluster, NodeId};
+use edison_hw::{calib, presets};
+use edison_net::topology::TwoRooms;
+use edison_net::{HostId, LinkGauge, Topology};
+use edison_simcore::rng::SimRng;
+use edison_simcore::stats::{Histogram, SampleSet, TimeSeries};
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simcore::{Ctx, Model, Simulation};
+use std::collections::{HashMap, VecDeque};
+
+/// How load is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenMode {
+    /// httperf: `rate` new connections/s, each issuing `calls` sequential
+    /// requests (fractional mean; the paper tunes ≈6.6 calls/connection).
+    Httperf { connections_per_sec: f64, calls_per_conn: f64 },
+    /// python/urllib2 loggers: open-loop single-request connections.
+    Python { requests_per_sec: f64 },
+}
+
+/// Full configuration of one run.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    pub scenario: WebScenario,
+    pub mix: WorkloadMix,
+    pub gen: GenMode,
+    /// RNG seed — runs are exactly reproducible per seed.
+    pub seed: u64,
+    /// Settling time before measurement starts.
+    pub warmup: SimDuration,
+    /// Measurement window (the paper uses ~3 min; 20–30 s is converged).
+    pub measure: SimDuration,
+    /// httperf/HAProxy client machines (the paper: 8).
+    pub clients: usize,
+    /// Fault injection: kill web server `node` this long after t = 0.
+    /// Models the paper's Introduction argument (advantage 2) that node
+    /// failure hits brawny clusters harder — each Dell web server carries
+    /// 12× the load share of an Edison one.
+    pub kill_web_at: Option<(usize, SimDuration)>,
+    /// Extension (§7's "hybrid future datacenter"): append this many web
+    /// servers of the *other* platform to the web tier. They sit in their
+    /// own room with their own NIC/OS limits; the load balancer spreads
+    /// connections weighted by measured per-platform capacity.
+    pub hybrid_web: usize,
+}
+
+impl StackConfig {
+    /// Sensible defaults for one figure point.
+    pub fn new(scenario: WebScenario, mix: WorkloadMix, gen: GenMode, seed: u64) -> Self {
+        StackConfig {
+            scenario,
+            mix,
+            gen,
+            seed,
+            warmup: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(20),
+            clients: 8,
+            kill_web_at: None,
+            hybrid_web: 0,
+        }
+    }
+}
+
+/// PHP/FastCGI worker pool of one web node.
+#[derive(Debug)]
+struct WorkerPool {
+    max: u32,
+    busy: u32,
+    backlog: VecDeque<u64>,
+    backlog_max: usize,
+}
+
+/// Listen-queue state of one web node (EWMA SYN-rate for the collapse
+/// model).
+#[derive(Debug)]
+struct SynGate {
+    bucket_rate: f64,
+    window_start: SimTime,
+    window_count: u32,
+    ewma_rate: f64,
+}
+
+impl SynGate {
+    fn new(rate: f64) -> Self {
+        SynGate { bucket_rate: rate, window_start: SimTime::ZERO, window_count: 0, ewma_rate: 0.0 }
+    }
+
+    /// Record a SYN arrival and return the extra drop probability from
+    /// listen-queue collapse (0 when pressure ≤ capacity).
+    fn pressure_drop_p(&mut self, now: SimTime) -> f64 {
+        // 1 s windows folded into an EWMA.
+        while now.saturating_since(self.window_start) >= SimDuration::from_secs(1) {
+            self.ewma_rate = 0.5 * self.ewma_rate + 0.5 * self.window_count as f64;
+            self.window_count = 0;
+            self.window_start = self.window_start + SimDuration::from_secs(1);
+        }
+        self.window_count += 1;
+        if self.ewma_rate <= self.bucket_rate {
+            0.0
+        } else {
+            // goodput collapse: admitted ≈ capacity·(capacity/offered)^1.5
+            let keep = (self.bucket_rate / self.ewma_rate).powf(2.5);
+            1.0 - keep.clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReqState {
+    Stage1,
+    CacheRpc,
+    DbRpc,
+    DbDisk,
+    Stage2,
+    Reply,
+}
+
+#[derive(Debug)]
+struct Req {
+    conn: u64,
+    client: usize,
+    web: usize,
+    cache: usize,
+    db_node: usize,
+    query: RowQuery,
+    state: ReqState,
+    first_call: bool,
+    t_sent: SimTime,
+    t_cache_sent: SimTime,
+    t_db_sent: SimTime,
+    /// Set when the db reply lands back on the web server.
+    db_delay: Option<f64>,
+    went_to_db: bool,
+}
+
+#[derive(Debug)]
+struct Conn {
+    client: usize,
+    web: usize,
+    calls_left: u32,
+    t_first_syn: SimTime,
+}
+
+/// Everything measured during the window.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// 5xx responses (backlog overflow / fd exhaustion).
+    pub server_errors: u64,
+    /// Connections abandoned after three SYN retries.
+    pub client_errors: u64,
+    /// SYN drops observed (each may be retried).
+    pub syn_drops: u64,
+    /// Per-request delay, ms (first call measured from first SYN).
+    pub delays_ms: SampleSet,
+    /// Cache-retrieval delay, ms (hit requests; includes the web-side
+    /// unserialize CPU slice, mirroring where the paper's PHP timestamps
+    /// sit).
+    pub cache_delays_ms: SampleSet,
+    /// Database delay, ms (miss requests; query send → reply arrival).
+    pub db_delays_ms: SampleSet,
+    /// Full-connection delay from first SYN, seconds (Fig 10/11 histogram).
+    pub conn_delay_hist: Histogram,
+    /// Cluster power sampled at 1 s, W.
+    pub power_w: TimeSeries,
+    /// Mean web CPU / cache CPU / web mem / cache mem over samples.
+    pub web_cpu: SampleSet,
+    pub cache_cpu: SampleSet,
+    pub web_mem: SampleSet,
+    pub cache_mem: SampleSet,
+    /// Joules consumed by the web+cache cluster during the window.
+    pub energy_j: f64,
+    energy_at_start: f64,
+    /// Requests completed regardless of window (drives `throughput_ts`).
+    pub completed_total: u64,
+    /// Completed requests per second, sampled at 1 s (fault-injection dip).
+    pub throughput_ts: TimeSeries,
+    last_sampled_completed: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            completed: 0,
+            server_errors: 0,
+            client_errors: 0,
+            syn_drops: 0,
+            delays_ms: SampleSet::new(),
+            cache_delays_ms: SampleSet::new(),
+            db_delays_ms: SampleSet::new(),
+            conn_delay_hist: Histogram::new(0.0, 8.0, 80),
+            power_w: TimeSeries::new(),
+            web_cpu: SampleSet::new(),
+            cache_cpu: SampleSet::new(),
+            web_mem: SampleSet::new(),
+            cache_mem: SampleSet::new(),
+            energy_j: 0.0,
+            energy_at_start: 0.0,
+            completed_total: 0,
+            throughput_ts: TimeSeries::new(),
+            last_sampled_completed: 0,
+        }
+    }
+}
+
+/// Events of the web world.
+#[derive(Debug)]
+pub enum Ev {
+    GenConn,
+    SynRetry { conn: u64, attempt: u8 },
+    NodeCpu { node: usize, epoch: u64 },
+    DbCpu { node: usize, epoch: u64 },
+    ReqAtWeb { req: u64 },
+    ReqAtCache { req: u64 },
+    CacheReplyAtWeb { req: u64, hit: bool },
+    ReqAtDb { req: u64 },
+    DbDiskDone { node: usize, job: u64 },
+    DbReplyAtWeb { req: u64 },
+    ReplyAtClient { req: u64 },
+    Sample,
+    MeasureStart,
+    KillWebServer { node: usize },
+    Stop,
+}
+
+/// The web-service world. Construct with [`WebWorld::new`], then call
+/// [`run`] (or drive a [`Simulation`] manually).
+pub struct WebWorld {
+    cfg: StackConfig,
+    nodes: Cluster,
+    dbc: Cluster,
+    topo: Topology,
+    gauge: LinkGauge,
+    node_hosts: Vec<HostId>,
+    db_hosts: Vec<HostId>,
+    client_hosts: Vec<HostId>,
+    caches: Vec<LruStore>,
+    workers: Vec<WorkerPool>,
+    syn_gates: Vec<SynGate>,
+    rng: SimRng,
+    conns: HashMap<u64, Conn>,
+    reqs: HashMap<u64, Req>,
+    next_conn: u64,
+    next_req: u64,
+    rr_web: usize,
+    rr_client: usize,
+    dead: Vec<bool>,
+    /// Per-web-node request CPU cost (differs across hybrid platforms).
+    req_mi_of: Vec<f64>,
+    /// Load-balancer weights (one per web node, capacity-proportional).
+    lb_weights: Vec<f64>,
+    measure_start: SimTime,
+    measure_end: SimTime,
+    /// Collected metrics.
+    pub metrics: Metrics,
+}
+
+/// Fraction of the per-request web CPU spent before the cache RPC (parse +
+/// routing); the rest is reply assembly.
+const STAGE1_FRAC: f64 = 0.6;
+/// Request/notice message size on the wire, bytes (headers).
+const HEADER_BYTES: u64 = 300;
+/// PHP workers per Edison web server (the paper's tuned FastCGI children).
+const EDISON_WORKERS: u32 = 32;
+/// PHP workers per Dell web server.
+const DELL_WORKERS: u32 = 256;
+/// Pending-request backlog bound before lighttpd answers 5xx.
+const BACKLOG_PER_WORKER: usize = 4;
+/// Per-PHP-worker resident memory, bytes.
+const EDISON_WORKER_MEM: u64 = 512 * 1024;
+/// Dell runs the older PHP 5.3 with fatter processes.
+const DELL_WORKER_MEM: u64 = 24 * 1024 * 1024;
+
+impl WebWorld {
+    /// Assemble the world: cluster, fabric, pre-warmed caches.
+    pub fn new(cfg: StackConfig) -> Self {
+        let spec = cfg.scenario.platform.spec();
+        let dell = presets::dell_r620();
+        let other_platform = match cfg.scenario.platform {
+            Platform::Edison => Platform::Dell,
+            Platform::Dell => Platform::Edison,
+        };
+        let other_spec = other_platform.spec();
+        let n_web = cfg.scenario.web_servers + cfg.hybrid_web;
+        let n_cache = cfg.scenario.cache_servers;
+        // web nodes: base platform first, hybrid extras after, then caches
+        let web_platforms: Vec<Platform> = (0..n_web)
+            .map(|i| if i < cfg.scenario.web_servers { cfg.scenario.platform } else { other_platform })
+            .collect();
+        let mut nodes = Cluster::new();
+        for p in &web_platforms {
+            match p {
+                Platform::Edison => nodes.push(&presets::edison()),
+                Platform::Dell => nodes.push(&dell),
+            };
+        }
+        for _ in 0..n_cache {
+            nodes.push(&spec);
+        }
+        let mut dbc = Cluster::new();
+        for _ in 0..2 {
+            dbc.push(&dell);
+        }
+
+        // fabric: platform nodes in their room, db + clients in the Dell room
+        let rooms = TwoRooms::new();
+        let mut topo = rooms.topo;
+        let platform_room = match cfg.scenario.platform {
+            Platform::Edison => rooms.edison_room,
+            Platform::Dell => rooms.dell_room,
+        };
+        let other_room = match other_platform {
+            Platform::Edison => rooms.edison_room,
+            Platform::Dell => rooms.dell_room,
+        };
+        let mut node_hosts: Vec<HostId> = Vec::with_capacity(n_web + n_cache);
+        for (i, p) in web_platforms.iter().enumerate() {
+            let (room, nic) = match p {
+                _ if i < cfg.scenario.web_servers => (platform_room, &spec.nic),
+                Platform::Edison => (other_room, &other_spec.nic),
+                Platform::Dell => (other_room, &other_spec.nic),
+            };
+            node_hosts.push(topo.add_host(room, nic.line_rate_bps, nic.tcp_efficiency));
+        }
+        for _ in 0..n_cache {
+            node_hosts.push(topo.add_host(platform_room, spec.nic.line_rate_bps, spec.nic.tcp_efficiency));
+        }
+        let db_hosts: Vec<HostId> = (0..2)
+            .map(|_| topo.add_host(rooms.dell_room, dell.nic.line_rate_bps, dell.nic.tcp_efficiency))
+            .collect();
+        let client_hosts: Vec<HostId> = (0..cfg.clients)
+            .map(|_| topo.add_host(rooms.dell_room, 1.0e9, 0.942))
+            .collect();
+        let gauge = LinkGauge::mirror(topo.network());
+
+        // PHP worker pools + memory + LB weights, per node platform
+        let mut workers = Vec::new();
+        let mut syn_gates = Vec::new();
+        let mut req_mi_of = Vec::new();
+        let mut lb_weights = Vec::new();
+        for (i, p) in web_platforms.iter().enumerate() {
+            let (workers_per_node, worker_mem, accept, mi, weight) = match p {
+                Platform::Edison => (
+                    EDISON_WORKERS,
+                    EDISON_WORKER_MEM,
+                    presets::edison().os.max_accept_rate,
+                    calib::WEB_REQ_MI_EDISON,
+                    1.0,
+                ),
+                Platform::Dell => (
+                    DELL_WORKERS,
+                    DELL_WORKER_MEM,
+                    dell.os.max_accept_rate,
+                    calib::WEB_REQ_MI_DELL,
+                    // one Dell web server carries ≈12× an Edison's load
+                    12.0,
+                ),
+            };
+            workers.push(WorkerPool {
+                max: workers_per_node,
+                busy: 0,
+                backlog: VecDeque::new(),
+                backlog_max: workers_per_node as usize * BACKLOG_PER_WORKER,
+            });
+            syn_gates.push(SynGate::new(accept));
+            req_mi_of.push(mi);
+            lb_weights.push(weight);
+            nodes
+                .node_mut(NodeId(i))
+                .alloc_mem(worker_mem * workers_per_node as u64)
+                .expect("web node fits its worker pool");
+        }
+
+        // caches: real LRU stores pre-warmed to the target hit ratio
+        let mut caches = Vec::new();
+        for _ in 0..n_cache {
+            let free = nodes.node(NodeId(n_web)).mem_free();
+            caches.push(LruStore::new((free as f64 * 0.85) as u64));
+        }
+        let warm_rows = (cfg.mix.cache_hit_ratio * ROWS_PER_TABLE as f64) as u32;
+        for table in 0..db::TOTAL_TABLES as u8 {
+            for row in 0..warm_rows {
+                let key = Key { table, row };
+                let c = Self::cache_for(key, n_cache);
+                caches[c].set(key, db::reply_bytes_for(key) as u32);
+            }
+        }
+        for (i, c) in caches.iter_mut().enumerate() {
+            c.reset_stats();
+            let used = c.used_bytes();
+            nodes
+                .node_mut(NodeId(n_web + i))
+                .alloc_mem(used)
+                .expect("cache fits after warm-up");
+        }
+
+        let measure_start = SimTime::ZERO + cfg.warmup;
+        let measure_end = measure_start + cfg.measure;
+        let rng = SimRng::new(cfg.seed);
+        WebWorld {
+            cfg,
+            nodes,
+            dbc,
+            topo,
+            gauge,
+            node_hosts,
+            db_hosts,
+            client_hosts,
+            caches,
+            workers,
+            syn_gates,
+            rng,
+            conns: HashMap::new(),
+            reqs: HashMap::new(),
+            next_conn: 0,
+            next_req: 0,
+            rr_web: 0,
+            rr_client: 0,
+            dead: vec![false; n_web],
+            req_mi_of,
+            lb_weights,
+            measure_start,
+            measure_end,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The deterministic key → cache-server mapping (memcached client
+    /// hashing).
+    fn cache_for(key: Key, n_cache: usize) -> usize {
+        (key.table as usize * ROWS_PER_TABLE as usize + key.row as usize) % n_cache
+    }
+
+    fn n_web(&self) -> usize {
+        self.cfg.scenario.web_servers + self.cfg.hybrid_web
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.measure_start && t <= self.measure_end
+    }
+
+    // ---- node CPU plumbing ------------------------------------------------
+
+    fn schedule_node_cpu(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if let Some((_, at)) = self.nodes.node(NodeId(node)).next_cpu_completion(now) {
+            let epoch = self.nodes.node(NodeId(node)).cpu_epoch();
+            ctx.schedule_at(at, Ev::NodeCpu { node, epoch });
+        }
+    }
+
+    fn schedule_db_cpu(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if let Some((_, at)) = self.dbc.node(NodeId(node)).next_cpu_completion(now) {
+            let epoch = self.dbc.node(NodeId(node)).cpu_epoch();
+            ctx.schedule_at(at, Ev::DbCpu { node, epoch });
+        }
+    }
+
+    // ---- generator --------------------------------------------------------
+
+    fn gen_next_delay(&mut self) -> SimDuration {
+        let rate = match self.cfg.gen {
+            GenMode::Httperf { connections_per_sec, .. } => connections_per_sec,
+            GenMode::Python { requests_per_sec } => requests_per_sec,
+        };
+        SimDuration::from_secs_f64(self.rng.jitter(0.3) / rate)
+    }
+
+    fn draw_calls(&mut self) -> u32 {
+        match self.cfg.gen {
+            GenMode::Httperf { calls_per_conn, .. } => {
+                let base = calls_per_conn.floor();
+                let frac = calls_per_conn - base;
+                (base as u32 + u32::from(self.rng.chance(frac))).max(1)
+            }
+            GenMode::Python { .. } => 1,
+        }
+    }
+
+    fn open_connection(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        // HAProxy weighted round robin, health-checked around dead servers
+        let n_web = self.n_web();
+        let total_w: f64 = (0..n_web).filter(|&i| !self.dead[i]).map(|i| self.lb_weights[i]).sum();
+        if total_w <= 0.0 {
+            // whole tier down
+            self.metrics.client_errors += 1;
+            return;
+        }
+        // deterministic smooth WRR: golden-ratio stride through the
+        // cumulative weights spreads picks evenly at every prefix length
+        let target = (self.rr_web as f64 * 0.618_033_988_749_895).fract() * total_w;
+        self.rr_web += 1;
+        let mut web = 0;
+        let mut acc = 0.0;
+        for i in 0..n_web {
+            if self.dead[i] {
+                continue;
+            }
+            acc += self.lb_weights[i];
+            web = i;
+            if target < acc {
+                break;
+            }
+        }
+        let client = self.rr_client % self.client_hosts.len();
+        self.rr_client += 1;
+        let calls = self.draw_calls();
+        self.conns.insert(id, Conn { client, web, calls_left: calls, t_first_syn: now });
+        self.syn_attempt(id, 0, now, ctx);
+    }
+
+    fn syn_attempt(&mut self, conn_id: u64, attempt: u8, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let Some(conn) = self.conns.get(&conn_id) else { return };
+        let web = conn.web;
+        // listen-queue collapse first, then the token bucket
+        let extra_drop = self.syn_gates[web].pressure_drop_p(now);
+        let collapsed = extra_drop > 0.0 && self.rng.chance(extra_drop);
+        let admit = if collapsed {
+            Err(AdmitError::AcceptOverrun)
+        } else {
+            self.nodes.node_mut(NodeId(web)).try_accept(now)
+        };
+        match admit {
+            Ok(()) => {
+                // handshake: one RTT before the first request leaves
+                let client_host = self.client_hosts[self.conns[&conn_id].client];
+                let rtt = self.topo.rtt(client_host, self.node_hosts[web]);
+                self.start_request(conn_id, true, now + rtt, ctx);
+            }
+            Err(AdmitError::AcceptOverrun) => {
+                self.metrics.syn_drops += 1;
+                if attempt < 3 {
+                    // kernel SYN retransmit backoff: +1 s, +2 s, +4 s
+                    let backoff = SimDuration::from_secs(1 << attempt);
+                    ctx.schedule_at(now + backoff, Ev::SynRetry { conn: conn_id, attempt: attempt + 1 });
+                } else {
+                    self.metrics.client_errors += 1;
+                    self.conns.remove(&conn_id);
+                }
+            }
+            Err(_) => {
+                // fd exhaustion → lighttpd answers 5xx on this node
+                self.metrics.server_errors += 1;
+                self.conns.remove(&conn_id);
+            }
+        }
+    }
+
+    fn start_request(&mut self, conn_id: u64, first_call: bool, send_at: SimTime, ctx: &mut Ctx<Ev>) {
+        let conn = &self.conns[&conn_id];
+        let web = conn.web;
+        let client_host = self.client_hosts[conn.client];
+        let id = self.next_req;
+        self.next_req += 1;
+        let query = db::draw_query(&self.cfg.mix, &mut self.rng);
+        let cache = Self::cache_for(query.key, self.caches.len());
+        let db_node = self.rng.below(2) as usize;
+        self.reqs.insert(
+            id,
+            Req {
+                conn: conn_id,
+                client: conn.client,
+                web,
+                cache,
+                db_node,
+                query,
+                state: ReqState::Stage1,
+                first_call,
+                t_sent: send_at,
+                t_cache_sent: SimTime::ZERO,
+                t_db_sent: SimTime::ZERO,
+                db_delay: None,
+                went_to_db: false,
+            },
+        );
+        let lat = self.topo.latency(client_host, self.node_hosts[web]);
+        ctx.schedule_at(send_at + lat, Ev::ReqAtWeb { req: id });
+    }
+
+    fn begin_stage1(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let req = &self.reqs[&req_id];
+        let web = req.web;
+        let mut mi = self.req_mi_of[web] * STAGE1_FRAC;
+        if req.first_call {
+            mi += calib::TCP_ACCEPT_MI;
+        }
+        self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
+        self.schedule_node_cpu(web, now, ctx);
+    }
+
+    fn admit_to_worker(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        // the target server may have died while this request was in flight
+        let Some(req) = self.reqs.get(&req_id) else { return };
+        let web = req.web;
+        if self.dead[web] {
+            // connection reset by a dead server
+            self.metrics.server_errors += 1;
+            let req = self.reqs.remove(&req_id).expect("req exists");
+            self.conns.remove(&req.conn);
+            return;
+        }
+        let pool = &mut self.workers[web];
+        if pool.busy < pool.max {
+            pool.busy += 1;
+            self.begin_stage1(req_id, now, ctx);
+        } else if pool.backlog.len() < pool.backlog_max {
+            pool.backlog.push_back(req_id);
+        } else {
+            // 5xx: backlog overflow
+            self.metrics.server_errors += 1;
+            let req = self.reqs.remove(&req_id).expect("req exists");
+            self.abort_conn(req.conn);
+        }
+    }
+
+    fn release_worker(&mut self, web: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let pool = &mut self.workers[web];
+        if let Some(next) = pool.backlog.pop_front() {
+            // the freed worker immediately takes the oldest queued request
+            self.begin_stage1(next, now, ctx);
+        } else {
+            pool.busy -= 1;
+        }
+    }
+
+    fn abort_conn(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            self.nodes.node_mut(NodeId(conn.web)).close_connection();
+        }
+    }
+
+    // ---- CPU completion routing -------------------------------------------
+
+    fn web_cpu_done(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let state = match self.reqs.get(&req_id) {
+            Some(r) => r.state,
+            None => return,
+        };
+        match state {
+            ReqState::Stage1 => {
+                // issue the memcached get
+                let (web, cache) = {
+                    let r = self.reqs.get_mut(&req_id).expect("checked");
+                    r.state = ReqState::CacheRpc;
+                    r.t_cache_sent = now;
+                    (r.web, r.cache)
+                };
+                let lat = self
+                    .topo
+                    .latency(self.node_hosts[web], self.node_hosts[self.n_web() + cache]);
+                ctx.schedule_at(now + lat, Ev::ReqAtCache { req: req_id });
+            }
+            ReqState::Stage2 => {
+                // reply to the client
+                let (web, conn_id, bytes, t_cache_sent, went_to_db, db_delay) = {
+                    let r = self.reqs.get_mut(&req_id).expect("checked");
+                    r.state = ReqState::Reply;
+                    (r.web, r.conn, r.query.reply_bytes, r.t_cache_sent, r.went_to_db, r.db_delay)
+                };
+                // Table 7 bookkeeping: cache delay includes this CPU slice
+                // (PHP unserialize); db delay was closed at reply arrival.
+                if self.in_window(now) {
+                    if went_to_db {
+                        if let Some(d) = db_delay {
+                            self.metrics.db_delays_ms.push(d);
+                        }
+                    } else {
+                        let d = now.since(t_cache_sent).as_millis_f64();
+                        self.metrics.cache_delays_ms.push(d);
+                    }
+                }
+                self.release_worker(web, now, ctx);
+                let Some(conn) = self.conns.get(&conn_id) else {
+                    self.reqs.remove(&req_id);
+                    return;
+                };
+                let client_host = self.client_hosts[conn.client];
+                let (path, lat) = self.topo.path(self.node_hosts[web], client_host);
+                let dur = self.gauge.begin_transfer(&path, (bytes + HEADER_BYTES) as f64);
+                ctx.schedule_at(now + lat + dur, Ev::ReplyAtClient { req: req_id });
+            }
+            other => unreachable!("web cpu done in state {other:?}"),
+        }
+    }
+
+    fn cache_cpu_done(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let (web, cache, key) = match self.reqs.get(&req_id) {
+            Some(r) => (r.web, r.cache, r.query.key),
+            None => return,
+        };
+        let hit = self.caches[cache].get(key).is_some();
+        let web_host = self.node_hosts[web];
+        let cache_host = self.node_hosts[self.n_web() + cache];
+        let (path, lat) = self.topo.path(cache_host, web_host);
+        if hit {
+            let bytes = db::reply_bytes_for(key) + HEADER_BYTES;
+            let dur = self.gauge.begin_transfer(&path, bytes as f64);
+            ctx.schedule_at(now + lat + dur, Ev::CacheReplyAtWeb { req: req_id, hit: true });
+        } else {
+            // tiny miss notice: latency only, no gauge claim
+            ctx.schedule_at(now + lat, Ev::CacheReplyAtWeb { req: req_id, hit: false });
+        }
+    }
+
+    fn db_cpu_done(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let db_node = match self.reqs.get(&req_id) {
+            Some(r) => r.db_node,
+            None => return,
+        };
+        if db::query_hits_disk(&mut self.rng) {
+            let r = self.reqs.get_mut(&req_id).expect("checked");
+            r.state = ReqState::DbDisk;
+            let bytes = r.query.reply_bytes;
+            let service = self.dbc.node(NodeId(db_node)).disk_read_time(bytes, false);
+            if let Some((job, at)) = self.dbc.node_mut(NodeId(db_node)).disk().submit(now, req_id, service) {
+                ctx.schedule_at(at, Ev::DbDiskDone { node: db_node, job });
+            }
+        } else {
+            self.db_send_reply(req_id, now, ctx);
+        }
+    }
+
+    fn db_send_reply(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let (web, db_node, bytes) = match self.reqs.get(&req_id) {
+            Some(r) => (r.web, r.db_node, r.query.reply_bytes),
+            None => return,
+        };
+        let (path, lat) = self.topo.path(self.db_hosts[db_node], self.node_hosts[web]);
+        let dur = self.gauge.begin_transfer(&path, (bytes + HEADER_BYTES) as f64);
+        ctx.schedule_at(now + lat + dur, Ev::DbReplyAtWeb { req: req_id });
+    }
+
+    fn begin_stage2(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let (web, bytes) = {
+            let r = self.reqs.get_mut(&req_id).expect("req exists");
+            r.state = ReqState::Stage2;
+            (r.web, r.query.reply_bytes)
+        };
+        let mi = self.req_mi_of[web] * (1.0 - STAGE1_FRAC)
+            + bytes as f64 / 1024.0 * calib::WEB_REQ_MI_PER_KIB;
+        self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
+        self.schedule_node_cpu(web, now, ctx);
+    }
+
+    // ---- sampling -----------------------------------------------------
+
+    fn sample(&mut self, now: SimTime) {
+        self.metrics.power_w.push(now, self.nodes.power_now());
+        let n_web = self.n_web();
+        let mut web_cpu = 0.0;
+        let mut cache_cpu = 0.0;
+        let mut web_mem = 0.0;
+        let mut cache_mem = 0.0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i < n_web {
+                web_cpu += n.cpu_utilization();
+                web_mem += n.mem_utilization();
+            } else {
+                cache_cpu += n.cpu_utilization();
+                cache_mem += n.mem_utilization();
+            }
+        }
+        let n_cache = (self.nodes.len() - n_web).max(1);
+        self.metrics.web_cpu.push(web_cpu / n_web as f64);
+        self.metrics.cache_cpu.push(cache_cpu / n_cache as f64);
+        self.metrics.web_mem.push(web_mem / n_web as f64);
+        self.metrics.cache_mem.push(cache_mem / n_cache as f64);
+    }
+}
+
+impl Model for WebWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, ctx: &mut Ctx<Ev>) {
+        match event {
+            Ev::GenConn => {
+                if now < self.measure_end {
+                    self.open_connection(now, ctx);
+                    let d = self.gen_next_delay();
+                    ctx.schedule_at(now + d, Ev::GenConn);
+                }
+            }
+            Ev::SynRetry { conn, attempt } => self.syn_attempt(conn, attempt, now, ctx),
+            Ev::NodeCpu { node, epoch } => {
+                if self.nodes.node(NodeId(node)).cpu_epoch() != epoch {
+                    return;
+                }
+                let done = self.nodes.node_mut(NodeId(node)).take_finished_cpu(now);
+                for tid in done {
+                    if node < self.n_web() {
+                        self.web_cpu_done(tid, now, ctx);
+                    } else {
+                        self.cache_cpu_done(tid, now, ctx);
+                    }
+                }
+                self.schedule_node_cpu(node, now, ctx);
+            }
+            Ev::DbCpu { node, epoch } => {
+                if self.dbc.node(NodeId(node)).cpu_epoch() != epoch {
+                    return;
+                }
+                let done = self.dbc.node_mut(NodeId(node)).take_finished_cpu(now);
+                for tid in done {
+                    self.db_cpu_done(tid, now, ctx);
+                }
+                self.schedule_db_cpu(node, now, ctx);
+            }
+            Ev::ReqAtWeb { req } => self.admit_to_worker(req, now, ctx),
+            Ev::ReqAtCache { req } => {
+                let cache = match self.reqs.get(&req) {
+                    Some(r) => r.cache,
+                    None => return,
+                };
+                let node = self.n_web() + cache;
+                self.nodes.node_mut(NodeId(node)).add_cpu_task(now, req, calib::CACHE_LOOKUP_MI);
+                self.schedule_node_cpu(node, now, ctx);
+            }
+            Ev::CacheReplyAtWeb { req, hit } => {
+                let (web, cache) = match self.reqs.get(&req) {
+                    Some(r) => (r.web, r.cache),
+                    None => return,
+                };
+                if hit {
+                    let (path, _) = self
+                        .topo
+                        .path(self.node_hosts[self.n_web() + cache], self.node_hosts[web]);
+                    self.gauge.end(&path);
+                    if self.dead[web] {
+                        let r = self.reqs.remove(&req).expect("req exists");
+                        self.conns.remove(&r.conn);
+                        self.metrics.server_errors += 1;
+                        return;
+                    }
+                    self.begin_stage2(req, now, ctx);
+                } else {
+                    // go to the database
+                    let db_node = {
+                        let r = self.reqs.get_mut(&req).expect("req exists");
+                        r.state = ReqState::DbRpc;
+                        r.t_db_sent = now;
+                        r.went_to_db = true;
+                        r.db_node
+                    };
+                    let lat = self.topo.latency(self.node_hosts[web], self.db_hosts[db_node]);
+                    ctx.schedule_at(now + lat, Ev::ReqAtDb { req });
+                }
+            }
+            Ev::ReqAtDb { req } => {
+                let (db_node, mi) = match self.reqs.get(&req) {
+                    Some(r) => (r.db_node, db::query_cpu_mi(&r.query)),
+                    None => return,
+                };
+                self.dbc.node_mut(NodeId(db_node)).add_cpu_task(now, req, mi);
+                self.schedule_db_cpu(db_node, now, ctx);
+            }
+            Ev::DbDiskDone { node, job } => {
+                if let Some((next_job, at)) = self.dbc.node_mut(NodeId(node)).disk().complete(now) {
+                    ctx.schedule_at(at, Ev::DbDiskDone { node, job: next_job });
+                }
+                self.db_send_reply(job, now, ctx);
+            }
+            Ev::DbReplyAtWeb { req } => {
+                let (web, db_node, t_db_sent) = match self.reqs.get(&req) {
+                    Some(r) => (r.web, r.db_node, r.t_db_sent),
+                    None => return,
+                };
+                let (path, _) = self.topo.path(self.db_hosts[db_node], self.node_hosts[web]);
+                self.gauge.end(&path);
+                if self.dead[web] {
+                    let r = self.reqs.remove(&req).expect("req exists");
+                    self.conns.remove(&r.conn);
+                    self.metrics.server_errors += 1;
+                    return;
+                }
+                self.reqs.get_mut(&req).expect("req exists").db_delay =
+                    Some(now.since(t_db_sent).as_millis_f64());
+                self.begin_stage2(req, now, ctx);
+            }
+            Ev::ReplyAtClient { req } => {
+                let Some(r) = self.reqs.remove(&req) else { return };
+                let client_host = self.client_hosts[r.client];
+                let (path, _) = self.topo.path(self.node_hosts[r.web], client_host);
+                self.gauge.end(&path);
+                let (t_first_syn, calls_left, web) = match self.conns.get_mut(&r.conn) {
+                    Some(conn) => {
+                        conn.calls_left -= 1;
+                        (conn.t_first_syn, conn.calls_left, conn.web)
+                    }
+                    None => return,
+                };
+                // delay: first call measured from the first SYN (includes
+                // handshake + any retries), later calls from request send
+                let start = if r.first_call { t_first_syn } else { r.t_sent };
+                self.metrics.completed_total += 1;
+                if self.in_window(now) && r.t_sent >= self.measure_start {
+                    self.metrics.completed += 1;
+                    self.metrics.delays_ms.push(now.since(start).as_millis_f64());
+                }
+                if self.in_window(now) {
+                    self.metrics.conn_delay_hist.record(now.since(t_first_syn).as_secs_f64());
+                }
+                if calls_left > 0 {
+                    self.start_request(r.conn, false, now, ctx);
+                } else {
+                    self.conns.remove(&r.conn);
+                    self.nodes.node_mut(NodeId(web)).close_connection();
+                }
+            }
+            Ev::Sample => {
+                self.sample(now);
+                let delta = self.metrics.completed_total - self.metrics.last_sampled_completed;
+                self.metrics.last_sampled_completed = self.metrics.completed_total;
+                self.metrics.throughput_ts.push(now, delta as f64);
+                if now < self.measure_end {
+                    ctx.schedule_at(now + SimDuration::from_secs(1), Ev::Sample);
+                }
+            }
+            Ev::KillWebServer { node } => {
+                self.dead[node] = true;
+                // in-flight CPU work on the node dies with it
+                let doomed: Vec<u64> = self
+                    .reqs
+                    .iter()
+                    .filter(|(_, r)| r.web == node)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in doomed {
+                    self.nodes.node_mut(NodeId(node)).cancel_cpu_task(now, id);
+                    // requests with RPCs in flight are dropped when their
+                    // reply lands on the dead node (see the dead guards)
+                    let r = &self.reqs[&id];
+                    if matches!(r.state, ReqState::Stage1 | ReqState::Stage2) {
+                        let conn = r.conn;
+                        self.reqs.remove(&id);
+                        self.conns.remove(&conn);
+                        self.metrics.server_errors += 1;
+                    }
+                }
+                self.workers[node].busy = 0;
+                self.workers[node].backlog.clear();
+            }
+            Ev::MeasureStart => {
+                self.metrics.energy_at_start = self.nodes.energy_joules(now);
+            }
+            Ev::Stop => {
+                self.metrics.energy_j =
+                    self.nodes.energy_joules(now) - self.metrics.energy_at_start;
+                ctx.stop();
+            }
+        }
+    }
+}
+
+/// Build, seed and run one configuration to completion; returns the world
+/// with populated [`Metrics`].
+pub fn run(cfg: StackConfig) -> WebWorld {
+    let warmup = cfg.warmup;
+    let measure = cfg.measure;
+    let kill = cfg.kill_web_at;
+    let world = WebWorld::new(cfg);
+    let mut sim = Simulation::new(world);
+    sim.schedule_at(SimTime::ZERO, Ev::GenConn);
+    sim.schedule_at(SimTime::ZERO, Ev::Sample);
+    if let Some((node, at)) = kill {
+        sim.schedule_at(SimTime::ZERO + at, Ev::KillWebServer { node });
+    }
+    sim.schedule_at(SimTime::ZERO + warmup, Ev::MeasureStart);
+    sim.schedule_at(SimTime::ZERO + warmup + measure, Ev::Stop);
+    sim.run();
+    sim.into_world()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ClusterScale;
+
+    fn small_cfg(conc: f64) -> StackConfig {
+        let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+        let mut cfg = StackConfig::new(
+            scenario,
+            WorkloadMix::lightest(),
+            GenMode::Httperf { connections_per_sec: conc, calls_per_conn: 6.6 },
+            42,
+        );
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.measure = SimDuration::from_secs(8);
+        cfg
+    }
+
+    #[test]
+    fn light_load_completes_without_errors() {
+        let w = run(small_cfg(16.0));
+        assert_eq!(w.metrics.server_errors, 0);
+        assert_eq!(w.metrics.client_errors, 0);
+        let rps = w.metrics.completed as f64 / 8.0;
+        // 16 conn/s × 6.6 calls ≈ 105 req/s
+        assert!((rps - 105.6).abs() < 12.0, "rps {rps}");
+    }
+
+    #[test]
+    fn delays_are_single_digit_ms_at_low_load() {
+        let w = run(small_cfg(8.0));
+        let mean = w.metrics.delays_ms.mean();
+        assert!((5.0..20.0).contains(&mean), "mean delay {mean} ms");
+    }
+
+    #[test]
+    fn overload_produces_server_errors() {
+        // 3 Edison web servers: capacity ≈ 950 req/s; demand 256 conn/s
+        // × 6.6 ≈ 1690 req/s → backlog overflow → 5xx.
+        let w = run(small_cfg(256.0));
+        assert!(w.metrics.server_errors > 0, "expected 5xx under overload");
+    }
+
+    #[test]
+    fn throughput_saturates_at_capacity() {
+        let low = run(small_cfg(16.0));
+        let sat = run(small_cfg(256.0));
+        let rps_low = low.metrics.completed as f64 / 8.0;
+        let rps_sat = sat.metrics.completed as f64 / 8.0;
+        // saturated throughput should be near 3-node capacity (≈950 req/s)
+        assert!(rps_sat > rps_low * 4.0);
+        assert!((500.0..1200.0).contains(&rps_sat), "rps {rps_sat}");
+    }
+
+    #[test]
+    fn cache_hits_dominate_at_93_percent() {
+        let w = run(small_cfg(32.0));
+        let hits = w.metrics.cache_delays_ms.len() as f64;
+        let misses = w.metrics.db_delays_ms.len() as f64;
+        let ratio = hits / (hits + misses);
+        assert!((ratio - 0.93).abs() < 0.03, "hit ratio {ratio}");
+    }
+
+    #[test]
+    fn power_sits_in_the_edison_band() {
+        let w = run(small_cfg(64.0));
+        let p = w.metrics.power_w.mean_value();
+        // 5 nodes: between 5×1.40=7.0 W and 5×1.68=8.4 W
+        assert!((7.0..8.4).contains(&p), "power {p}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(small_cfg(32.0));
+        let b = run(small_cfg(32.0));
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.metrics.delays_ms.len(), b.metrics.delays_ms.len());
+        let mut cfg = small_cfg(32.0);
+        cfg.seed = 43;
+        let c = run(cfg);
+        assert_ne!(a.metrics.completed, c.metrics.completed);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests over the web stack: conservation and sanity across
+//! random load points, plus LRU-store laws under arbitrary operation
+//! sequences.
+
+use edison_web::memcached::{Key, LruStore};
+use edison_web::stack::{run, GenMode, StackConfig};
+use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+use edison_simcore::time::SimDuration;
+use proptest::prelude::*;
+
+fn cfg(conc: f64, seed: u64, hit: f64, img: f64) -> StackConfig {
+    let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+    let mut cfg = StackConfig::new(
+        scenario,
+        WorkloadMix { image_fraction: img, cache_hit_ratio: hit },
+        GenMode::Httperf { connections_per_sec: conc, calls_per_conn: 6.6 },
+        seed,
+    );
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.measure = SimDuration::from_secs(4);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the load point, accounting must balance: completed requests
+    /// never exceed offered, delays are positive, energy is positive and
+    /// bounded by busy-power × window.
+    #[test]
+    fn accounting_is_sane(
+        conc in 4.0f64..300.0,
+        seed in 0u64..1_000,
+        hit in 0.5f64..0.99,
+        img in 0.0f64..0.25,
+    ) {
+        let world = run(cfg(conc, seed, hit, img));
+        let m = &world.metrics;
+        let offered = conc * 6.6 * 4.0 * 1.6; // generous upper bound
+        prop_assert!((m.completed as f64) < offered, "completed {} vs offered {offered}", m.completed);
+        if m.delays_ms.len() > 0 {
+            prop_assert!(m.delays_ms.min() > 0.0);
+            prop_assert!(m.delays_ms.mean() < 20_000.0);
+        }
+        // 5 nodes: busy bound 5 × 1.68 W × 4 s window
+        prop_assert!(m.energy_j > 0.0);
+        prop_assert!(m.energy_j < 5.0 * 1.68 * 4.0 * 1.05, "energy {}", m.energy_j);
+        // measured hit ratio near the configured one (when there were hits)
+        let hits = m.cache_delays_ms.len() as f64;
+        let misses = m.db_delays_ms.len() as f64;
+        if hits + misses > 300.0 {
+            let measured = hits / (hits + misses);
+            prop_assert!((measured - hit).abs() < 0.12, "hit {measured} vs {hit}");
+        }
+    }
+
+    /// LRU store laws under arbitrary op sequences: size bound respected,
+    /// gets never lie, eviction count consistent.
+    #[test]
+    fn lru_store_laws(
+        cap_kb in 4u64..64,
+        ops in proptest::collection::vec((0u8..3, 0u32..64, 1u32..4_000), 1..300),
+    ) {
+        let cap = cap_kb * 1024;
+        let mut store = LruStore::new(cap);
+        let mut shadow: std::collections::HashMap<Key, u32> = Default::default();
+        for &(op, row, bytes) in &ops {
+            let key = Key { table: (row % 5) as u8, row };
+            match op {
+                0 => {
+                    let ok = store.set(key, bytes);
+                    prop_assert_eq!(ok, bytes as u64 <= cap);
+                    if ok { shadow.insert(key, bytes); }
+                }
+                1 => {
+                    if let Some(got) = store.get(key) {
+                        // a hit must return the last value written
+                        prop_assert_eq!(Some(&got), shadow.get(&key));
+                    }
+                }
+                _ => {
+                    let _ = store.contains(key);
+                }
+            }
+            prop_assert!(store.used_bytes() <= cap, "{} > {cap}", store.used_bytes());
+        }
+        prop_assert_eq!(store.hits() + store.misses(),
+            ops.iter().filter(|o| o.0 == 1).count() as u64);
+    }
+}

@@ -1,0 +1,62 @@
+//! TCO what-if analysis around the paper's Section-6 model: reproduce
+//! Table 10, then sweep electricity price and the integrated-NIC what-if
+//! the paper raises (the USB adaptor draws more than the Edison itself).
+//!
+//! ```text
+//! cargo run --release --example tco_analysis
+//! ```
+
+use edison_hw::presets;
+use edison_tco::{table10, tco, TcoInput, LIFETIME_HOURS};
+
+fn main() {
+    // Table 10 as published.
+    println!("Table 10 (3-year TCO):");
+    println!("{:<34} {:>12} {:>14} {:>8}", "scenario", "Dell", "Edison", "saving");
+    for row in table10() {
+        println!(
+            "{:<34} {:>11.1}$ {:>13.1}$ {:>7.0}%",
+            row.scenario,
+            row.dell_total,
+            row.edison_total,
+            row.saving() * 100.0
+        );
+    }
+
+    // sweep electricity price: where does the Edison advantage grow?
+    println!("\nelectricity-price sweep (web service, high utilisation):");
+    let edison = presets::edison();
+    let dell = presets::dell_r620();
+    for price_mult in [0.5, 1.0, 2.0, 4.0] {
+        let d = tco(&TcoInput::from_spec(&dell, 3, 0.75));
+        let e = tco(&TcoInput::from_spec(&edison, 35, 0.75));
+        // scale only the electricity component
+        let dt = d.equipment + d.electricity * price_mult;
+        let et = e.equipment + e.electricity * price_mult;
+        println!(
+            "  {:>4.1}x price: Dell ${dt:.0}, Edison ${et:.0}, saving {:.0}%",
+            price_mult,
+            (1.0 - et / dt) * 100.0
+        );
+    }
+
+    // the integrated-NIC what-if: an integrated Ethernet port would draw
+    // ~0.1 W instead of the adaptor's ~1 W (§3.2 cites the FAWN estimate)
+    println!("\nintegrated-NIC what-if (web service, high utilisation):");
+    let bare = presets::edison_bare();
+    let integrated = TcoInput {
+        nodes: 35,
+        unit_cost: edison.unit_cost_usd,
+        peak_w: bare.power.node_busy() + 0.1,
+        idle_w: bare.power.node_idle() + 0.1,
+        utilization: 0.75,
+    };
+    let adaptor = tco(&TcoInput::from_spec(&edison, 35, 0.75));
+    let integ = tco(&integrated);
+    println!("  with USB adaptor:   ${:.1} ({:.1} kWh-equivalent)", adaptor.total(), adaptor.electricity / 0.10);
+    println!("  integrated 0.1W NIC: ${:.1}", integ.total());
+    println!(
+        "  adaptor share of 3-year node energy: {:.0}%",
+        100.0 * (1.04 * 35.0 * LIFETIME_HOURS / 1000.0 * 0.10) / adaptor.electricity
+    );
+}

@@ -1,0 +1,57 @@
+//! Web-service deep dive: sweep concurrency on both full clusters under
+//! the paper's lightest and heaviest workloads, print throughput / delay /
+//! power / efficiency, and show the overload failure modes.
+//!
+//! ```text
+//! cargo run --release --example web_service
+//! ```
+
+use edison_web::httperf::{self, concurrency_sweep, RunOpts};
+use edison_web::pyclient;
+use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+
+fn main() {
+    let opts = RunOpts { seed: 1, warmup_s: 3, measure_s: 10 };
+    for (mix, name) in [
+        (WorkloadMix::lightest(), "lightest (0% images, 93% hits)"),
+        (WorkloadMix::img20(), "heaviest fair (20% images, 93% hits)"),
+    ] {
+        println!("== workload: {name} ==");
+        for platform in [Platform::Edison, Platform::Dell] {
+            let sc = WebScenario::table6(platform, ClusterScale::Full).unwrap();
+            println!(
+                "-- {:?} full cluster: {} web + {} cache --",
+                platform, sc.web_servers, sc.cache_servers
+            );
+            println!(
+                "{:>6} {:>10} {:>10} {:>8} {:>8} {:>9} {:>8}",
+                "conc", "req/s", "delay ms", "5xx", "clerr", "power W", "req/J"
+            );
+            for conc in concurrency_sweep() {
+                let r = httperf::run_point(&sc, mix, conc, opts);
+                println!(
+                    "{:>6.0} {:>10.0} {:>10.2} {:>8} {:>8} {:>9.1} {:>8.1}",
+                    conc,
+                    r.requests_per_sec,
+                    r.mean_delay_ms,
+                    r.server_errors,
+                    r.client_errors,
+                    r.mean_power_w,
+                    r.requests_per_joule
+                );
+            }
+        }
+    }
+
+    // delay distributions at ~6000 req/s, the Figure 10/11 experiment
+    println!("\n== python-client delay distributions at 6000 req/s, 20% images ==");
+    for platform in [Platform::Edison, Platform::Dell] {
+        let sc = WebScenario::table6(platform, ClusterScale::Full).unwrap();
+        let d = pyclient::run_distribution(&sc, WorkloadMix::img20(), 6000.0, 7, 10);
+        print!("{platform:?}: {} samples, {} SYN drops | mass ", d.samples(), d.syn_drops);
+        for bucket in [0.05, 0.55, 1.05, 3.05, 7.05] {
+            print!("@{bucket:.1}s:{} ", d.mass_at(bucket));
+        }
+        println!();
+    }
+}

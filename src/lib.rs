@@ -1,0 +1,35 @@
+//! # edison-repro
+//!
+//! Umbrella crate for the reproduction of *"An Experimental Evaluation of
+//! Datacenter Workloads On Low-Power Embedded Micro Servers"* (Zhao et al.,
+//! VLDB 2016). It re-exports the public API of every subsystem crate and
+//! hosts the repository-level `examples/` and integration `tests/`.
+//!
+//! Start with [`core`] (the experiment harness) or the `quickstart` example.
+
+/// Discrete-event simulation kernel.
+pub use edison_simcore as simcore;
+
+/// Hardware models and the Edison / Dell R620 presets.
+pub use edison_hw as hw;
+
+/// Cluster substrate: nodes, OS resources, power metering.
+pub use edison_cluster as cluster;
+
+/// Flow-level network fabric.
+pub use edison_net as net;
+
+/// Section-4 component microbenchmarks.
+pub use edison_microbench as microbench;
+
+/// Section-5.1 web-service stack.
+pub use edison_web as web;
+
+/// Section-5.2 MapReduce substrate (HDFS + YARN + engine + jobs).
+pub use edison_mapreduce as mapreduce;
+
+/// Section-6 TCO model.
+pub use edison_tco as tco;
+
+/// Experiment harness regenerating every table and figure.
+pub use edison_core as core;

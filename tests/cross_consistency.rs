@@ -1,0 +1,106 @@
+//! Cross-crate consistency checks: the same hardware facts must agree
+//! wherever they surface — microbenchmarks, cluster nodes, TCO inputs,
+//! and the paper's own arithmetic.
+
+use edison_cluster::{Cluster, Node, NodeId};
+use edison_hw::presets;
+use edison_microbench::{dhrystone, network, storage, sysbench_mem};
+use edison_simcore::time::SimTime;
+use edison_tco::{tco, TcoInput};
+
+/// The DMIPS the dhrystone benchmark *measures* must equal the DMIPS the
+/// spec *declares* — the benchmark is a round-trip through the node
+/// machinery, not a constant echo.
+#[test]
+fn dhrystone_round_trips_the_spec() {
+    for spec in [presets::edison(), presets::dell_r620()] {
+        let r = dhrystone::run(&spec, 10_000_000);
+        assert!(
+            (r.dmips - spec.cpu.single_thread_mips).abs() < 1.0,
+            "{}: measured {} vs spec {}",
+            spec.name,
+            r.dmips,
+            spec.cpu.single_thread_mips
+        );
+    }
+}
+
+/// Table 2's CPU ratio uses nameplate clocks; Section 4 measures a far
+/// larger gap — the discrepancy the paper's Discussion highlights. Both
+/// must be visible in our models simultaneously.
+#[test]
+fn nameplate_vs_measured_gap_discrepancy() {
+    let e = presets::edison();
+    let d = presets::dell_r620();
+    let nameplate = d.cpu.nameplate_mhz() as f64 / e.cpu.nameplate_mhz() as f64;
+    let measured = d.cpu.total_mips() / e.cpu.total_mips();
+    assert!((nameplate - 12.0).abs() < 1e-9);
+    assert!(
+        measured / nameplate > 4.0,
+        "measured gap ({measured:.0}x) should exceed nameplate ({nameplate:.0}x) several-fold"
+    );
+}
+
+/// Idle cluster power from live nodes equals the TCO model's idle power
+/// term — two independent code paths to the same Table 3 numbers.
+#[test]
+fn cluster_idle_power_matches_tco_inputs() {
+    let spec = presets::edison();
+    let cluster = Cluster::homogeneous(&spec, 35);
+    let live_idle = cluster.power_now();
+    let input = TcoInput::from_spec(&spec, 35, 0.0);
+    let model_idle = input.idle_w * 35.0;
+    assert!((live_idle - model_idle).abs() < 1e-9);
+    // and the 3-year idle electricity cost follows
+    let t = tco(&input);
+    let expected = live_idle * edison_tco::LIFETIME_HOURS / 1000.0 * 0.10;
+    assert!((t.electricity - expected).abs() < 1e-6);
+}
+
+/// A node fully busy for one hour consumes exactly busy-power × 3600 J.
+#[test]
+fn busy_hour_energy_is_exact() {
+    let spec = presets::dell_r620();
+    let mut node = Node::new(NodeId(0), spec.clone());
+    // saturate all threads with enough work for > 1 hour
+    let per_thread = spec.cpu.total_mips() / spec.cpu.threads as f64 * 4000.0;
+    for i in 0..spec.cpu.threads as u64 {
+        node.add_cpu_task(SimTime::ZERO, i, per_thread);
+    }
+    let hour = SimTime::from_secs(3600);
+    let e = node.energy_joules(hour);
+    assert!((e - 109.0 * 3600.0).abs() < 1.0, "energy {e}");
+}
+
+/// iperf through the fabric and the NIC spec's goodput agree.
+#[test]
+fn iperf_matches_nic_spec() {
+    let e = presets::edison();
+    let d = presets::dell_r620();
+    let r = network::iperf(network::Pair::EdisonToEdison, network::Proto::Tcp, 500_000_000, &e, &d);
+    let expected = e.nic.tcp_bytes_per_sec() * 8.0 / 1e6;
+    assert!((r.mbits_per_sec - expected).abs() < 1.0, "{} vs {}", r.mbits_per_sec, expected);
+}
+
+/// The storage benchmark's asymptotic throughput equals the spec rate, and
+/// the §4.3 "smallest gap" claim holds end to end.
+#[test]
+fn storage_bench_matches_spec_and_gap_claim() {
+    let e = storage::table5(&presets::edison());
+    let d = storage::table5(&presets::dell_r620());
+    let storage_gap = d.read_mbps / e.read_mbps;
+    let cpu_gap = presets::dell_r620().cpu.total_mips() / presets::edison().cpu.total_mips();
+    let mem_gap = {
+        let es = sysbench_mem::sweep(&presets::edison());
+        let ds = sysbench_mem::sweep(&presets::dell_r620());
+        ds.peak / es.peak
+    };
+    assert!(storage_gap < mem_gap && mem_gap < cpu_gap, "gap ordering broken: storage {storage_gap:.1} mem {mem_gap:.1} cpu {cpu_gap:.1}");
+}
+
+/// Table 2's bottom line (16 nodes to replace a Dell) is reproduced from
+/// raw spec arithmetic.
+#[test]
+fn sixteen_edisons_replace_one_dell() {
+    assert_eq!(presets::edison().nodes_to_replace(&presets::dell_r620()), 16);
+}
