@@ -64,6 +64,7 @@ fn main() {
     }
     for e in experiments {
         eprintln!("running {} ...", e.id);
+        // simlint: allow(R1) host-side progress display; never feeds sim state
         let t0 = std::time::Instant::now();
         let report = (e.run)(&budget);
         eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -14,7 +14,7 @@
 //! [`edison_simcore::fluid::FluidResource`].
 
 use edison_simcore::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a directed link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,7 +50,11 @@ struct Flow {
 #[derive(Debug, Clone, Default)]
 pub struct Network {
     links: Vec<Link>,
-    flows: HashMap<FlowId, Flow>,
+    /// Ordered by id so every iteration — progress accumulation, rate
+    /// freezing, float summation — visits flows in the same order on every
+    /// run. A `HashMap` here made `bytes_delivered` and the max-min solve
+    /// depend on hasher-randomised iteration order.
+    flows: BTreeMap<FlowId, Flow>,
     last_update: SimTime,
     epoch: u64,
     bytes_delivered: f64,
@@ -189,13 +193,13 @@ impl Network {
     /// zero at `now`; recomputes shares and bumps the epoch if any finished.
     pub fn take_finished(&mut self, now: SimTime) -> Vec<FlowId> {
         self.advance(now);
-        let mut done: Vec<FlowId> = self
+        // BTreeMap iteration is id-ordered, so `done` comes out sorted.
+        let done: Vec<FlowId> = self
             .flows
             .iter()
             .filter(|(_, f)| f.remaining <= BYTES_EPS)
             .map(|(&id, _)| id)
             .collect();
-        done.sort_unstable();
         for id in &done {
             self.flows.remove(id);
         }
@@ -212,10 +216,10 @@ impl Network {
     /// Flow/link counts in this codebase are small (≲ hundreds), so the
     /// simple exact algorithm beats maintaining incremental state.
     fn recompute(&mut self) {
-        // Reset rates; collect per-link membership once.
-        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        ids.sort_unstable(); // deterministic iteration
-        let mut frozen: HashMap<FlowId, bool> = ids.iter().map(|&i| (i, false)).collect();
+        // Collect per-link membership once. `flows` is a BTreeMap, so the
+        // ids arrive sorted and every pass below is order-deterministic.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut frozen: BTreeMap<FlowId, bool> = ids.iter().map(|&i| (i, false)).collect();
         let mut link_load = vec![0.0f64; self.links.len()]; // frozen rate sum
         let mut unfrozen_count = vec![0usize; self.links.len()];
         for id in &ids {

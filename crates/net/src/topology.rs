@@ -35,8 +35,10 @@ pub struct Topology {
     net: Network,
     hosts: Vec<Host>,
     /// One-way latency within a group.
+    // simlint: allow(R1) keyed lookup only; never iterated
     intra_latency: HashMap<GroupId, SimDuration>,
     /// Uplink (directed, one per direction) and one-way latency per pair.
+    // simlint: allow(R1) keyed lookup only; never iterated
     interconnect: HashMap<(GroupId, GroupId), (LinkId, SimDuration)>,
     groups: usize,
 }

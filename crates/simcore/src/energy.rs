@@ -22,7 +22,11 @@ pub struct StepIntegrator {
 
 impl StepIntegrator {
     /// Start at time `t0` with initial value `v0`.
+    ///
+    /// Panics in debug builds if `v0` is not finite — a NaN/∞ integrand
+    /// would silently poison every joule figure downstream.
     pub fn new(t0: SimTime, v0: f64) -> Self {
+        debug_assert!(v0.is_finite(), "non-finite integrand {v0}");
         StepIntegrator { last_t: t0, value: v0, integral: 0.0 }
     }
 
@@ -34,9 +38,14 @@ impl StepIntegrator {
     /// Update the signal to `v` at time `now`, accumulating the segment
     /// since the previous change.
     ///
-    /// Panics in debug builds if time runs backwards.
+    /// Panics in debug builds if time runs backwards or `v` is not finite.
     pub fn set(&mut self, now: SimTime, v: f64) {
-        debug_assert!(now >= self.last_t, "integrator time went backwards");
+        debug_assert!(
+            now >= self.last_t,
+            "integrator time went backwards: {now} < {}",
+            self.last_t
+        );
+        debug_assert!(v.is_finite(), "non-finite integrand {v}");
         self.integral += self.value * now.saturating_since(self.last_t).as_secs_f64();
         self.last_t = now;
         self.value = v;
@@ -91,6 +100,26 @@ mod tests {
         p.set(t(1.0), 5.0);
         p.set(t(1.0), 5.0);
         assert!((p.integral_at(t(2.0)) - 10.0).abs() < 1e-12);
+    }
+
+    /// The determinism/unit-safety contract: a backwards `set` is a bug in
+    /// the caller's event ordering and must be caught loudly in debug
+    /// builds (release builds saturate to a zero-length segment).
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "integrator time went backwards"))]
+    fn backwards_time_is_caught_in_debug() {
+        let mut p = StepIntegrator::new(t(5.0), 1.0);
+        p.set(t(4.0), 2.0);
+        // Release builds fall through: the backwards segment contributes 0 J.
+        assert_eq!(p.integral_at(t(5.0)), 0.0 + 2.0 * 1.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite integrand"))]
+    fn non_finite_integrand_is_caught_in_debug() {
+        let mut p = StepIntegrator::new(t(0.0), 1.0);
+        p.set(t(1.0), f64::NAN);
+        assert!(p.integral_at(t(2.0)).is_nan());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! The kernel's heap never needs random deletion.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Absolute tolerance under which remaining work counts as finished.
 ///
@@ -46,7 +46,10 @@ pub type TaskId = u64;
 pub struct FluidResource {
     capacity: f64,
     per_task_cap: f64,
-    tasks: HashMap<TaskId, f64>, // remaining work units
+    /// Remaining work units per task, ordered by id: progress and
+    /// `work_done` float-accumulation visit tasks in the same order on
+    /// every run (a `HashMap` here was hasher-order nondeterministic).
+    tasks: BTreeMap<TaskId, f64>,
     last_update: SimTime,
     epoch: u64,
     /// Total work completed over the lifetime of the resource.
@@ -66,7 +69,7 @@ impl FluidResource {
         FluidResource {
             capacity,
             per_task_cap,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
             last_update: SimTime::ZERO,
             epoch: 0,
             work_done: 0.0,

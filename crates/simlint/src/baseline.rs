@@ -1,0 +1,294 @@
+//! The ratchet baseline: grandfathered violation counts per (rule, file).
+//!
+//! `simlint-baseline.json` at the workspace root maps rule id → file →
+//! count. `check` fails when any (rule, file) pair exceeds its committed
+//! count; counts only ever shrink, via `--update-baseline` after a
+//! cleanup. The format is a tiny hand-rolled JSON subset (objects of
+//! objects of non-negative integers) because this crate is deliberately
+//! dependency-free.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// rule id → file → grandfathered count. BTreeMaps keep serialization
+/// stable so the committed file never churns.
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Aggregate findings into baseline shape.
+pub fn aggregate(findings: &[Finding]) -> Baseline {
+    let mut out = Baseline::new();
+    for f in findings {
+        *out.entry(f.rule.to_string()).or_default().entry(f.file.clone()).or_default() += 1;
+    }
+    out
+}
+
+/// Serialize with sorted keys and stable formatting.
+pub fn to_json(b: &Baseline) -> String {
+    let mut s = String::from("{\n");
+    let mut first_rule = true;
+    for (rule, files) in b {
+        if !first_rule {
+            s.push_str(",\n");
+        }
+        first_rule = false;
+        s.push_str(&format!("  {:?}: {{\n", rule));
+        let mut first_file = true;
+        for (file, count) in files {
+            if !first_file {
+                s.push_str(",\n");
+            }
+            first_file = false;
+            s.push_str(&format!("    {:?}: {}", file, count));
+        }
+        s.push_str("\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Baseline parse error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+/// Parse the JSON subset written by [`to_json`].
+pub fn from_json(text: &str) -> Result<Baseline, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), i: 0 };
+    p.skip_ws();
+    let mut out = Baseline::new();
+    p.expect(b'{')?;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        let rule = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut files = BTreeMap::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.i += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let file = p.string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let count = p.number()?;
+                files.insert(file, count);
+                p.skip_ws();
+                match p.next()? {
+                    b',' => continue,
+                    b'}' => break,
+                    c => return Err(p.err(format!("expected ',' or '}}', got {:?}", c as char))),
+                }
+            }
+        }
+        out.insert(rule, files);
+        p.skip_ws();
+        match p.next()? {
+            b',' => continue,
+            b'}' => break,
+            c => return Err(p.err(format!("expected ',' or '}}', got {:?}", c as char))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: String) -> ParseError {
+        ParseError { at: self.i, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, ParseError> {
+        let c = self.peek().ok_or_else(|| self.err("unexpected end of input".into()))?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\n' | b'\r' | b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            self.i -= 1;
+            Err(self.err(format!("expected {:?}, got {:?}", want as char, got as char)))
+        }
+    }
+
+    /// A JSON string; paths in this file never need escapes beyond `\\`
+    /// and `\"`, which are unescaped.
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.next()?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        other => return Err(self.err(format!("unsupported escape \\{}", other as char))),
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, ParseError> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(self.err("expected a number".into()));
+        }
+        let mut value: usize = 0;
+        for &b in &self.bytes[start..self.i] {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(usize::from(b - b'0')))
+                .ok_or_else(|| self.err("count overflows usize".into()))?;
+        }
+        Ok(value)
+    }
+}
+
+/// One (rule, file) pair whose fresh count exceeds the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule id, e.g. `R4`.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Grandfathered count from the committed baseline.
+    pub baseline: usize,
+    /// Count found by the fresh scan.
+    pub current: usize,
+}
+
+/// One (rule, file) pair whose fresh count undershoots the baseline (a
+/// cleanup that should be locked in with `--update-baseline`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Rule id, e.g. `R4`.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Grandfathered count from the committed baseline.
+    pub baseline: usize,
+    /// Count found by the fresh scan.
+    pub current: usize,
+}
+
+/// Compare a fresh scan against the committed baseline.
+pub fn compare(baseline: &Baseline, current: &Baseline) -> (Vec<Regression>, Vec<StaleEntry>) {
+    let mut regressions = Vec::new();
+    let mut stale = Vec::new();
+    let empty = BTreeMap::new();
+    let mut rules: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+    rules.sort();
+    rules.dedup();
+    for rule in rules {
+        let base_files = baseline.get(rule).unwrap_or(&empty);
+        let cur_files = current.get(rule).unwrap_or(&empty);
+        let mut files: Vec<&String> = base_files.keys().chain(cur_files.keys()).collect();
+        files.sort();
+        files.dedup();
+        for file in files {
+            let b = base_files.get(file).copied().unwrap_or(0);
+            let c = cur_files.get(file).copied().unwrap_or(0);
+            if c > b {
+                regressions.push(Regression { rule: rule.clone(), file: file.clone(), baseline: b, current: c });
+            } else if c < b {
+                stale.push(StaleEntry { rule: rule.clone(), file: file.clone(), baseline: b, current: c });
+            }
+        }
+    }
+    (regressions, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding { rule, file: file.into(), line: 1, msg: String::new() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![finding("R3", "a.rs"), finding("R3", "a.rs"), finding("R4", "b.rs")];
+        let b = aggregate(&findings);
+        let parsed = from_json(&to_json(&b)).expect("roundtrip");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed["R3"]["a.rs"], 2);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let b = Baseline::new();
+        assert_eq!(from_json(&to_json(&b)).expect("roundtrip"), b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"R1\": {\"f\": }}").is_err());
+        assert!(from_json("{\"R1\"").is_err());
+    }
+
+    #[test]
+    fn compare_detects_growth_and_shrinkage() {
+        let base = from_json("{\"R4\": {\"a.rs\": 2, \"gone.rs\": 1}}").expect("base");
+        let cur = aggregate(&[finding("R4", "a.rs"), finding("R4", "a.rs"), finding("R4", "a.rs")]);
+        let (reg, stale) = compare(&base, &cur);
+        assert_eq!(reg.len(), 1);
+        assert_eq!((reg[0].baseline, reg[0].current), (2, 3));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn new_file_with_findings_is_a_regression() {
+        let base = Baseline::new();
+        let cur = aggregate(&[finding("R1", "new.rs")]);
+        let (reg, stale) = compare(&base, &cur);
+        assert_eq!(reg.len(), 1);
+        assert!(stale.is_empty());
+    }
+}

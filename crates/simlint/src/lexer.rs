@@ -1,0 +1,357 @@
+//! A small hand-rolled Rust lexer: just enough to see identifiers and
+//! punctuation with comments/strings stripped, plus the two pieces of
+//! context the rules need — whether a token sits inside test-only code
+//! (`#[cfg(test)]` / `mod tests` regions) and whether it sits inside a
+//! `use` declaration. Also collects `// simlint: allow(Rn)` markers.
+//!
+//! This is not a full lexer (no float-literal subtleties, no macro
+//! expansion); it is deliberately conservative and dependency-free. The
+//! rules in [`crate::rules`] are written to tolerate its approximations.
+
+/// One lexed token with the context the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Identifier text, or the punctuation itself (`::` is one token).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` item or a `mod tests { .. }` block.
+    pub in_test: bool,
+    /// Inside a `use ...;` declaration.
+    pub in_use: bool,
+}
+
+/// A `// simlint: allow(<rule>)` marker found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 1-based line the marker appears on.
+    pub line: u32,
+    /// Rule id inside the parentheses, e.g. `R1`.
+    pub rule: String,
+    /// True for `allow-file(...)`: suppresses the rule in the whole file.
+    pub whole_file: bool,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, with test/use context attached.
+    pub tokens: Vec<Token>,
+    /// All `simlint: allow(...)` markers found in comments.
+    pub allows: Vec<AllowMarker>,
+}
+
+/// Lex `source`. `force_test` marks the whole file as test code (used for
+/// `tests/`, `benches/` and `examples/` trees).
+pub fn lex(source: &str, force_test: bool) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Raw token pass: strip comments/strings, collect markers.
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                scan_marker(&text, line, &mut out.allows);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment; markers inside still count on
+                // the line they appear.
+                let mut depth = 1;
+                let mut buf = String::new();
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            scan_marker(&buf, line, &mut out.allows);
+                            buf.clear();
+                            line += 1;
+                        } else {
+                            buf.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+                scan_marker(&buf, line, &mut out.allows);
+            }
+            '"' => i = skip_string(&chars, i, &mut line),
+            '\'' => i = skip_char_or_lifetime(&chars, i, &mut line, &mut out.tokens),
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // Raw/byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                if matches!(word.as_str(), "r" | "b" | "br")
+                    && matches!(chars.get(i), Some('"') | Some('#'))
+                {
+                    i = skip_raw_string(&chars, i, &mut line);
+                } else {
+                    out.tokens.push(Token { text: word, line, in_test: false, in_use: false });
+                }
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                out.tokens.push(Token { text: "::".into(), line, in_test: false, in_use: false });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Token { text: c.to_string(), line, in_test: false, in_use: false });
+                i += 1;
+            }
+        }
+    }
+
+    annotate_context(&mut out.tokens, force_test);
+    out
+}
+
+/// Skip a `"..."` string literal (with escapes); returns the index after
+/// the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw/byte string starting at the `"`/`#` after its prefix.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // not actually a raw string; resume normally
+    }
+    i += 1;
+    'outer: while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        } else if chars[i] == '"' {
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    i += 1;
+                    continue 'outer;
+                }
+            }
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Distinguish a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+/// Lifetimes are emitted as no tokens (rules never need them).
+fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32, _tokens: &mut Vec<Token>) -> usize {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: skip to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                if chars[j] == '\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+            j + 1
+        }
+        Some(c) if chars.get(i + 2) == Some(&'\'') && *c != '\'' => i + 3, // 'x'
+        _ => {
+            // Lifetime: consume the identifier after the quote.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            j
+        }
+    }
+}
+
+/// Extract `simlint: allow(<rule>)` / `allow-file(<rule>)` from one
+/// comment line.
+fn scan_marker(comment: &str, line: u32, allows: &mut Vec<AllowMarker>) {
+    let Some(pos) = comment.find("simlint:") else { return };
+    let rest = comment[pos + "simlint:".len()..].trim_start();
+    let (whole_file, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return;
+    };
+    let Some(end) = rest.find(')') else { return };
+    for rule in rest[..end].split(',') {
+        allows.push(AllowMarker { line, rule: rule.trim().to_string(), whole_file });
+    }
+}
+
+/// Second pass: mark test regions and `use` declarations.
+///
+/// A region is test code when a `#[cfg(test)]` attribute or a
+/// `mod tests`/`mod test` header precedes its opening `{`; regions nest.
+fn annotate_context(tokens: &mut [Token], force_test: bool) {
+    let mut depth: u32 = 0;
+    let mut test_stack: Vec<u32> = Vec::new();
+    let mut pending_test = false;
+    let mut in_use = false;
+
+    let texts: Vec<String> = tokens.iter().map(|t| t.text.clone()).collect();
+    for (idx, tok) in tokens.iter_mut().enumerate() {
+        let t = tok.text.as_str();
+        match t {
+            "#" => {
+                // #[cfg(test)] / #[cfg(all(test, ...))], but not
+                // #[cfg(not(test))] — scan the attribute's tokens only.
+                if texts.get(idx + 1).is_some_and(|s| s == "[")
+                    && texts.get(idx + 2).is_some_and(|s| s == "cfg")
+                {
+                    let attr: Vec<&str> = texts[idx + 3..]
+                        .iter()
+                        .take_while(|s| *s != "]")
+                        .take(12)
+                        .map(String::as_str)
+                        .collect();
+                    if attr.contains(&"test") && !attr.contains(&"not") {
+                        pending_test = true;
+                    }
+                }
+            }
+            "mod" => {
+                if texts.get(idx + 1).is_some_and(|s| s == "tests" || s == "test" || s == "proptests")
+                {
+                    pending_test = true;
+                }
+            }
+            "use" => in_use = true,
+            ";" => in_use = false,
+            "{" => {
+                depth += 1;
+                if pending_test {
+                    test_stack.push(depth);
+                    pending_test = false;
+                }
+            }
+            "}" => {
+                if test_stack.last() == Some(&depth) {
+                    test_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+        tok.in_test = force_test || !test_stack.is_empty();
+        tok.in_use = in_use && t != ";";
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src, false).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = texts("let x = \"Instant::now()\"; // Instant::now()\nfoo();");
+        assert!(toks.iter().all(|t| t != "Instant"), "{toks:?}");
+        assert!(toks.contains(&"foo".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_skipped() {
+        let toks = texts(r####"let s = r#"HashMap "quoted""#; let c = '"'; let l: &'static str = "x"; bar();"####);
+        assert!(toks.iter().all(|t| t != "HashMap"), "{toks:?}");
+        assert!(toks.contains(&"bar".to_string()));
+        // lifetimes ('static) produce no tokens at all
+        assert!(toks.iter().all(|t| t != "static"), "{toks:?}");
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = texts("Instant::now()");
+        assert_eq!(toks, vec!["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let lexed = lex("fn a() { b(); }\n#[cfg(test)]\nmod t { fn c() { d(); } }\nfn e() {}", false);
+        let flag = |name: &str| lexed.tokens.iter().find(|t| t.text == name).map(|t| t.in_test);
+        assert_eq!(flag("b"), Some(false));
+        assert_eq!(flag("d"), Some(true));
+        assert_eq!(flag("e"), Some(false));
+    }
+
+    #[test]
+    fn mod_tests_region_is_marked_without_cfg() {
+        let lexed = lex("mod tests { fn c() { d(); } }\nfn e() {}", false);
+        let flag = |name: &str| lexed.tokens.iter().find(|t| t.text == name).map(|t| t.in_test);
+        assert_eq!(flag("d"), Some(true));
+        assert_eq!(flag("e"), Some(false));
+    }
+
+    #[test]
+    fn use_statements_are_marked() {
+        let lexed = lex("use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) {}", false);
+        let flags: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "HashMap")
+            .map(|t| t.in_use)
+            .collect();
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn allow_markers_are_collected() {
+        let lexed = lex(
+            "// simlint: allow(R1) keyed access only\nlet m: HashMap<u8,u8> = HashMap::new();\n// simlint: allow-file(R4)\n",
+            false,
+        );
+        assert_eq!(
+            lexed.allows,
+            vec![
+                AllowMarker { line: 1, rule: "R1".into(), whole_file: false },
+                AllowMarker { line: 3, rule: "R4".into(), whole_file: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let s = \"a\nb\nc\";\nfoo();", false);
+        let foo = lexed.tokens.iter().find(|t| t.text == "foo").map(|t| t.line);
+        assert_eq!(foo, Some(4));
+    }
+}

@@ -1,0 +1,191 @@
+//! `edison-simlint` — determinism & unit-safety static analysis for this
+//! workspace.
+//!
+//! The repo's headline claim is that every experiment is exactly
+//! reproducible from a single `u64` seed and that energy figures come
+//! from exact piecewise-constant integration. Nothing in the type system
+//! enforces that, so this crate does: it lexes every workspace `.rs` file
+//! (comments/strings stripped, test regions tracked) and applies five
+//! repo-specific rules — see [`rules`] for the table — with a ratcheting
+//! baseline ([`baseline`]) that grandfathers existing violations and
+//! fails the build on new ones.
+//!
+//! Run it as `cargo run -p edison-simlint -- check` (or the
+//! `cargo lint-gate` alias); the root-package integration test
+//! `tests/simlint_gate.rs` runs the same scan in tier-1.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use baseline::{Baseline, Regression, StaleEntry};
+use rules::Finding;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "simlint-baseline.json";
+
+/// Source trees scanned, relative to the workspace root. `vendor/` and
+/// `target/` are deliberately absent: the offline dependency stubs are
+/// not simulation code.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Directory names whose whole subtree is treated as test code (lenient
+/// for R1/R3/R4/R5; R2 still applies).
+const TESTISH_DIRS: [&str; 3] = ["tests", "benches", "examples"];
+
+/// Everything `check` learned in one scan.
+#[derive(Debug)]
+pub struct ScanResult {
+    /// Every un-suppressed finding, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Findings aggregated into baseline shape.
+    pub counts: Baseline,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Result of comparing a scan to the committed baseline.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// The fresh scan the comparison was made against.
+    pub scan: ScanResult,
+    /// (rule, file) pairs over budget — these fail the check.
+    pub regressions: Vec<Regression>,
+    /// (rule, file) pairs under budget — cleanups not yet locked in.
+    pub stale: Vec<StaleEntry>,
+}
+
+impl CheckReport {
+    /// True when no (rule, file) pair exceeds the baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// The fresh findings belonging to regressed (rule, file) pairs —
+    /// what the developer must fix (or consciously re-baseline).
+    pub fn regressed_findings(&self) -> Vec<&Finding> {
+        self.scan
+            .findings
+            .iter()
+            .filter(|f| self.regressions.iter().any(|r| r.rule == f.rule && r.file == f.file))
+            .collect()
+    }
+}
+
+/// Walk the workspace from `root`, lex and lint every `.rs` file.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
+    let mut files = Vec::new();
+    for tree in SCAN_ROOTS {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let force_test = is_testish(&rel);
+        let lexed = lexer::lex(&source, force_test);
+        findings.extend(rules::check_file(&rel, &lexed));
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    let counts = baseline::aggregate(&findings);
+    Ok(ScanResult { findings, counts, files_scanned: files.len() })
+}
+
+/// Scan and compare against the committed baseline. A missing baseline
+/// file is treated as empty (every finding is then a regression), so a
+/// deleted ratchet file cannot silently disable the gate.
+pub fn check(root: &Path) -> io::Result<CheckReport> {
+    let scan = scan_workspace(root)?;
+    let baseline_path = root.join(BASELINE_FILE);
+    let committed: Baseline = if baseline_path.is_file() {
+        let text = fs::read_to_string(&baseline_path)?;
+        baseline::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+    } else {
+        Baseline::new()
+    };
+    let (regressions, stale) = baseline::compare(&committed, &scan.counts);
+    Ok(CheckReport { scan, regressions, stale })
+}
+
+/// Rewrite the baseline from a fresh scan.
+pub fn update_baseline(root: &Path) -> io::Result<ScanResult> {
+    let scan = scan_workspace(root)?;
+    fs::write(root.join(BASELINE_FILE), baseline::to_json(&scan.counts))?;
+    Ok(scan)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn is_testish(rel: &str) -> bool {
+    rel.split('/').any(|seg| TESTISH_DIRS.contains(&seg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testish_paths_are_recognized() {
+        assert!(is_testish("crates/net/tests/prop.rs"));
+        assert!(is_testish("crates/bench/benches/kernel.rs"));
+        assert!(is_testish("examples/quickstart.rs"));
+        assert!(is_testish("tests/headline_results.rs"));
+        assert!(!is_testish("crates/net/src/network.rs"));
+        assert!(!is_testish("src/lib.rs"));
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+}

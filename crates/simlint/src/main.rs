@@ -1,0 +1,129 @@
+//! CLI for the workspace determinism & unit-safety lint.
+//!
+//! ```text
+//! cargo run -p edison-simlint -- check                     # gate (exit 1 on new violations)
+//! cargo run -p edison-simlint -- check --update-baseline   # lock in cleanups
+//! cargo run -p edison-simlint -- check --list              # dump every grandfathered finding
+//! ```
+
+use edison_simlint::rules::rule_summary;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut update = false;
+    let mut list = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--update-baseline" => update = true,
+            "--list" => list = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if command != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| edison_simlint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: could not find a workspace root (run from inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    if !root.join("Cargo.toml").is_file() {
+        // A bad --root must not silently scan zero files and pass.
+        eprintln!("simlint: {} is not a workspace root (no Cargo.toml)", root.display());
+        return ExitCode::from(2);
+    }
+
+    if update {
+        return match edison_simlint::update_baseline(&root) {
+            Ok(scan) => {
+                let total: usize = scan.counts.values().flat_map(|m| m.values()).sum();
+                println!(
+                    "simlint: baseline rewritten with {} grandfathered finding(s) across {} file(s)",
+                    total, scan.files_scanned
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match edison_simlint::check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if list {
+        for f in &report.scan.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+        }
+    }
+
+    let total: usize = report.scan.counts.values().flat_map(|m| m.values()).sum();
+    println!(
+        "simlint: scanned {} file(s); {} finding(s) against the committed budget",
+        report.scan.files_scanned, total
+    );
+
+    if !report.stale.is_empty() {
+        println!("simlint: {} baseline entr(ies) are stale (cleanups not locked in):", report.stale.len());
+        for s in &report.stale {
+            println!("  {} {}: baseline {} -> now {}", s.rule, s.file, s.baseline, s.current);
+        }
+        println!("simlint: run `cargo run -p edison-simlint -- check --update-baseline` to ratchet down");
+    }
+
+    if report.passed() {
+        println!("simlint: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: FAIL — new violations over the committed budget:");
+        for r in &report.regressions {
+            eprintln!("  {} {}: baseline {} -> now {}  ({})", r.rule, r.file, r.baseline, r.current, rule_summary(&r.rule));
+        }
+        for f in report.regressed_findings() {
+            eprintln!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+        }
+        eprintln!("simlint: fix the new sites (preferred), annotate a vetted site with `// simlint: allow(Rn) reason`,");
+        eprintln!("simlint: or — only for a conscious grandfathering — rerun with --update-baseline.");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("simlint: {error}");
+    }
+    eprintln!("usage: edison-simlint check [--update-baseline] [--list] [--root <workspace>]");
+    eprintln!();
+    eprintln!("rules:");
+    for id in edison_simlint::rules::RULE_IDS {
+        eprintln!("  {id}: {}", rule_summary(id));
+    }
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,354 @@
+//! The five repo-specific rules, run over one lexed file at a time.
+//!
+//! | id | name              | what it catches                                        |
+//! |----|-------------------|--------------------------------------------------------|
+//! | R1 | nondeterminism    | wall-clock/ambient-RNG calls; `HashMap`/`HashSet` use   |
+//! | R2 | rng-construction  | RNG built outside `simcore/src/rng.rs`                  |
+//! | R3 | lossy-cast        | `as` casts to truncating numeric types in library code  |
+//! | R4 | panic             | `unwrap()` / `expect(` / `panic!` in library code       |
+//! | R5 | unit-mix          | `fn` taking 2+ raw `f64`s mixing time/power/energy names|
+//!
+//! R1/R3/R4/R5 skip test code (`#[cfg(test)]`, `mod tests`, and whole
+//! `tests/`/`benches/`/`examples/` trees); R2 applies everywhere, because
+//! a stray RNG in a test breaks reproducibility of the test itself.
+//! Individual sites can be vetted with `// simlint: allow(Rn) reason`
+//! on the offending line or the line above.
+
+use crate::lexer::{AllowMarker, Lexed, Token};
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, `R1`..`R5`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the site.
+    pub msg: String,
+}
+
+/// All rule ids, in report order.
+pub const RULE_IDS: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+
+/// One-line description per rule, for `--explain`-style output.
+pub fn rule_summary(rule: &str) -> &'static str {
+    match rule {
+        "R1" => "nondeterminism: wall-clock/ambient RNG, or HashMap/HashSet in sim code (use BTreeMap or annotate keyed-only use)",
+        "R2" => "rng-construction: randomness must flow through SimRng in simcore/src/rng.rs",
+        "R3" => "lossy-cast: `as` to a truncating numeric type; prefer try_from/checked helpers",
+        "R4" => "panic: unwrap()/expect()/panic! in library code; budget may never grow",
+        "R5" => "unit-mix: fn takes 2+ raw f64s mixing time/power/energy names; use SimTime-style newtypes",
+        _ => "unknown rule",
+    }
+}
+
+/// Calls that read ambient state and so break seed-reproducibility.
+const WALLCLOCK: [(&str, &str); 2] = [("SystemTime", "now"), ("Instant", "now")];
+const AMBIENT_RNG: [&str; 2] = ["thread_rng", "from_entropy"];
+/// RNG construction surface that must stay inside `simcore/src/rng.rs`.
+const RNG_CONSTRUCTION: [&str; 4] = ["SmallRng", "StdRng", "ThreadRng", "seed_from_u64"];
+/// Hash collections whose iteration order is hasher-randomised.
+const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+/// Numeric `as`-targets that can truncate, wrap or lose precision.
+/// (`as f64` is exempt: pervasive and lossless for every integer this
+/// codebase feeds it below 2^53.)
+const LOSSY_TARGETS: [&str; 13] =
+    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32"];
+
+/// Run every rule over one lexed file.
+///
+/// `rel_path` is the workspace-relative path (used for per-file rule
+/// scoping like R2's rng.rs exemption).
+pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &lexed.tokens;
+    let is_rng_home = rel_path.ends_with("simcore/src/rng.rs");
+    let is_simlint_self = rel_path.contains("crates/simlint/");
+
+    for (i, tok) in toks.iter().enumerate() {
+        let t = tok.text.as_str();
+        let next = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+
+        // R1: wall-clock reads — `SystemTime::now(` / `Instant::now(`.
+        if !tok.in_test && !tok.in_use {
+            for (ty, method) in WALLCLOCK {
+                if t == ty && next(1) == Some("::") && next(2) == Some(method) {
+                    push(&mut findings, "R1", rel_path, tok.line, format!("{ty}::{method} reads the wall clock"));
+                }
+            }
+            // R1: ambient RNG — `thread_rng()` / `rand::random`.
+            if AMBIENT_RNG.contains(&t) && next(1) == Some("(") {
+                push(&mut findings, "R1", rel_path, tok.line, format!("{t}() draws from ambient (unseeded) randomness"));
+            }
+            if t == "rand" && next(1) == Some("::") && next(2) == Some("random") {
+                push(&mut findings, "R1", rel_path, tok.line, "rand::random draws from ambient randomness".into());
+            }
+            // R1: hash collections in simulation code. The lexer cannot
+            // prove an iteration, so any non-`use` mention outside tests
+            // needs either a BTreeMap or an allow marker vouching that the
+            // map is never iterated (keyed access only).
+            if HASH_COLLECTIONS.contains(&t) && !is_simlint_self {
+                push(
+                    &mut findings,
+                    "R1",
+                    rel_path,
+                    tok.line,
+                    format!("{t} has hasher-randomised iteration order; use BTreeMap/BTreeSet or annotate keyed-only use"),
+                );
+            }
+        }
+
+        // R2: RNG construction outside the one sanctioned module.
+        if !is_rng_home && !tok.in_use && RNG_CONSTRUCTION.contains(&t) {
+            push(
+                &mut findings,
+                "R2",
+                rel_path,
+                tok.line,
+                format!("{t} constructs an RNG outside simcore/src/rng.rs; derive a stream with SimRng::split instead"),
+            );
+        }
+
+        // R3: lossy numeric casts in library code.
+        if !tok.in_test && !tok.in_use && t == "as" {
+            if let Some(target) = next(1) {
+                if LOSSY_TARGETS.contains(&target) {
+                    push(
+                        &mut findings,
+                        "R3",
+                        rel_path,
+                        tok.line,
+                        format!("`as {target}` can truncate/wrap silently; prefer try_from or a checked helper"),
+                    );
+                }
+            }
+        }
+
+        // R4: the panic budget.
+        if !tok.in_test {
+            if (t == "unwrap" || t == "expect") && next(1) == Some("(") {
+                // Only count method calls `.unwrap()` — a local fn named
+                // `expect` would be unusual but shouldn't be punished.
+                let is_method = i > 0 && toks[i - 1].text == ".";
+                if is_method {
+                    push(&mut findings, "R4", rel_path, tok.line, format!(".{t}() can panic at runtime"));
+                }
+            }
+            if (t == "panic" || t == "unreachable" || t == "todo" || t == "unimplemented")
+                && next(1) == Some("!")
+            {
+                push(&mut findings, "R4", rel_path, tok.line, format!("{t}! in library code"));
+            }
+        }
+
+        // R5: unit-mixing fn signatures.
+        if !tok.in_test && t == "fn" {
+            if let Some(finding) = check_unit_mix(toks, i, rel_path) {
+                findings.push(finding);
+            }
+        }
+    }
+
+    apply_allows(findings, &lexed.allows)
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, file: &str, line: u32, msg: String) {
+    findings.push(Finding { rule, file: file.to_string(), line, msg });
+}
+
+/// Drop findings vetted by `simlint: allow(...)` markers. A line marker
+/// suppresses matches on its own line and the next (so it can sit above
+/// the offending statement); `allow-file` suppresses the rule everywhere
+/// in the file.
+fn apply_allows(findings: Vec<Finding>, allows: &[AllowMarker]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !allows.iter().any(|a| {
+                a.rule == f.rule && (a.whole_file || a.line == f.line || a.line + 1 == f.line)
+            })
+        })
+        .collect()
+}
+
+/// Vocabulary classes for R5. A parameter name belongs to at most one
+/// class; matching is by whole word segments of the snake_case name, so
+/// `watts` matches but `wattage_class` ("wattage") does not.
+fn unit_class(name: &str) -> Option<&'static str> {
+    const TIME: [&str; 12] = ["s", "secs", "sec", "seconds", "ms", "millis", "us", "ns", "nanos", "duration", "latency", "delay"];
+    const POWER: [&str; 3] = ["w", "watt", "watts"];
+    const ENERGY: [&str; 4] = ["j", "joule", "joules", "energy"];
+    for seg in name.split('_') {
+        if TIME.contains(&seg) {
+            return Some("time");
+        }
+        if POWER.contains(&seg) {
+            return Some("power");
+        }
+        if ENERGY.contains(&seg) {
+            return Some("energy");
+        }
+    }
+    None
+}
+
+/// R5: starting at the `fn` token, parse the parameter list and flag
+/// signatures taking two or more *raw* `f64`s whose names span more than
+/// one unit vocabulary (e.g. `fn charge(watts: f64, secs: f64)`).
+fn check_unit_mix(toks: &[Token], fn_idx: usize, rel_path: &str) -> Option<Finding> {
+    let name_tok = toks.get(fn_idx + 1)?;
+    // Find the opening paren (skipping generic params `<...>`).
+    let mut i = fn_idx + 2;
+    let mut angle = 0i32;
+    loop {
+        let t = toks.get(i)?.text.as_str();
+        match t {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" if angle <= 0 => break,
+            "{" | ";" => return None, // no parameter list found
+            _ => {}
+        }
+        i += 1;
+    }
+    // Split the top-level parameter list on commas.
+    let mut depth = 1i32;
+    let mut param: Vec<&Token> = Vec::new();
+    let mut classes: Vec<(&'static str, String)> = Vec::new();
+    let mut f64_params = 0usize;
+    i += 1;
+    while let Some(tok) = toks.get(i) {
+        match tok.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 || (depth == 1 && tok.text == ",") {
+            // One parameter collected: `name : type...` (maybe `mut name`).
+            let colon = param.iter().position(|t| t.text == ":");
+            if let Some(c) = colon {
+                let ty: Vec<&str> = param[c + 1..].iter().map(|t| t.text.as_str()).collect();
+                if ty == ["f64"] {
+                    f64_params += 1;
+                    let name = param[..c].iter().rev().find(|t| t.text != "mut")?;
+                    if let Some(class) = unit_class(&name.text) {
+                        if !classes.iter().any(|(cl, _)| *cl == class) {
+                            classes.push((class, name.text.clone()));
+                        }
+                    }
+                }
+            }
+            param.clear();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            param.push(tok);
+        }
+        i += 1;
+    }
+    if f64_params >= 2 && classes.len() >= 2 {
+        let names: Vec<&str> = classes.iter().map(|(_, n)| n.as_str()).collect();
+        return Some(Finding {
+            rule: "R5",
+            file: rel_path.to_string(),
+            line: name_tok.line,
+            msg: format!(
+                "fn {} mixes {} in raw f64 params ({}); wrap one side in a unit newtype like SimTime",
+                name_tok.text,
+                classes.iter().map(|(c, _)| *c).collect::<Vec<_>>().join("/"),
+                names.join(", ")
+            ),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        check_file("crates/demo/src/lib.rs", &lex(src, false))
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        findings(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_wallclock_and_ambient_rng() {
+        assert_eq!(rules_of("fn f() { let t = Instant::now(); }"), vec!["R1"]);
+        assert_eq!(rules_of("fn f() { let t = SystemTime::now(); }"), vec!["R1"]);
+        assert!(rules_of("fn f() { let mut r = thread_rng(); }").contains(&"R1"));
+        assert_eq!(rules_of("fn f() -> f64 { rand::random() }"), vec!["R1"]);
+    }
+
+    #[test]
+    fn r1_hash_collection_needs_marker() {
+        assert_eq!(rules_of("struct S { m: HashMap<u8, u8> }"), vec!["R1"]);
+        assert!(findings("struct S { m: BTreeMap<u8, u8> }").is_empty());
+        // vetted keyed-only use passes
+        assert!(findings("struct S {\n    // simlint: allow(R1) keyed access only\n    m: HashMap<u8, u8>,\n}").is_empty());
+        // use-declarations and test code don't count
+        assert!(findings("use std::collections::HashMap;").is_empty());
+        assert!(findings("#[cfg(test)]\nmod tests { fn f() { let m: HashMap<u8,u8> = HashMap::new(); } }").is_empty());
+    }
+
+    #[test]
+    fn r2_fires_outside_rng_home_only() {
+        let src = "fn f() { let r = SmallRng::seed_from_u64(1); }";
+        let hits = rules_of(src);
+        assert_eq!(hits, vec!["R2", "R2"], "SmallRng and seed_from_u64 each flag: {hits:?}");
+        assert!(check_file("crates/simcore/src/rng.rs", &lex(src, false)).is_empty());
+        // R2 applies inside test code too
+        assert!(!findings("#[cfg(test)]\nmod tests { fn f() { let r = StdRng::from_entropy(); } }").is_empty());
+    }
+
+    #[test]
+    fn r3_fires_on_truncating_casts_not_f64() {
+        assert_eq!(rules_of("fn f(x: u64) -> u32 { x as u32 }"), vec!["R3"]);
+        assert_eq!(rules_of("fn f(x: f64) -> u64 { x as u64 }"), vec!["R3"]);
+        assert!(findings("fn f(x: u32) -> f64 { x as f64 }").is_empty());
+        assert!(findings("#[cfg(test)]\nmod tests { fn f(x: u64) { let _ = x as u8; } }").is_empty());
+    }
+
+    #[test]
+    fn r4_counts_panics_in_library_code_only() {
+        assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap() }"), vec!["R4"]);
+        assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }"), vec!["R4"]);
+        assert_eq!(rules_of("fn f() { panic!(\"boom\") }"), vec!["R4"]);
+        assert!(findings("#[cfg(test)]\nmod tests { fn f(o: Option<u8>) -> u8 { o.unwrap() } }").is_empty());
+        // assert! is the sanctioned mechanism, not flagged
+        assert!(findings("fn f(x: u8) { assert!(x > 0); debug_assert!(x < 10); }").is_empty());
+    }
+
+    #[test]
+    fn r5_fires_on_mixed_unit_vocabulary() {
+        assert_eq!(rules_of("fn charge(watts: f64, duration_s: f64) -> f64 { watts * duration_s }"), vec!["R5"]);
+        assert_eq!(rules_of("fn e(idle_w: f64, busy_w: f64, window_secs: f64) {}"), vec!["R5"]);
+        // same class twice: fine
+        assert!(findings("fn f(warmup_s: f64, measure_s: f64) {}").is_empty());
+        // only one raw f64: fine
+        assert!(findings("fn f(watts: f64, t: SimTime) {}").is_empty());
+        // unclassified names: fine
+        assert!(findings("fn f(a: f64, b: f64) {}").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_on_same_line_works() {
+        assert!(findings("fn f() { let m: HashMap<u8,u8> = HashMap::new(); } // simlint: allow(R1) shadow map\n").is_empty());
+    }
+
+    #[test]
+    fn findings_carry_file_line_and_message() {
+        let f = findings("fn f() {\n    let t = Instant::now();\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("R1", 2));
+        assert!(f[0].msg.contains("wall clock"));
+        assert_eq!(f[0].file, "crates/demo/src/lib.rs");
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixture tests: one positive and one negative case per rule, driven
+//! through the public `check_file` API exactly as the scanner calls it,
+//! plus an end-to-end ratchet test against a throwaway workspace on disk.
+//!
+//! All rule-triggering tokens live inside string literals so that
+//! simlint's own scan of this file stays clean.
+
+use edison_simlint::lexer::lex;
+use edison_simlint::rules::check_file;
+use edison_simlint::{baseline, check, update_baseline};
+use std::fs;
+use std::path::PathBuf;
+
+const LIB: &str = "crates/demo/src/lib.rs";
+
+fn rules_of(src: &str) -> Vec<&'static str> {
+    check_file(LIB, &lex(src, false)).into_iter().map(|f| f.rule).collect()
+}
+
+// ---- R1: nondeterminism sources ------------------------------------------
+
+#[test]
+fn r1_positive_wallclock_ambient_rng_and_hash_maps() {
+    assert_eq!(rules_of("fn f() { let t0 = Instant::now(); }"), vec!["R1"]);
+    assert_eq!(rules_of("fn f() { let t0 = SystemTime::now(); }"), vec!["R1"]);
+    assert_eq!(rules_of("fn f() -> f64 { rand::random() }"), vec!["R1"]);
+    assert_eq!(rules_of("struct S { m: HashMap<u64, f64> }"), vec!["R1"]);
+    assert_eq!(rules_of("fn f() { let s: HashSet<u8> = HashSet::default(); }"), vec!["R1", "R1"]);
+}
+
+#[test]
+fn r1_negative_btreemap_tests_uses_and_vetted_sites() {
+    assert!(rules_of("struct S { m: BTreeMap<u64, f64> }").is_empty());
+    assert!(rules_of("use std::collections::HashMap;").is_empty());
+    assert!(rules_of("#[cfg(test)]\nmod tests { fn f() { let t = Instant::now(); } }").is_empty());
+    // an allow marker on the line above vouches for a keyed-only map
+    assert!(rules_of("struct S {\n    // simlint: allow(R1) keyed lookup only\n    m: HashMap<u64, f64>,\n}").is_empty());
+    // `Instant` inside a string or comment is not a finding
+    assert!(rules_of("fn f() { let s = \"Instant::now()\"; } // Instant::now()").is_empty());
+}
+
+// ---- R2: RNG construction outside simcore/src/rng.rs ---------------------
+
+#[test]
+fn r2_positive_rng_construction_even_in_tests() {
+    assert_eq!(rules_of("fn f() { let r = SmallRng::seed_from_u64(7); }"), vec!["R2", "R2"]);
+    // R2 deliberately applies inside test regions too
+    assert_eq!(
+        rules_of("#[cfg(test)]\nmod tests { fn f() { let r = StdRng::seed_from_u64(1); } }"),
+        vec!["R2", "R2"]
+    );
+}
+
+#[test]
+fn r2_negative_inside_rng_home_and_via_simrng() {
+    let src = "fn mk() { let r = SmallRng::seed_from_u64(7); }";
+    assert!(check_file("crates/simcore/src/rng.rs", &lex(src, false)).is_empty());
+    assert!(rules_of("fn f(rng: &mut SimRng) { let sub = rng.split(\"net\"); }").is_empty());
+}
+
+// ---- R3: lossy numeric casts ---------------------------------------------
+
+#[test]
+fn r3_positive_truncating_casts() {
+    assert_eq!(rules_of("fn f(x: u64) -> u32 { x as u32 }"), vec!["R3"]);
+    assert_eq!(rules_of("fn f(x: f64) -> i64 { x as i64 }"), vec!["R3"]);
+    assert_eq!(rules_of("fn f(x: f64) -> f32 { x as f32 }"), vec!["R3"]);
+}
+
+#[test]
+fn r3_negative_widening_and_test_code() {
+    assert!(rules_of("fn f(x: u32) -> f64 { x as f64 }").is_empty());
+    assert!(rules_of("#[cfg(test)]\nmod tests { fn f(x: u64) -> u8 { x as u8 } }").is_empty());
+}
+
+// ---- R4: panic budget -----------------------------------------------------
+
+#[test]
+fn r4_positive_unwrap_expect_panic() {
+    assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap() }"), vec!["R4"]);
+    assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }"), vec!["R4"]);
+    assert_eq!(rules_of("fn f() { unreachable!() }"), vec!["R4"]);
+}
+
+#[test]
+fn r4_negative_asserts_and_test_code() {
+    assert!(rules_of("fn f(x: u8) { assert!(x > 0); debug_assert_eq!(x, 1); }").is_empty());
+    assert!(rules_of("#[cfg(test)]\nmod tests { fn f(o: Option<u8>) -> u8 { o.unwrap() } }").is_empty());
+}
+
+// ---- R5: unit-mixing signatures ------------------------------------------
+
+#[test]
+fn r5_positive_mixed_unit_vocabulary() {
+    assert_eq!(rules_of("fn charge(watts: f64, duration_s: f64) -> f64 { watts * duration_s }"), vec!["R5"]);
+    assert_eq!(rules_of("fn e(idle_w: f64, ramp_ms: f64) {}"), vec!["R5"]);
+}
+
+#[test]
+fn r5_negative_single_class_newtypes_and_unclassified() {
+    assert!(rules_of("fn f(warmup_s: f64, measure_s: f64) {}").is_empty());
+    assert!(rules_of("fn f(watts: f64, t: SimTime) {}").is_empty());
+    assert!(rules_of("fn f(a: f64, b: f64) {}").is_empty());
+}
+
+// ---- end to end: the ratchet against a real directory tree ---------------
+
+/// Build a throwaway single-crate workspace, then walk the full ratchet
+/// cycle: a violating tree fails with no baseline, passes once the debt
+/// is grandfathered, and fails again as soon as a *new* violation lands.
+#[test]
+fn ratchet_cycle_on_disk() {
+    let root = PathBuf::from(std::env::temp_dir())
+        .join(format!("simlint-fixture-{}", std::process::id()));
+    let src_dir = root.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("mkdir");
+    fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n").expect("manifest");
+    fs::write(src_dir.join("lib.rs"), "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n").expect("lib");
+
+    // No baseline on disk: every finding is a regression (a deleted
+    // ratchet file cannot silently disable the gate).
+    let report = check(&root).expect("scan");
+    assert!(!report.passed(), "missing baseline must not pass a dirty tree");
+    assert_eq!(report.regressions.len(), 1);
+    assert_eq!(report.regressions[0].rule, "R4");
+
+    // Grandfather the debt; the same tree now passes.
+    let scan = update_baseline(&root).expect("update");
+    assert_eq!(baseline::aggregate(&scan.findings), scan.counts);
+    let report = check(&root).expect("scan");
+    assert!(report.passed(), "grandfathered tree must pass: {:?}", report.regressions);
+    assert!(report.stale.is_empty());
+
+    // One *new* violation over the budget fails again.
+    fs::write(
+        src_dir.join("extra.rs"),
+        "pub fn g() { let t0 = Instant::now(); let _ = t0; }\n",
+    )
+    .expect("extra");
+    let report = check(&root).expect("scan");
+    assert!(!report.passed(), "new violation must fail the ratchet");
+    assert_eq!(report.regressions.len(), 1);
+    assert_eq!(report.regressions[0].rule, "R1");
+    assert_eq!(report.regressions[0].file, "crates/demo/src/extra.rs");
+
+    // Cleaning the new file up again leaves the tree passing and the
+    // baseline exactly reproducible.
+    fs::remove_file(src_dir.join("extra.rs")).expect("rm");
+    let report = check(&root).expect("scan");
+    assert!(report.passed());
+    let committed = fs::read_to_string(root.join(edison_simlint::BASELINE_FILE)).expect("read");
+    assert_eq!(committed, baseline::to_json(&report.scan.counts));
+
+    fs::remove_dir_all(&root).ok();
+}

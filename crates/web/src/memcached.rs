@@ -33,6 +33,7 @@ const NIL: u32 = u32::MAX;
 /// Byte-capacity-bounded LRU store. See module docs.
 #[derive(Debug, Clone)]
 pub struct LruStore {
+    // simlint: allow(R1) keyed lookup only; LRU order lives in the slab links
     map: HashMap<Key, u32>,
     slab: Vec<Entry>,
     free: Vec<u32>,
@@ -50,6 +51,7 @@ impl LruStore {
     pub fn new(capacity_bytes: u64) -> Self {
         assert!(capacity_bytes > 0);
         LruStore {
+            // simlint: allow(R1) keyed lookup only (see field note)
             map: HashMap::new(),
             slab: Vec::new(),
             free: Vec::new(),

@@ -270,7 +270,9 @@ pub struct WebWorld {
     workers: Vec<WorkerPool>,
     syn_gates: Vec<SynGate>,
     rng: SimRng,
+    // simlint: allow(R1) keyed lookup only; event order comes from the kernel heap
     conns: HashMap<u64, Conn>,
+    // simlint: allow(R1) keyed lookup only; event order comes from the kernel heap
     reqs: HashMap<u64, Req>,
     next_conn: u64,
     next_req: u64,
@@ -442,7 +444,9 @@ impl WebWorld {
             workers,
             syn_gates,
             rng,
+            // simlint: allow(R1) keyed lookup only (see field notes)
             conns: HashMap::new(),
+            // simlint: allow(R1) keyed lookup only (see field notes)
             reqs: HashMap::new(),
             next_conn: 0,
             next_req: 0,

@@ -1,0 +1,58 @@
+//! Tier-1 lint gate: the simlint scan must pass against the committed
+//! baseline, and the committed baseline must match a fresh scan exactly.
+//!
+//! This is the same check `cargo lint-gate` runs, wired into `cargo test`
+//! so the ratchet cannot be forgotten. The exact-match assertion is
+//! stricter than the CLI (which only warns on stale entries): in CI we
+//! also refuse a baseline that *overstates* the debt, so cleanups are
+//! locked in with `--update-baseline` in the same commit.
+
+use edison_simlint::{baseline, check, find_workspace_root, BASELINE_FILE};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+/// No (rule, file) pair may exceed its committed budget.
+#[test]
+fn workspace_is_within_lint_budget() {
+    let report = check(&workspace_root()).expect("scan");
+    assert!(
+        report.passed(),
+        "simlint found new violations over the committed baseline:\n{}",
+        report
+            .regressed_findings()
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The committed baseline is byte-for-byte what a fresh scan produces —
+/// no stale (over-budget) entries, no hand-edits, stable formatting.
+#[test]
+fn committed_baseline_matches_fresh_scan() {
+    let root = workspace_root();
+    let committed = std::fs::read_to_string(root.join(BASELINE_FILE))
+        .expect("committed simlint-baseline.json at the workspace root");
+    let scan = edison_simlint::scan_workspace(&root).expect("scan");
+    let fresh = baseline::to_json(&scan.counts);
+    assert_eq!(
+        committed, fresh,
+        "simlint-baseline.json is out of date; run `cargo run -p edison-simlint -- check --update-baseline`"
+    );
+}
+
+/// Policy floor: only lossy casts (R3) and panics (R4) were grandfathered
+/// at introduction. Nondeterminism (R1), stray RNG construction (R2) and
+/// unit-mixing (R5) start — and must stay — at zero.
+#[test]
+fn determinism_rules_have_zero_budget() {
+    let report = check(&workspace_root()).expect("scan");
+    for rule in ["R1", "R2", "R5"] {
+        let n: usize = report.scan.counts.get(rule).map(|m| m.values().sum()).unwrap_or(0);
+        assert_eq!(n, 0, "{rule} findings present; these may never be grandfathered");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam::thread::scope`, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The workspace only uses scoped fork-join parallelism to fan
+//! independent simulations across cores; std's scoped threads provide the
+//! same borrow-from-the-stack guarantee. Panic semantics differ slightly
+//! from real crossbeam: a panicking child makes `scope` itself panic
+//! (propagated by std on implicit join) rather than surface as `Err`, so
+//! the `Err` arm of the returned `Result` is never constructed here.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Mirrors `crossbeam::thread::Scope`: spawn threads that may borrow
+    /// from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// again so it can spawn nested work, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reborrowed = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&reborrowed)) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Always `Ok` here (see module docs for the panic
+    /// semantics difference from real crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(slots, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_return_values() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 41 + 1);
+            h.join().expect("join")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Implements the `proptest! { fn name(x in strategy, ...) { body } }`
+//! macro, range/tuple/vec/regex-literal strategies, `any::<T>()` for
+//! primitives, and `prop_assert*`. Differences from real proptest, by
+//! design:
+//!
+//! * **no shrinking** — a failing case reports the sampled inputs as-is
+//!   (every strategy prints its sampled value in the panic message);
+//! * **deterministic** — the RNG seed is derived from the test's name, so
+//!   a failure reproduces by re-running the same test binary; there is no
+//!   persistence file;
+//! * **regex strategies** support exactly the `[class]{lo,hi}` shape used
+//!   in this workspace, not full regex syntax.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `any::<T>()` entry point and the [`Arbitrary`] trait behind it.
+pub mod arbitrary {
+    use crate::strategy::{FullRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy produced by [`any`](super::any).
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy for the type.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy yielding uniformly random `bool`s.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> FullRange<$t> {
+                    FullRange::new()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+}
+
+/// Strategy for any value of `T` — `any::<bool>()` etc.
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a `proptest!` call site needs.
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body. Without shrinking there is no failure
+/// machinery to thread through, so this is `assert!` plus the sampled-input
+/// dump the harness prints from the enclosing loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Supports the subset of real proptest syntax the
+/// workspace uses: an optional leading `#![proptest_config(expr)]`, then
+/// any number of `fn name(binding in strategy, ...) { body }` items, each
+/// carrying its own attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one plain `fn` per property, which
+/// loops `config.cases` times sampling every binding, and on panic reports
+/// the case number and sampled inputs before re-raising.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $binding = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($binding), " = {:?}, "),+),
+                    $(&$binding),+
+                );
+                let __guard = $crate::test_runner::CaseGuard::new(__case, __inputs);
+                $body
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}

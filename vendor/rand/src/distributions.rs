@@ -1,0 +1,196 @@
+//! Distributions over random sources.
+
+use crate::Rng;
+use std::borrow::Borrow;
+use std::fmt;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: full range for integers, the
+/// unit interval `[0, 1)` for floats (53-bit mantissa precision, matching
+/// `rand 0.8`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Take the top 53 bits: uniform on [0, 1) with full mantissa.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges.
+
+    use super::super::Rng;
+    use std::ops::Range;
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Unbiased uniform integer in `[0, n)` by rejection sampling: reject
+    /// draws from the tail shorter than `n` so every residue is equally
+    /// likely. The loop terminates with probability 1 (expected < 2
+    /// iterations for any `n`).
+    #[inline]
+    fn below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(n);
+        loop {
+            let v = rng.next_u64();
+            if v < zone || zone == 0 {
+                return v % n;
+            }
+        }
+    }
+
+    macro_rules! int_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty sample range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_sample_range!(u8, u16, u32, u64, usize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty sample range");
+            let u: f64 = rng.gen();
+            self.start + (self.end - self.start) * u
+        }
+    }
+}
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// Every weight was zero.
+    AllWeightsZero,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            WeightedError::NoItem => "no weights",
+            WeightedError::InvalidWeight => "negative or non-finite weight",
+            WeightedError::AllWeightsZero => "all weights zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Draws an index with probability proportional to its weight, by inverse
+/// CDF over the precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from non-negative weights (at least one must be positive).
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let target = u * self.total;
+        // partition_point: first index whose cumulative weight exceeds the
+        // target; zero-weight entries are skipped because their cumulative
+        // equals their predecessor's.
+        let i = self.cumulative.partition_point(|&c| c <= target);
+        i.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_rejects_bad_input() {
+        assert!(matches!(WeightedIndex::new(Vec::<f64>::new()), Err(WeightedError::NoItem)));
+        assert!(matches!(WeightedIndex::new([-1.0]), Err(WeightedError::InvalidWeight)));
+        assert!(matches!(WeightedIndex::new([0.0, 0.0]), Err(WeightedError::AllWeightsZero)));
+    }
+
+    #[test]
+    fn weighted_skips_zero_weights() {
+        let d = WeightedIndex::new([0.0, 1.0, 0.0]).unwrap();
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_matches_proportions() {
+        let d = WeightedIndex::new([1.0, 3.0]).unwrap();
+        let mut r = SmallRng::seed_from_u64(6);
+        let hits = (0..40_000).filter(|_| d.sample(&mut r) == 1).count();
+        let frac = hits as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "{frac}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the slice of `serde` this workspace touches.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! stats types so downstream consumers *can* wire up serialization, but
+//! nothing in-tree bounds on the traits or runs a serializer (reports are
+//! exported via the hand-rolled CSV/markdown writers in
+//! `edison-core::export`). With crates.io unreachable, this stub keeps
+//! those derives compiling: the traits are markers and the derive macros
+//! (from the sibling `serde_derive` stub) validate nothing and emit
+//! nothing. Swap the real serde back in when the build environment gains
+//! network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types declared serializable. No methods: no in-tree code
+/// serializes through serde.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable. No methods: no in-tree code
+/// deserializes through serde.
+pub trait Deserialize<'de>: Sized {}
