@@ -82,6 +82,14 @@ impl Cluster {
         self.nodes.iter().map(|n| n.energy_joules(now)).sum()
     }
 
+    /// Start recording per-node power steps on every node (telemetry
+    /// timelines). Idempotent.
+    pub fn enable_power_trace(&mut self) {
+        for n in &mut self.nodes {
+            n.enable_power_trace();
+        }
+    }
+
     /// Mean CPU utilisation across nodes (instantaneous).
     pub fn mean_cpu_utilization(&self) -> f64 {
         if self.nodes.is_empty() {

@@ -218,6 +218,18 @@ impl Node {
         self.power.integral_at(now)
     }
 
+    /// Start recording this node's power steps (for telemetry timelines).
+    /// Idempotent; costs one branch per power change when enabled.
+    pub fn enable_power_trace(&mut self) {
+        self.power.enable_trace();
+    }
+
+    /// The recorded `(t, watts)` power steps; empty unless
+    /// [`enable_power_trace`](Self::enable_power_trace) was called.
+    pub fn power_trace(&self) -> &[(SimTime, f64)] {
+        self.power.trace()
+    }
+
     fn sync_power(&mut self, now: SimTime) {
         let p = self.spec.power.power_at(self.cpu.utilization());
         self.power.set(now, p);

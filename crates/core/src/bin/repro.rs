@@ -7,11 +7,34 @@
 //! repro --full table8        run one experiment at paper scale
 //! repro --all                run everything (quick)
 //! repro --all --full --out reports/   write one file per experiment
+//! repro smoke --trace t.json --metrics m.prom   record telemetry
 //! ```
+//!
+//! `--trace FILE` writes a Chrome/Perfetto trace (open at ui.perfetto.dev),
+//! `--metrics FILE` writes Prometheus text exposition, `--telemetry-csv
+//! FILE` writes the flat CSV form. Any of these flags enables the
+//! telemetry sink; experiments record a representative traced run into it.
 
+use edison_core::export::telemetry_csv;
 use edison_core::registry::{self, RunBudget};
+use edison_simtel::Telemetry;
 use std::fs;
 use std::path::PathBuf;
+
+/// CLI-error exit: print and stop instead of panicking with a backtrace.
+fn die(msg: String) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Consume the value operand of `flag`.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> PathBuf {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => PathBuf::from(v),
+        None => die(format!("{flag} needs a value")),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +42,9 @@ fn main() {
     let mut run_all = false;
     let mut full = false;
     let mut out_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut csv_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -26,12 +52,12 @@ fn main() {
             "--list" => list = true,
             "--all" => run_all = true,
             "--full" => full = true,
-            "--out" => {
-                i += 1;
-                out_dir = Some(PathBuf::from(args.get(i).expect("--out needs a directory")));
-            }
+            "--out" => out_dir = Some(flag_value(&args, &mut i, "--out")),
+            "--trace" => trace_path = Some(flag_value(&args, &mut i, "--trace")),
+            "--metrics" => metrics_path = Some(flag_value(&args, &mut i, "--metrics")),
+            "--telemetry-csv" => csv_path = Some(flag_value(&args, &mut i, "--telemetry-csv")),
             "--help" | "-h" => {
-                println!("usage: repro [--list] [--all] [--full] [--out DIR] [IDS...]");
+                println!("usage: repro [--list] [--all] [--full] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [IDS...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -55,27 +81,60 @@ fn main() {
         registry::all()
     } else {
         ids.iter()
-            .map(|id| registry::find(id).unwrap_or_else(|| panic!("unknown experiment '{id}' (try --list)")))
+            .map(|id| {
+                registry::find(id).unwrap_or_else(|| die(format!("unknown experiment '{id}' (try --list)")))
+            })
             .collect()
     };
 
     if let Some(dir) = &out_dir {
-        fs::create_dir_all(dir).expect("create output directory");
+        if let Err(e) = fs::create_dir_all(dir) {
+            die(format!("create output directory {}: {e}", dir.display()));
+        }
     }
+    let mut tel = if trace_path.is_some() || metrics_path.is_some() || csv_path.is_some() {
+        Telemetry::on()
+    } else {
+        Telemetry::off()
+    };
     for e in experiments {
         eprintln!("running {} ...", e.id);
         // simlint: allow(R1) host-side progress display; never feeds sim state
         let t0 = std::time::Instant::now();
-        let report = (e.run)(&budget);
+        let report = (e.run)(&budget, &mut tel);
         eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
         let text = format!("{report}");
         match &out_dir {
             Some(dir) => {
                 let path = dir.join(format!("{}.txt", e.id));
-                fs::write(&path, &text).expect("write report");
+                if let Err(e) = fs::write(&path, &text) {
+                    die(format!("write report {}: {e}", path.display()));
+                }
                 println!("wrote {}", path.display());
             }
             None => println!("{text}"),
         }
+    }
+    let write_artifact = |path: &PathBuf, what: &str, text: String| {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = fs::create_dir_all(parent) {
+                    die(format!("create artifact directory {}: {e}", parent.display()));
+                }
+            }
+        }
+        if let Err(e) = fs::write(path, text) {
+            die(format!("write {what} {}: {e}", path.display()));
+        }
+        eprintln!("wrote {what} {}", path.display());
+    };
+    if let Some(path) = &trace_path {
+        write_artifact(path, "trace", tel.chrome_trace_json());
+    }
+    if let Some(path) = &metrics_path {
+        write_artifact(path, "metrics", tel.prometheus_text());
+    }
+    if let Some(path) = &csv_path {
+        write_artifact(path, "telemetry csv", telemetry_csv(&tel));
     }
 }

@@ -7,7 +7,8 @@ use crate::report::{table, Comparison, Report};
 use edison_hw::dvfs::{daily_energy_wh, DvfsModel};
 use edison_hw::related;
 use edison_simcore::time::SimDuration;
-use edison_web::stack::{run, GenMode, StackConfig};
+use edison_simtel::Telemetry;
+use edison_web::stack::{run, run_traced, GenMode, StackConfig};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 fn web_cfg(platform: Platform, conc: f64, budget: &RunBudget) -> StackConfig {
@@ -25,7 +26,7 @@ fn web_cfg(platform: Platform, conc: f64, budget: &RunBudget) -> StackConfig {
 
 /// §7's "hybrid future datacenter": a half-scale Edison web tier plus one
 /// Dell web server, compared against the pure tiers at equal offered load.
-pub fn ext_hybrid(budget: &RunBudget) -> Report {
+pub fn ext_hybrid(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let conc = 1024.0;
     let window = budget.web_measure_s as f64;
 
@@ -38,7 +39,15 @@ pub fn ext_hybrid(budget: &RunBudget) -> Report {
     let mut hybrid_cfg = web_cfg(Platform::Edison, conc, budget);
     hybrid_cfg.scenario.web_servers = 12;
     hybrid_cfg.hybrid_web = 1;
-    let hybrid = run(hybrid_cfg);
+    let hybrid = if tel.is_on() {
+        // trace the hybrid run itself — it is the novel configuration here
+        let mut world = run_traced(hybrid_cfg, Telemetry::on());
+        let t = world.take_telemetry();
+        tel.merge(t);
+        world
+    } else {
+        run(hybrid_cfg)
+    };
 
     let row = |name: &str, m: &edison_web::stack::Metrics| {
         let rps = m.completed as f64 / window;
@@ -78,7 +87,7 @@ pub fn ext_hybrid(budget: &RunBudget) -> Report {
 
 /// Node-failure impact (Introduction, advantage 2): kill one web server
 /// mid-window on each platform and compare the damage.
-pub fn ext_failure(budget: &RunBudget) -> Report {
+pub fn ext_failure(budget: &RunBudget, _tel: &mut Telemetry) -> Report {
     let conc = 1024.0;
     let window = budget.web_measure_s as f64;
     let mut rows = Vec::new();
@@ -117,7 +126,7 @@ pub fn ext_failure(budget: &RunBudget) -> Report {
 
 /// Related-work platform what-if: MI-per-joule figure of merit across the
 /// Table 1 platforms with full models.
-pub fn ext_platforms(_budget: &RunBudget) -> Report {
+pub fn ext_platforms(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
     let rows: Vec<Vec<String>> = related::all_platforms()
         .iter()
         .map(|s| {
@@ -146,7 +155,7 @@ pub fn ext_platforms(_budget: &RunBudget) -> Report {
 
 /// DVFS vs micro-server substitution on a diurnal day (§1's quantitative
 /// argument): DVFS saves ≲30 %, the Edison swap > 60 %.
-pub fn ext_dvfs(_budget: &RunBudget) -> Report {
+pub fn ext_dvfs(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
     let dell = DvfsModel::from_spec(&edison_hw::presets::dell_r620());
     let edison = edison_hw::presets::edison().power;
     let fixed = daily_energy_wh(|u| dell.power_fixed(u));
@@ -182,7 +191,7 @@ mod tests {
 
     #[test]
     fn dvfs_report_shapes_hold() {
-        let r = ext_dvfs(&RunBudget::quick());
+        let r = ext_dvfs(&RunBudget::quick(), &mut Telemetry::off());
         let dvfs_saving = r.comparisons[0].measured;
         let swap_saving = r.comparisons[1].measured;
         assert!(swap_saving > 2.0 * dvfs_saving, "swap {swap_saving} vs dvfs {dvfs_saving}");
@@ -190,7 +199,7 @@ mod tests {
 
     #[test]
     fn platform_table_renders() {
-        let r = ext_platforms(&RunBudget::quick());
+        let r = ext_platforms(&RunBudget::quick(), &mut Telemetry::off());
         assert!(r.body.contains("FAWN"));
         assert!(r.body.contains("Raspberry"));
         assert_eq!(r.comparisons.len(), 1);

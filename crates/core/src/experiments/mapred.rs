@@ -3,8 +3,9 @@
 use crate::paper;
 use crate::registry::RunBudget;
 use crate::report::{table, Comparison, Report};
-use edison_mapreduce::engine::{run_job, ClusterSetup, JobOutcome};
+use edison_mapreduce::engine::{run_job, run_job_traced, ClusterSetup, JobOutcome};
 use edison_mapreduce::jobs::{self, JobProfile, Tune};
+use edison_simtel::Telemetry;
 
 const MIB: u64 = 1024 * 1024;
 
@@ -25,7 +26,7 @@ fn clusters(budget: &RunBudget) -> Vec<(String, ClusterSetup)> {
 /// Job profile for a cluster label, with the paper's per-size re-tuning:
 /// combined-input jobs scale the split count so each vcore still gets one
 /// container (block size is raised as the cluster shrinks).
-fn profile_for(job: &str, setup: &ClusterSetup) -> JobProfile {
+pub(crate) fn profile_for(job: &str, setup: &ClusterSetup) -> JobProfile {
     let tune = setup.tune;
     let mut p = match job {
         "wordcount" => jobs::wordcount(tune),
@@ -48,7 +49,7 @@ fn profile_for(job: &str, setup: &ClusterSetup) -> JobProfile {
     p
 }
 
-fn setup_for(job: &str, base: &ClusterSetup) -> ClusterSetup {
+pub(crate) fn setup_for(job: &str, base: &ClusterSetup) -> ClusterSetup {
     let mut s = base.clone();
     if job == "terasort" {
         // §5.2.4: block size 64 MB on both clusters for fairness
@@ -72,9 +73,23 @@ pub fn run_cell(job: &str, label: &str, base: &ClusterSetup) -> JobOutcome {
     run_job(&profile, &setup)
 }
 
+/// When the sink is enabled, re-run one representative cell with tracing
+/// and merge the result (same reasoning as the web-side helper: the matrix
+/// itself runs untraced on worker threads).
+fn trace_representative(tel: &mut Telemetry, job: &str, base: &ClusterSetup) {
+    if !tel.is_on() {
+        return;
+    }
+    let setup = setup_for(job, base);
+    let profile = profile_for(job, &setup);
+    let (_, t) = run_job_traced(&profile, &setup, Telemetry::on());
+    tel.merge(t);
+}
+
 /// Figures 12–17: utilisation/power timelines for wordcount, wordcount2
 /// and pi on both full clusters.
-pub fn fig12_17(_budget: &RunBudget) -> Report {
+pub fn fig12_17(_budget: &RunBudget, tel: &mut Telemetry) -> Report {
+    trace_representative(tel, "logcount2", &ClusterSetup::edison(8));
     let mut body = String::new();
     let mut comparisons = Vec::new();
     let cells = [
@@ -116,7 +131,8 @@ pub fn fig12_17(_budget: &RunBudget) -> Report {
 }
 
 /// Table 8 / Figures 18–19: the full job × cluster-size matrix.
-pub fn table8(budget: &RunBudget) -> Report {
+pub fn table8(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+    trace_representative(tel, "logcount2", &ClusterSetup::edison(8));
     let jobs_list = ["wordcount", "wordcount2", "logcount", "logcount2", "pi", "terasort"];
     let cols = clusters(budget);
     // run cells in parallel: each is an independent deterministic sim
@@ -192,7 +208,8 @@ fn find<'a>(
 }
 
 /// Speed-up summary (§5.3): mean speed-up per cluster doubling.
-pub fn scalability_speedup(_budget: &RunBudget) -> Report {
+pub fn scalability_speedup(_budget: &RunBudget, tel: &mut Telemetry) -> Report {
+    trace_representative(tel, "pi", &ClusterSetup::edison(4));
     let jobs_list = ["wordcount2", "logcount2", "pi"];
     let sizes = [4usize, 8, 17, 35];
     let mut body = String::new();

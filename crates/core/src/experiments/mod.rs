@@ -5,9 +5,12 @@
 //! * [`mapred`] — Figures 12–19, Table 8.
 //! * [`tco_exp`] — Table 10.
 //! * [`extensions`] — hybrid tier, failure injection, platform what-ifs.
+//! * [`smoke`] — one quick web point + one small MapReduce job, the
+//!   telemetry demo / CI smoke target.
 
 pub mod extensions;
 pub mod individual;
 pub mod mapred;
+pub mod smoke;
 pub mod tco_exp;
 pub mod webservice;

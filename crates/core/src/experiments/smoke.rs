@@ -1,0 +1,89 @@
+//! End-to-end smoke experiment: one quick web point plus one small
+//! MapReduce job. This is the `repro smoke` / `cargo repro-smoke` target —
+//! fast enough for CI, and it exercises every telemetry surface (request
+//! spans, task-phase spans, counters, histograms, power timelines) when a
+//! sink is enabled via `--trace` / `--metrics`.
+
+use super::mapred;
+use crate::registry::RunBudget;
+use crate::report::{table, Comparison, Report};
+use edison_mapreduce::engine::{run_job_traced, ClusterSetup};
+use edison_simtel::Telemetry;
+use edison_web::httperf::{self, RunOpts};
+use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+
+/// Run the smoke pair. Unlike the figure experiments (which trace one
+/// representative point on the side), the smoke runs ARE the traced runs:
+/// whatever the sink's state, each simulation executes exactly once.
+pub fn smoke(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+    let tracing = tel.is_on();
+    let sink = move || if tracing { Telemetry::on() } else { Telemetry::off() };
+
+    // web: eighth-scale Edison tier at a mid-curve load
+    let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth)
+        // simlint: allow(R4) Table 6 statically contains the eighth-scale Edison row
+        .expect("eighth-scale Edison row");
+    let opts = RunOpts { seed: 20160509, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s };
+    let (web, wtel) = httperf::run_point_traced(&scenario, WorkloadMix::lightest(), 64.0, opts, sink());
+    tel.merge(wtel);
+
+    // mapreduce: logcount2 on a 4-node Edison cluster (seconds, not minutes)
+    let base = ClusterSetup::edison(4);
+    let setup = mapred::setup_for("logcount2", &base);
+    let profile = mapred::profile_for("logcount2", &setup);
+    let (job, jtel) = run_job_traced(&profile, &setup, sink());
+    tel.merge(jtel);
+
+    let rows = vec![
+        vec![
+            "web (3 Edison, mix=lightest, conc=64)".into(),
+            format!("{:.0} req/s", web.requests_per_sec),
+            format!("{:.2} ms mean delay", web.mean_delay_ms),
+            format!("{:.1} W", web.mean_power_w),
+        ],
+        vec![
+            "mapreduce (logcount2, 4 Edison)".into(),
+            format!("{:.0} s", job.finish_time_s),
+            format!("{:.0} J", job.energy_j),
+            format!("{:.0}% data-local", 100.0 * job.data_local_fraction),
+        ],
+    ];
+    Report {
+        id: "smoke".into(),
+        title: "End-to-end smoke run (web + MapReduce, telemetry-ready)".into(),
+        body: table(&["run", "throughput / time", "delay / energy", "power / locality"], &rows),
+        comparisons: vec![
+            Comparison::new("web point completes requests (>0 expected)", 1.0, web.requests_per_sec.min(1.0)),
+            Comparison::new("MapReduce job finishes (>0 s expected)", 1.0, job.finish_time_s.min(1.0)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_traces() {
+        let mut tel = Telemetry::on();
+        let r = smoke(&RunBudget::quick(), &mut tel);
+        assert_eq!(r.id, "smoke");
+        assert!(r.body.contains("req/s"));
+        // both worlds contributed telemetry
+        let trace = tel.chrome_trace_json();
+        assert!(trace.contains("http_request"), "web spans present");
+        assert!(trace.contains("map_task"), "mapreduce spans present");
+        let prom = tel.prometheus_text();
+        assert!(prom.contains("web_requests_total"));
+        assert!(prom.contains("mr_maps_completed_total"));
+        assert!(prom.contains("node_power_watts"));
+    }
+
+    #[test]
+    fn smoke_off_is_clean() {
+        let mut tel = Telemetry::off();
+        let r = smoke(&RunBudget::quick(), &mut tel);
+        assert!(!r.body.is_empty());
+        assert!(tel.chrome_trace_json().contains("\"traceEvents\": []") || !tel.chrome_trace_json().contains("http_request"));
+    }
+}

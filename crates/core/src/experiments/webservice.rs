@@ -8,9 +8,36 @@ use crate::chart::{bar_chart, chart, Scale};
 use crate::paper;
 use crate::registry::RunBudget;
 use crate::report::{series_table, table, Comparison, Report, Series};
+use edison_simtel::Telemetry;
 use edison_web::httperf::{self, concurrency_sweep, HttperfResult, RunOpts};
 use edison_web::pyclient;
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+
+/// When the sink is enabled, re-run one representative point with tracing
+/// and merge the result. Sweeps themselves run untraced on worker threads;
+/// a single traced run gives the spans/power timelines the exporters need
+/// without serialising the whole sweep.
+fn trace_representative(
+    tel: &mut Telemetry,
+    scenario: &WebScenario,
+    mix: WorkloadMix,
+    concurrency: f64,
+    budget: &RunBudget,
+) {
+    if !tel.is_on() {
+        return;
+    }
+    let (_, t) = httperf::run_point_traced(scenario, mix, concurrency, opts(budget), Telemetry::on());
+    tel.merge(t);
+}
+
+/// [`trace_representative`] on the eighth-scale Edison tier — the cheapest
+/// Table 6 configuration, used as the default traced point.
+fn trace_eighth(tel: &mut Telemetry, mix: WorkloadMix, concurrency: f64, budget: &RunBudget) {
+    if let Some(sc) = WebScenario::table6(Platform::Edison, ClusterScale::Eighth) {
+        trace_representative(tel, &sc, mix, concurrency, budget);
+    }
+}
 
 /// Label a scenario the way the paper's legends do ("24 Edison", "2 Dell").
 fn legend(s: &WebScenario) -> String {
@@ -95,8 +122,9 @@ fn power_summary(raw: &[(String, Vec<HttperfResult>)]) -> String {
 
 /// Figures 4 and 7: lightest load (93 % hits, 0 % images), all scales,
 /// with cluster power.
-pub fn fig04_07(budget: &RunBudget) -> Report {
+pub fn fig04_07(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::lightest(), budget);
+    trace_eighth(tel, WorkloadMix::lightest(), 64.0, budget);
     let mut body = String::from("Figure 4 (throughput, req/s) + power lines:\n");
     body.push_str(&series_table("conc", &tput));
     body.push_str(&chart(&tput, 64, 16, Scale::Log, Scale::Linear));
@@ -112,7 +140,7 @@ pub fn fig04_07(budget: &RunBudget) -> Report {
     let peak = |rs: &[HttperfResult]| {
         rs.iter()
             .filter(|r| shown(r))
-            .max_by(|a, b| a.requests_per_sec.partial_cmp(&b.requests_per_sec).unwrap())
+            .max_by(|a, b| a.requests_per_sec.total_cmp(&b.requests_per_sec))
             .cloned()
             .expect("nonempty")
     };
@@ -139,8 +167,9 @@ pub fn fig04_07(budget: &RunBudget) -> Report {
 
 /// Figures 5 and 8: lower hit ratios and moderate image mixes, full
 /// clusters only.
-pub fn fig05_08(budget: &RunBudget) -> Report {
+pub fn fig05_08(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
+    trace_representative(tel, &full_e, WorkloadMix::hit(0.77), 64.0, budget);
     let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
     let mixes = [
         ("cache=77%", WorkloadMix::hit(0.77)),
@@ -184,7 +213,8 @@ pub fn fig05_08(budget: &RunBudget) -> Report {
 }
 
 /// Figures 6 and 9: the heaviest fair mix (20 % images), all scales.
-pub fn fig06_09(budget: &RunBudget) -> Report {
+pub fn fig06_09(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+    trace_eighth(tel, WorkloadMix::img20(), 64.0, budget);
     let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::img20(), budget);
     let mut body = String::from("Figure 6 (throughput, req/s, 20% image) + power lines:\n");
     body.push_str(&series_table("conc", &tput));
@@ -217,7 +247,8 @@ pub fn fig06_09(budget: &RunBudget) -> Report {
 
 /// Figures 10 and 11: python-client delay distributions at ~6000 req/s,
 /// 20 % images.
-pub fn fig10_11(budget: &RunBudget) -> Report {
+pub fn fig10_11(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+    trace_eighth(tel, WorkloadMix::img20(), 64.0, budget);
     let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
     let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
     let rate = 6000.0;
@@ -260,9 +291,10 @@ pub fn fig10_11(budget: &RunBudget) -> Report {
 
 /// Table 7: delay decomposition at fixed request rates (20 % images, 93 %
 /// hits).
-pub fn table7(budget: &RunBudget) -> Report {
+pub fn table7(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
     let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+    trace_representative(tel, &full_e, WorkloadMix::img20(), 480.0 / httperf::CALLS_PER_CONN, budget);
     let rates = [480.0, 960.0, 1920.0, 3840.0, 7680.0];
     let o = opts(budget);
     // all ten runs are independent — execute them concurrently

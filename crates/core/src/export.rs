@@ -17,8 +17,10 @@ pub fn csv_cell(s: &str) -> String {
 /// points are empty cells.
 pub fn series_csv(x_label: &str, series: &[Series]) -> String {
     let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    xs.dedup();
+    // total_cmp: NaN-safe (a sweep point that went NaN upstream must not
+    // panic the exporter) and gives dedup a consistent order to work with.
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| a.total_cmp(b).is_eq());
     let mut out = String::new();
     out.push_str(&csv_cell(x_label));
     for s in series {
@@ -30,11 +32,55 @@ pub fn series_csv(x_label: &str, series: &[Series]) -> String {
         let _ = write!(out, "{x}");
         for s in series {
             out.push(',');
-            if let Some(p) = s.points.iter().find(|p| p.0 == x) {
+            // total_cmp-based match so a NaN x still finds its own points.
+            if let Some(p) = s.points.iter().find(|p| p.0.total_cmp(&x).is_eq()) {
                 let _ = write!(out, "{}", p.1);
             }
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Telemetry registry → long-form CSV: one row per counter/gauge value,
+/// histogram bucket, and timeseries point. The `x` column carries the
+/// bucket's `le` bound (histograms) or the sim timestamp in seconds
+/// (timeseries); it is empty for scalars.
+pub fn telemetry_csv(tel: &edison_simtel::Telemetry) -> String {
+    let fmt_labels = |labels: &edison_simtel::Labels| {
+        labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    };
+    let mut out = String::from("kind,name,labels,x,value\n");
+    let reg = &tel.registry;
+    for (name, labels, v) in reg.counters() {
+        let _ = writeln!(out, "counter,{},{},,{v}", csv_cell(name), csv_cell(&fmt_labels(labels)));
+    }
+    for (name, labels, v) in reg.gauges() {
+        let _ = writeln!(out, "gauge,{},{},,{v}", csv_cell(name), csv_cell(&fmt_labels(labels)));
+    }
+    for (name, labels, h) in reg.histograms() {
+        let l = csv_cell(&fmt_labels(labels));
+        let mut cum = 0u64;
+        for (i, &n) in h.buckets().iter().enumerate() {
+            cum += n;
+            let le = match h.bounds().get(i) {
+                Some(&b) => format!("{b}"),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "histogram_bucket,{},{l},{le},{cum}", csv_cell(name));
+        }
+        let _ = writeln!(out, "histogram_sum,{},{l},,{}", csv_cell(name), h.sum());
+        let _ = writeln!(out, "histogram_count,{},{l},,{}", csv_cell(name), h.count());
+    }
+    for (name, labels, points) in reg.series() {
+        let l = csv_cell(&fmt_labels(labels));
+        for &(t, v) in points {
+            let _ = writeln!(out, "series,{},{l},{},{v}", csv_cell(name), t.as_secs_f64());
+        }
     }
     out
 }
@@ -79,6 +125,40 @@ mod tests {
         assert_eq!(lines[0], "x,a,b");
         assert_eq!(lines[1], "1,10,");
         assert_eq!(lines[2], "2,20,99");
+    }
+
+    #[test]
+    fn series_csv_survives_nan_x() {
+        // Regression: partial_cmp().unwrap() used to panic on NaN sweep
+        // points; total_cmp sorts them last and still matches them.
+        let s = vec![Series {
+            label: "a".into(),
+            points: vec![(f64::NAN, 1.0), (1.0, 10.0)],
+        }];
+        let csv = series_csv("x", &s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "1,10");
+        assert_eq!(lines[2], "NaN,1");
+    }
+
+    #[test]
+    fn telemetry_csv_round_trip() {
+        use edison_simtel::{labels, Telemetry};
+        let mut tel = Telemetry::on();
+        tel.counter_add("web_requests_total", labels(&[("outcome", "ok")]), 7);
+        tel.observe("d_seconds", labels(&[]), &[1.0], 0.5);
+        tel.series_push(
+            "node_power_watts",
+            labels(&[("node", "0")]),
+            edison_simcore::SimTime::from_secs(2),
+            3.25,
+        );
+        let csv = telemetry_csv(&tel);
+        assert!(csv.starts_with("kind,name,labels,x,value\n"));
+        assert!(csv.contains("counter,web_requests_total,outcome=ok,,7"));
+        assert!(csv.contains("histogram_bucket,d_seconds,,1,1"));
+        assert!(csv.contains("histogram_bucket,d_seconds,,+Inf,1"));
+        assert!(csv.contains("series,node_power_watts,node=0,2,3.25"));
     }
 
     #[test]

@@ -6,15 +6,18 @@
 //!
 //! ```no_run
 //! use edison_core::registry;
+//! use edison_simtel::Telemetry;
 //!
+//! let mut tel = Telemetry::off(); // or `Telemetry::on()` to record traces
 //! for exp in registry::all() {
-//!     let report = (exp.run)(&registry::RunBudget::quick());
+//!     let report = (exp.run)(&registry::RunBudget::quick(), &mut tel);
 //!     println!("{report}");
 //! }
 //! ```
 //!
 //! The `repro` binary drives the same registry from the command line:
-//! `repro --list`, `repro table8`, `repro --all --full`.
+//! `repro --list`, `repro table8`, `repro --all --full`, and records
+//! telemetry with `repro smoke --trace t.json --metrics m.prom`.
 
 pub mod chart;
 pub mod experiments;

@@ -1,7 +1,8 @@
 //! The experiment registry: every table/figure behind one uniform entry.
 
-use crate::experiments::{extensions, individual, mapred, tco_exp, webservice};
+use crate::experiments::{extensions, individual, mapred, smoke, tco_exp, webservice};
 use crate::report::Report;
+use edison_simtel::Telemetry;
 
 /// How much simulated time / how many sweep columns an experiment may
 /// spend. `quick` keeps CI fast; `full` is the paper-scale run the `repro`
@@ -34,23 +35,25 @@ pub struct Experiment {
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
-    /// Execute and render.
-    pub run: fn(&RunBudget) -> Report,
+    /// Execute and render. The second argument is the telemetry sink
+    /// (`Telemetry::off()` for plain runs); experiments with simulation
+    /// content record a representative traced run into it when enabled.
+    pub run: fn(&RunBudget, &mut Telemetry) -> Report,
 }
 
 /// Every experiment, in paper order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1", title: "Related-work micro server specs", run: |_| individual::table1() },
-        Experiment { id: "table2", title: "Edison vs Dell resource ratios", run: |_| individual::table2() },
-        Experiment { id: "table3", title: "Idle/busy power", run: |_| individual::table3() },
-        Experiment { id: "table4", title: "Software versions", run: |_| individual::table4() },
-        Experiment { id: "sec41_dmips", title: "Dhrystone DMIPS", run: |_| individual::sec41_dmips() },
-        Experiment { id: "fig02_03", title: "Sysbench CPU sweep", run: |_| individual::fig02_03() },
-        Experiment { id: "sec42_membw", title: "Memory bandwidth sweep", run: |_| individual::sec42_membw() },
-        Experiment { id: "table5", title: "Storage throughput/latency", run: |_| individual::table5() },
-        Experiment { id: "sec44_net", title: "iperf/ping network tests", run: |_| individual::sec44_net() },
-        Experiment { id: "table6", title: "Web cluster scale configs", run: |_| individual::table6() },
+        Experiment { id: "table1", title: "Related-work micro server specs", run: |_, _| individual::table1() },
+        Experiment { id: "table2", title: "Edison vs Dell resource ratios", run: |_, _| individual::table2() },
+        Experiment { id: "table3", title: "Idle/busy power", run: |_, _| individual::table3() },
+        Experiment { id: "table4", title: "Software versions", run: |_, _| individual::table4() },
+        Experiment { id: "sec41_dmips", title: "Dhrystone DMIPS", run: |_, _| individual::sec41_dmips() },
+        Experiment { id: "fig02_03", title: "Sysbench CPU sweep", run: |_, _| individual::fig02_03() },
+        Experiment { id: "sec42_membw", title: "Memory bandwidth sweep", run: |_, _| individual::sec42_membw() },
+        Experiment { id: "table5", title: "Storage throughput/latency", run: |_, _| individual::table5() },
+        Experiment { id: "sec44_net", title: "iperf/ping network tests", run: |_, _| individual::sec44_net() },
+        Experiment { id: "table6", title: "Web cluster scale configs", run: |_, _| individual::table6() },
         Experiment { id: "fig04_07", title: "Web throughput/delay, lightest load", run: webservice::fig04_07 },
         Experiment { id: "fig05_08", title: "Web throughput/delay, mixed loads", run: webservice::fig05_08 },
         Experiment { id: "fig06_09", title: "Web throughput/delay, 20% images", run: webservice::fig06_09 },
@@ -59,12 +62,13 @@ pub fn all() -> Vec<Experiment> {
         Experiment { id: "fig12_17", title: "MapReduce timelines", run: mapred::fig12_17 },
         Experiment { id: "table8", title: "Time/energy matrix (+Fig 18-19)", run: mapred::table8 },
         Experiment { id: "sec53_speedup", title: "Scalability speed-up", run: mapred::scalability_speedup },
-        Experiment { id: "table9", title: "TCO constants", run: |_| individual::table9() },
-        Experiment { id: "table10", title: "TCO comparison", run: |_| tco_exp::table10() },
+        Experiment { id: "table9", title: "TCO constants", run: |_, _| individual::table9() },
+        Experiment { id: "table10", title: "TCO comparison", run: |_, _| tco_exp::table10() },
         Experiment { id: "ext_hybrid", title: "EXT: hybrid web tier (§7 vision)", run: extensions::ext_hybrid },
         Experiment { id: "ext_failure", title: "EXT: node-failure impact", run: extensions::ext_failure },
         Experiment { id: "ext_platforms", title: "EXT: related-work platform what-if", run: extensions::ext_platforms },
         Experiment { id: "ext_dvfs", title: "EXT: DVFS vs substitution (§1)", run: extensions::ext_dvfs },
+        Experiment { id: "smoke", title: "End-to-end smoke run (web + MapReduce, telemetry-ready)", run: smoke::smoke },
     ]
 }
 
@@ -101,7 +105,7 @@ mod tests {
         let b = RunBudget::quick();
         for id in ["table1", "table2", "table3", "table4", "table5", "table6", "table9", "table10", "sec41_dmips", "sec42_membw", "sec44_net", "fig02_03"] {
             let e = find(id).unwrap();
-            let r = (e.run)(&b);
+            let r = (e.run)(&b, &mut Telemetry::off());
             assert_eq!(r.id, id);
             assert!(!r.body.is_empty());
         }

@@ -1,0 +1,43 @@
+//! End-to-end test of the `repro` binary's telemetry surface: run the
+//! smoke experiment with `--trace`/`--metrics`/`--telemetry-csv` and check
+//! the artefacts are non-empty and well-formed.
+
+use edison_simtel::export::{validate_json, validate_prometheus};
+use std::process::Command;
+
+#[test]
+fn repro_smoke_writes_telemetry_artifacts() {
+    let dir = std::env::temp_dir().join(format!("repro-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.prom");
+    let csv = dir.join("telemetry.csv");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("smoke")
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--telemetry-csv")
+        .arg(&csv)
+        .status()
+        .expect("run repro");
+    assert!(status.success(), "repro smoke exited non-zero");
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    validate_json(&trace_text).expect("trace is valid JSON");
+    assert!(trace_text.contains("http_request"), "trace has web request spans");
+    assert!(trace_text.contains("map_task"), "trace has mapreduce spans");
+
+    let prom_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    validate_prometheus(&prom_text).expect("metrics are valid exposition text");
+    assert!(prom_text.contains("web_requests_total"));
+    assert!(prom_text.contains("mr_maps_completed_total"));
+
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(csv_text.starts_with("kind,name,labels,x,value"), "csv has the expected header");
+    assert!(csv_text.lines().count() > 10, "csv has rows");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,7 @@ use edison_simcore::rng::SimRng;
 use edison_simcore::stats::TimeSeries;
 use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, Model, Simulation};
+use edison_simtel::{labels, EventCounter, Telemetry};
 use std::collections::VecDeque;
 
 const MIB: u64 = 1024 * 1024;
@@ -130,6 +131,25 @@ enum Phase {
     Done,
 }
 
+/// Static phase name for telemetry spans.
+fn phase_name(p: Phase) -> &'static str {
+    match p {
+        Phase::Pending => "pending",
+        Phase::Launching => "container_launch",
+        Phase::Reading => "input_read",
+        Phase::MapCpu => "map_cpu",
+        Phase::SpillCpu => "sort_spill_cpu",
+        Phase::SpillDisk => "spill_write",
+        Phase::ShuffleWait => "shuffle_wait",
+        Phase::Fetching => "shuffle_fetch",
+        Phase::MergeDisk => "external_merge",
+        Phase::ReduceCpu => "reduce_cpu",
+        Phase::OutputDisk => "output_write",
+        Phase::OutputRepl => "output_replication",
+        Phase::Done => "done",
+    }
+}
+
 #[derive(Debug)]
 struct Task {
     is_map: bool,
@@ -150,6 +170,8 @@ struct Task {
     speculated: bool,
     /// Container grant time (straggler detection).
     started: SimTime,
+    /// When the current phase began (telemetry spans).
+    phase_since: SimTime,
 }
 
 /// Events of the MapReduce world.
@@ -161,6 +183,21 @@ pub enum Ev {
     DiskDone { node: usize, job: u64 },
     FlowEnd { task: usize },
     Sample,
+}
+
+impl Ev {
+    /// Static event-kind name for engine-level telemetry
+    /// ([`EventCounter`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Ev::Heartbeat => "heartbeat",
+            Ev::AmReady => "am_ready",
+            Ev::NodeCpu { .. } => "node_cpu",
+            Ev::DiskDone { .. } => "disk_done",
+            Ev::FlowEnd { .. } => "flow_end",
+            Ev::Sample => "sample",
+        }
+    }
 }
 
 /// Per-second utilisation/power/progress samples (Figures 12–17).
@@ -235,6 +272,9 @@ struct MrWorld {
     first_reduce: Option<SimTime>,
     cpu_rise: Option<SimTime>,
     finish: Option<SimTime>,
+    /// Telemetry sink; [`Telemetry::off`] unless the run came through
+    /// [`run_job_traced`].
+    tel: Telemetry,
 }
 
 impl MrWorld {
@@ -292,6 +332,7 @@ impl MrWorld {
                 logical_done: false,
                 speculated: false,
                 started: SimTime::ZERO,
+                phase_since: SimTime::ZERO,
             })
             .collect();
         let running_containers = vec![0; setup.workers];
@@ -321,7 +362,28 @@ impl MrWorld {
             first_reduce: None,
             cpu_rise: None,
             finish: None,
+            tel: Telemetry::off(),
         }
+    }
+
+    /// Transition `task` to `phase`, closing the telemetry span of the
+    /// phase it leaves (one span per phase on the task's node track).
+    fn set_phase(&mut self, task: usize, phase: Phase, now: SimTime) {
+        if self.tasks[task].phase == phase {
+            return;
+        }
+        if self.tel.is_on() {
+            let t = &self.tasks[task];
+            if t.node != usize::MAX && !matches!(t.phase, Phase::Pending | Phase::Done) {
+                let thread = format!("slave-{}", t.node);
+                let cat = if t.is_map { "map" } else { "reduce" };
+                let args = vec![("task", format!("{task}"))];
+                self.tel.span("mapreduce", &thread, cat, phase_name(t.phase), t.phase_since, now, args);
+            }
+        }
+        let t = &mut self.tasks[task];
+        t.phase = phase;
+        t.phase_since = now;
     }
 
     // ---- derived sizes --------------------------------------------------
@@ -479,8 +541,10 @@ impl MrWorld {
             let t = &mut self.tasks[task];
             t.node = node;
             t.local = local;
-            t.phase = Phase::Launching;
             t.started = now;
+            let kind = if t.is_map { "map" } else { "reduce" };
+            self.set_phase(task, Phase::Launching, now);
+            self.tel.counter_inc("mr_containers_granted_total", labels(&[("kind", kind)]));
             self.add_cpu(node, task as u64, self.profile.container_startup_mi, now, ctx);
         }
     }
@@ -494,7 +558,8 @@ impl MrWorld {
             return;
         }
         let mut sorted = self.map_durations.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: no NaN panic even if a duration ever degenerates
+        sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         let threshold = 1.5 * median;
         for i in 0..self.n_maps {
@@ -522,8 +587,10 @@ impl MrWorld {
                     logical_done: false,
                     speculated: true,
                     started: now,
+                    phase_since: now,
                 });
                 self.speculative_copies += 1;
+                self.tel.counter_inc("mr_speculative_copies_total", labels(&[]));
             }
         }
     }
@@ -544,19 +611,19 @@ impl MrWorld {
             }
             Phase::MapCpu => {
                 // sort/spill CPU on the pre-combine output
-                self.tasks[task].phase = Phase::SpillCpu;
+                self.set_phase(task, Phase::SpillCpu, now);
                 let emit_mib = self.map_input_bytes() as f64 / MIB as f64 * 1.1;
                 let mi = self.profile.spill_mi_per_mib * emit_mib;
                 self.add_cpu(node, id, mi, now, ctx);
             }
             Phase::SpillCpu => {
-                self.tasks[task].phase = Phase::SpillDisk;
+                self.set_phase(task, Phase::SpillDisk, now);
                 let bytes = self.map_output_bytes();
                 let service = self.nodes.node(NodeId(node)).disk_write_time(bytes, false);
                 self.submit_disk(node, id, service, now, ctx);
             }
             Phase::ReduceCpu => {
-                self.tasks[task].phase = Phase::OutputDisk;
+                self.set_phase(task, Phase::OutputDisk, now);
                 let bytes = self.output_per_reduce();
                 let service = self.nodes.node(NodeId(node)).disk_write_time(bytes, false);
                 self.submit_disk(node, id, service, now, ctx);
@@ -569,7 +636,7 @@ impl MrWorld {
         let node = self.tasks[task].node;
         let block = self.tasks[task].block;
         let bytes = self.map_input_bytes();
-        self.tasks[task].phase = Phase::Reading;
+        self.set_phase(task, Phase::Reading, now);
         if self.nn.is_local(block, node) {
             let service = self.nodes.node(NodeId(node)).disk_read_time(bytes, false);
             self.submit_disk(node, task as u64, service, now, ctx);
@@ -585,7 +652,7 @@ impl MrWorld {
 
     fn start_map_cpu(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
         let node = self.tasks[task].node;
-        self.tasks[task].phase = Phase::MapCpu;
+        self.set_phase(task, Phase::MapCpu, now);
         let mib = self.map_input_bytes() as f64 / MIB as f64;
         let mi = self.profile.map_mi_per_mib * mib
             + self.profile.map_compute_mi
@@ -596,7 +663,13 @@ impl MrWorld {
     fn finish_map(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
         // this physical container ends regardless of who wins
         let node = self.tasks[task].node;
-        self.tasks[task].phase = Phase::Done;
+        self.set_phase(task, Phase::Done, now);
+        if self.tel.is_on() {
+            let t = &self.tasks[task];
+            let thread = format!("slave-{node}");
+            let args = vec![("task", format!("{task}")), ("local", format!("{}", t.local))];
+            self.tel.span("mapreduce", &thread, "container", "map_task", t.started, now, args);
+        }
         self.nodes.node_mut(NodeId(node)).free_mem(self.profile.map_container);
         self.running_containers[node] -= 1;
         // speculative resolution: the logical map is `origin`; only the
@@ -612,9 +685,14 @@ impl MrWorld {
         self.map_durations
             .push(now.saturating_since(self.tasks[task].started).as_secs_f64());
         self.completed_maps += 1;
-        if self.tasks[task].local {
+        let local = self.tasks[task].local;
+        if local {
             self.local_maps += 1;
         }
+        self.tel.counter_inc(
+            "mr_maps_completed_total",
+            labels(&[("local", if local { "true" } else { "false" })]),
+        );
         // notify shuffling reducers (they fetch from the winner's node)
         for i in self.n_maps..self.tasks.len() {
             if self.tasks[i].is_map {
@@ -637,9 +715,8 @@ impl MrWorld {
         let done: Vec<usize> = (0..self.n_maps)
             .filter(|&m| self.tasks[m].phase == Phase::Done)
             .collect();
-        let t = &mut self.tasks[task];
-        t.phase = Phase::ShuffleWait;
-        t.fetch_pending = done.into();
+        self.set_phase(task, Phase::ShuffleWait, now);
+        self.tasks[task].fetch_pending = done.into();
         self.next_fetch(task, now, ctx);
     }
 
@@ -651,13 +728,13 @@ impl MrWorld {
             if self.tasks[task].fetched as usize == self.n_maps {
                 self.start_merge(task, now, ctx);
             } else {
-                self.tasks[task].phase = Phase::ShuffleWait;
+                self.set_phase(task, Phase::ShuffleWait, now);
             }
             return;
         };
         let node = self.tasks[task].node;
         let src = self.tasks[src_task].node;
-        self.tasks[task].phase = Phase::Fetching;
+        self.set_phase(task, Phase::Fetching, now);
         self.tasks[task].current_fetch_src = Some(src);
         let bytes = self.fetch_bytes();
         let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
@@ -668,7 +745,7 @@ impl MrWorld {
 
     fn start_merge(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
         let node = self.tasks[task].node;
-        self.tasks[task].phase = Phase::MergeDisk;
+        self.set_phase(task, Phase::MergeDisk, now);
         let bytes = self.shuffle_per_reduce();
         // external merge: (passes - 1) read+write rounds over the shuffled
         // runs, plus the initial materialisation
@@ -690,7 +767,7 @@ impl MrWorld {
             Phase::Reading => self.start_map_cpu(task, now, ctx),
             Phase::SpillDisk => self.finish_map(task, now, ctx),
             Phase::MergeDisk => {
-                self.tasks[task].phase = Phase::ReduceCpu;
+                self.set_phase(task, Phase::ReduceCpu, now);
                 let mib = self.shuffle_per_reduce() as f64 / MIB as f64;
                 let mi = self.profile.reduce_mi_per_mib * mib * self.gc_factor()
                     + self.profile.task_setup_mi
@@ -700,7 +777,7 @@ impl MrWorld {
             Phase::OutputDisk => {
                 if self.setup.replication > 1 {
                     // replication pipeline to the next node
-                    self.tasks[task].phase = Phase::OutputRepl;
+                    self.set_phase(task, Phase::OutputRepl, now);
                     let peer = (node + 1) % self.setup.workers;
                     let (path, lat) = self.topo.path(self.hosts[node], self.hosts[peer]);
                     let bytes = self.output_per_reduce();
@@ -731,7 +808,7 @@ impl MrWorld {
                 let (path, _) = self.topo.path(self.hosts[src], self.hosts[node]);
                 self.gauge.end(&path);
                 self.tasks[task].fetched += 1;
-                self.tasks[task].phase = Phase::ShuffleWait;
+                self.set_phase(task, Phase::ShuffleWait, now);
                 self.next_fetch(task, now, ctx);
             }
             Phase::OutputRepl => {
@@ -747,11 +824,18 @@ impl MrWorld {
 
     fn finish_reduce(&mut self, task: usize, now: SimTime, _ctx: &mut Ctx<Ev>) {
         let node = self.tasks[task].node;
-        self.tasks[task].phase = Phase::Done;
+        self.set_phase(task, Phase::Done, now);
+        if self.tel.is_on() {
+            let t = &self.tasks[task];
+            let thread = format!("slave-{node}");
+            let args = vec![("task", format!("{task}"))];
+            self.tel.span("mapreduce", &thread, "container", "reduce_task", t.started, now, args);
+        }
         self.nodes.node_mut(NodeId(node)).free_mem(self.profile.reduce_container);
         self.running_containers[node] -= 1;
         self.running_reduce_mem = self.running_reduce_mem.saturating_sub(self.profile.reduce_container);
         self.completed_reduces += 1;
+        self.tel.counter_inc("mr_reduces_completed_total", labels(&[]));
         if self.completed_reduces == self.profile.reduce_tasks as usize {
             self.finish = Some(now);
         }
@@ -771,6 +855,32 @@ impl MrWorld {
         );
         if cpu > 20.0 && self.cpu_rise.is_none() {
             self.cpu_rise = Some(now);
+        }
+        if self.tel.is_on() {
+            self.tel.series_push("mr_map_progress_pct", labels(&[]), now, self.completed_maps as f64 / self.n_maps as f64 * 100.0);
+            self.tel.series_push(
+                "mr_reduce_progress_pct",
+                labels(&[]),
+                now,
+                self.completed_reduces as f64 / self.profile.reduce_tasks as f64 * 100.0,
+            );
+        }
+    }
+
+    /// Telemetry: fold the per-node power step logs into
+    /// `node_power_watts{node=slave-i}` timeseries. Called once after the
+    /// run.
+    fn harvest_power_series(&mut self) {
+        if !self.tel.is_on() {
+            return;
+        }
+        self.tel.help("node_power_watts", "Per-node power draw timeline, watts");
+        for i in 0..self.nodes.len() {
+            let steps = self.nodes.node(NodeId(i)).power_trace().to_vec();
+            let name = format!("slave-{i}");
+            for (t, w) in steps {
+                self.tel.series_push("node_power_watts", labels(&[("node", &name)]), t, w);
+            }
         }
     }
 }
@@ -838,11 +948,43 @@ impl Model for MrWorld {
 
 /// Run one job on one cluster setup to completion.
 pub fn run_job(profile: &JobProfile, setup: &ClusterSetup) -> JobOutcome {
-    let world = MrWorld::new(profile.clone(), setup.clone());
+    run_job_traced(profile, setup, Telemetry::off()).0
+}
+
+/// Like [`run_job`], but records into `tel` when it is enabled: engine
+/// event counts, per-phase task spans (container launch → input read →
+/// map/sort/spill, shuffle → merge → reduce → output), container/task
+/// counters, progress timeseries and per-node power timelines. With
+/// `Telemetry::off()` this is exactly [`run_job`].
+pub fn run_job_traced(
+    profile: &JobProfile,
+    setup: &ClusterSetup,
+    tel: Telemetry,
+) -> (JobOutcome, Telemetry) {
+    let tracing = tel.is_on();
+    let mut world = MrWorld::new(profile.clone(), setup.clone());
+    world.tel = tel;
+    if tracing {
+        world.nodes.enable_power_trace();
+        world.tel.help("mr_containers_granted_total", "YARN container grants, by kind");
+        world.tel.help("mr_maps_completed_total", "Logical map completions, by data-locality");
+        world.tel.help("mr_reduces_completed_total", "Reduce completions");
+        world.tel.help("mr_speculative_copies_total", "Speculative map copies launched");
+        world.tel.help("mr_map_progress_pct", "Completed maps / total, 1 s samples");
+        world.tel.help("mr_reduce_progress_pct", "Completed reduces / total, 1 s samples");
+    }
     let mut sim = Simulation::new(world);
     sim.schedule_at(SimTime::ZERO, Ev::Heartbeat);
     sim.schedule_at(SimTime::ZERO, Ev::Sample);
-    sim.run();
+    if tracing {
+        let mut obs = EventCounter::new(Ev::kind);
+        sim.run_observed(&mut obs);
+        let w = sim.world_mut();
+        obs.record_into(&mut w.tel, "mapreduce");
+        w.harvest_power_series();
+    } else {
+        sim.run();
+    }
     let w = sim.world();
     let finish = w.finish.unwrap_or_else(|| {
         panic!(
@@ -854,7 +996,7 @@ pub fn run_job(profile: &JobProfile, setup: &ClusterSetup) -> JobOutcome {
             w.profile.reduce_tasks
         )
     });
-    JobOutcome {
+    let outcome = JobOutcome {
         finish_time_s: finish.as_secs_f64(),
         energy_j: w.nodes.energy_joules(finish),
         data_local_fraction: w.local_maps as f64 / w.n_maps as f64,
@@ -862,7 +1004,9 @@ pub fn run_job(profile: &JobProfile, setup: &ClusterSetup) -> JobOutcome {
         first_reduce_s: w.first_reduce.map(|t| t.as_secs_f64()).unwrap_or(0.0),
         cpu_rise_s: w.cpu_rise.map(|t| t.as_secs_f64()).unwrap_or(0.0),
         speculative_copies: w.speculative_copies,
-    }
+    };
+    let tel = std::mem::take(&mut sim.world_mut().tel);
+    (outcome, tel)
 }
 
 #[cfg(test)]
@@ -913,6 +1057,30 @@ mod tests {
         assert!(!e.timeline.cpu_pct.is_empty());
         assert!(e.timeline.map_pct.points().last().unwrap().1 >= 99.9);
         assert!(e.timeline.power_w.max_value() > 8.0 * 1.40);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records() {
+        let plain = run_job(&jobs::logcount2(Tune::Edison), &ClusterSetup::edison(4));
+        let (traced, tel) =
+            run_job_traced(&jobs::logcount2(Tune::Edison), &ClusterSetup::edison(4), Telemetry::on());
+        // tracing must not perturb the simulation
+        assert_eq!(plain.finish_time_s, traced.finish_time_s);
+        assert_eq!(plain.energy_j, traced.energy_j);
+        // per-phase spans, container spans, counters, power timelines
+        let spans = tel.tracer.spans();
+        for name in ["container_launch", "map_cpu", "shuffle_fetch", "reduce_cpu", "map_task", "reduce_task"] {
+            assert!(spans.iter().any(|s| s.name == name), "missing span {name}");
+        }
+        let counters: Vec<_> = tel.registry.counters().collect();
+        assert!(counters.iter().any(|(n, _, v)| *n == "mr_reduces_completed_total" && *v > 0));
+        assert!(counters.iter().any(|(n, _, v)| *n == "sim_events_total" && *v > 0));
+        assert!(tel
+            .registry
+            .series()
+            .any(|(n, l, pts)| n == "node_power_watts"
+                && l.get("node") == Some(&"slave-0".to_string())
+                && !pts.is_empty()));
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod local;
 pub mod terasort_pipeline;
 pub mod yarn;
 
-pub use engine::{run_job, ClusterSetup, JobOutcome};
+pub use engine::{run_job, run_job_traced, ClusterSetup, JobOutcome};
 pub use jobs::JobProfile;

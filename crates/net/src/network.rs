@@ -45,6 +45,20 @@ struct Flow {
     rate: f64,
 }
 
+/// One completed transfer, recorded when flow logging is enabled — the raw
+/// material for per-flow telemetry spans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    /// Caller-assigned flow id.
+    pub id: FlowId,
+    /// When the flow started.
+    pub start: SimTime,
+    /// When it completed (cancelled flows are not recorded).
+    pub end: SimTime,
+    /// Transfer size in bytes.
+    pub bytes: f64,
+}
+
 /// A fluid network: directed capacitated links shared by flows under
 /// max-min fairness. See module docs.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +72,16 @@ pub struct Network {
     last_update: SimTime,
     epoch: u64,
     bytes_delivered: f64,
+    /// Completed-transfer log; `None` (the default) costs one branch per
+    /// flow start/finish.
+    flow_log: Option<FlowLogState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FlowLogState {
+    /// Start time and size of in-flight flows (id-ordered for determinism).
+    starts: BTreeMap<FlowId, (SimTime, f64)>,
+    records: Vec<FlowRecord>,
 }
 
 impl Network {
@@ -112,6 +136,25 @@ impl Network {
         self.bytes_delivered
     }
 
+    /// Start logging completed transfers as [`FlowRecord`]s. Idempotent;
+    /// flows already in flight are logged from the current instant.
+    pub fn enable_flow_log(&mut self) {
+        if self.flow_log.is_none() {
+            let starts = self
+                .flows
+                .iter()
+                .map(|(&id, f)| (id, (self.last_update, f.remaining)))
+                .collect();
+            self.flow_log = Some(FlowLogState { starts, records: Vec::new() });
+        }
+    }
+
+    /// Completed transfers in completion order (ties id-ordered); empty
+    /// unless [`enable_flow_log`](Self::enable_flow_log) was called.
+    pub fn flow_log(&self) -> &[FlowRecord] {
+        self.flow_log.as_ref().map_or(&[], |l| l.records.as_slice())
+    }
+
     /// Current rate of a flow, bytes/second (0 if unknown).
     pub fn flow_rate(&self, id: FlowId) -> f64 {
         self.flows.get(&id).map_or(0.0, |f| f.rate)
@@ -161,6 +204,9 @@ impl Network {
         self.advance(now);
         let prev = self.flows.insert(id, Flow { remaining: bytes, links, rate_cap, rate: 0.0 });
         assert!(prev.is_none(), "duplicate flow id {id}");
+        if let Some(log) = &mut self.flow_log {
+            log.starts.insert(id, (now, bytes));
+        }
         self.recompute();
         self.epoch += 1;
     }
@@ -170,6 +216,9 @@ impl Network {
         self.advance(now);
         let f = self.flows.remove(&id);
         if f.is_some() {
+            if let Some(log) = &mut self.flow_log {
+                log.starts.remove(&id);
+            }
             self.recompute();
             self.epoch += 1;
         }
@@ -185,7 +234,7 @@ impl Network {
             .iter()
             .filter(|(_, f)| f.rate > 0.0)
             .map(|(&id, f)| (id, f.remaining / f.rate))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(id, dt)| (id, now + SimDuration((dt.max(0.0) * 1e9).ceil() as u64 + 1)))
     }
 
@@ -202,6 +251,11 @@ impl Network {
             .collect();
         for id in &done {
             self.flows.remove(id);
+            if let Some(log) = &mut self.flow_log {
+                if let Some((start, bytes)) = log.starts.remove(id) {
+                    log.records.push(FlowRecord { id: *id, start, end: now, bytes });
+                }
+            }
         }
         if !done.is_empty() {
             self.recompute();
@@ -339,6 +393,36 @@ mod tests {
         assert!((n.flow_rate(1) - 5.0).abs() < 1e-9);
         assert!((n.flow_rate(2) - 5.0).abs() < 1e-9);
         assert!((n.flow_rate(3) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_log_records_completed_transfers_only() {
+        let mut n = Network::new();
+        let l = n.add_link_bytes(10.0);
+        n.enable_flow_log();
+        n.enable_flow_log(); // idempotent
+        n.start_flow(t(0.0), 1, 10.0, vec![l], f64::INFINITY);
+        n.start_flow(t(0.0), 2, 30.0, vec![l], f64::INFINITY);
+        n.start_flow(t(0.0), 3, 5.0, vec![l], f64::INFINITY);
+        assert!(n.cancel(t(0.1), 3).is_some()); // cancelled → not logged
+        let (_, at1) = n.next_completion(t(0.1)).unwrap();
+        n.take_finished(at1);
+        let (_, at2) = n.next_completion(at1).unwrap();
+        n.take_finished(at2);
+        let log = n.flow_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].id, 1);
+        assert_eq!(log[0].start, t(0.0));
+        assert_eq!(log[0].end, at1);
+        assert!((log[0].bytes - 10.0).abs() < 1e-9);
+        assert_eq!(log[1].id, 2);
+        // disabled by default
+        let mut m = Network::new();
+        let l = m.add_link_bytes(10.0);
+        m.start_flow(t(0.0), 1, 10.0, vec![l], f64::INFINITY);
+        let (_, at) = m.next_completion(t(0.0)).unwrap();
+        m.take_finished(at);
+        assert!(m.flow_log().is_empty());
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct StepIntegrator {
     last_t: SimTime,
     value: f64,
     integral: f64,
+    /// When `Some`, every *change* of the signal is appended as a step point
+    /// `(t, new_value)` — the raw material for the Figure 12–17 power
+    /// timelines and the telemetry power timeseries. `None` (the default)
+    /// costs one branch per `set`.
+    trace: Option<Vec<(SimTime, f64)>>,
 }
 
 impl StepIntegrator {
@@ -27,7 +32,22 @@ impl StepIntegrator {
     /// would silently poison every joule figure downstream.
     pub fn new(t0: SimTime, v0: f64) -> Self {
         debug_assert!(v0.is_finite(), "non-finite integrand {v0}");
-        StepIntegrator { last_t: t0, value: v0, integral: 0.0 }
+        StepIntegrator { last_t: t0, value: v0, integral: 0.0, trace: None }
+    }
+
+    /// Start recording the step trace; the current `(t, value)` becomes the
+    /// first point. Idempotent.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(vec![(self.last_t, self.value)]);
+        }
+    }
+
+    /// The recorded step points `(t, value)`; empty unless
+    /// [`enable_trace`](Self::enable_trace) was called. Consecutive points
+    /// always differ in value (redundant `set`s are collapsed).
+    pub fn trace(&self) -> &[(SimTime, f64)] {
+        self.trace.as_deref().unwrap_or(&[])
     }
 
     /// Current value of the signal.
@@ -47,6 +67,22 @@ impl StepIntegrator {
         );
         debug_assert!(v.is_finite(), "non-finite integrand {v}");
         self.integral += self.value * now.saturating_since(self.last_t).as_secs_f64();
+        if v != self.value {
+            if let Some(tr) = &mut self.trace {
+                // Same-instant re-set: the later value supersedes the step.
+                if tr.last().is_some_and(|&(lt, _)| lt == now) {
+                    let i = tr.len() - 1;
+                    tr[i].1 = v;
+                    // If the rewrite restored the previous value, the step
+                    // vanished entirely; drop it to keep neighbours distinct.
+                    if i > 0 && tr[i - 1].1 == v {
+                        tr.pop();
+                    }
+                } else {
+                    tr.push((now, v));
+                }
+            }
+        }
         self.last_t = now;
         self.value = v;
     }
@@ -120,6 +156,40 @@ mod tests {
         let mut p = StepIntegrator::new(t(0.0), 1.0);
         p.set(t(1.0), f64::NAN);
         assert!(p.integral_at(t(2.0)).is_nan());
+    }
+
+    #[test]
+    fn trace_records_value_changes_only() {
+        let mut p = StepIntegrator::new(t(0.0), 5.0);
+        p.enable_trace();
+        p.enable_trace(); // idempotent
+        p.set(t(1.0), 5.0); // redundant, collapsed
+        p.set(t(2.0), 9.0);
+        p.set(t(2.0), 11.0); // same-instant re-set supersedes
+        p.set(t(3.0), 11.0); // redundant
+        p.set(t(4.0), 5.0);
+        assert_eq!(
+            p.trace(),
+            &[(t(0.0), 5.0), (t(2.0), 11.0), (t(4.0), 5.0)]
+        );
+        // Integral unaffected by tracing: 2s@5 + 2s@11 = 32 up to t=4.
+        assert!((p.integral_at(t(4.0)) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_same_instant_revert_drops_step() {
+        let mut p = StepIntegrator::new(t(0.0), 5.0);
+        p.enable_trace();
+        p.set(t(1.0), 9.0);
+        p.set(t(1.0), 5.0); // reverted within the same instant
+        assert_eq!(p.trace(), &[(t(0.0), 5.0)]);
+    }
+
+    #[test]
+    fn trace_disabled_is_empty() {
+        let mut p = StepIntegrator::new(t(0.0), 1.0);
+        p.set(t(1.0), 2.0);
+        assert!(p.trace().is_empty());
     }
 
     #[test]

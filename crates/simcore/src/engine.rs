@@ -101,6 +101,41 @@ impl<E> Ctx<E> {
     }
 }
 
+/// Hooks into the event loop, called around every delivered event.
+///
+/// All methods have empty `#[inline]` default bodies, so a generic run loop
+/// instantiated with [`NoopObserver`] monomorphizes to exactly the
+/// unobserved loop — observation is zero-cost when disabled.
+///
+/// Observers receive only borrowed event data and engine counters; they must
+/// not influence scheduling (the engine stays a pure function of world state
+/// and seed whether or not it is observed).
+pub trait Observer<E> {
+    /// Called after the clock advanced to `now` but before the event is
+    /// handed to the world. `heap_depth` is the number of events still
+    /// queued (excluding the one being delivered).
+    #[inline]
+    fn pre_event(&mut self, _now: SimTime, _event: &E, _heap_depth: usize) {}
+
+    /// Called after the world handled the event. `newly_scheduled` is the
+    /// number of follow-up events the handler enqueued; `processed` is the
+    /// total delivered so far.
+    #[inline]
+    fn post_event(&mut self, _now: SimTime, _newly_scheduled: usize, _processed: u64) {}
+
+    /// Called once if the max-events watchdog halts the run (see
+    /// [`Simulation::set_max_events`]).
+    #[inline]
+    fn on_watchdog(&mut self, _now: SimTime, _processed: u64) {}
+}
+
+/// The do-nothing observer; running with it is identical to running
+/// unobserved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl<E> Observer<E> for NoopObserver {}
+
 /// A running simulation: world + event heap + clock.
 pub struct Simulation<M: Model> {
     world: M,
@@ -109,6 +144,8 @@ pub struct Simulation<M: Model> {
     seq: u64,
     processed: u64,
     stopped: bool,
+    max_events: Option<u64>,
+    watchdog_tripped: bool,
 }
 
 impl<M: Model> Simulation<M> {
@@ -121,7 +158,25 @@ impl<M: Model> Simulation<M> {
             seq: 0,
             processed: 0,
             stopped: false,
+            max_events: None,
+            watchdog_tripped: false,
         }
+    }
+
+    /// Arm (or with `None`, disarm) the runaway-run watchdog: once `processed`
+    /// reaches `limit` the loop refuses to deliver further events, marks the
+    /// run stopped, and reports through [`Observer::on_watchdog`].
+    ///
+    /// A tripped watchdog means the world is live-locked (e.g. an event that
+    /// reschedules itself forever without advancing the experiment) — the
+    /// budget exists so such bugs surface as a diagnostic instead of a hang.
+    pub fn set_max_events(&mut self, limit: Option<u64>) {
+        self.max_events = limit;
+    }
+
+    /// True if a run was halted by the max-events watchdog.
+    pub fn watchdog_tripped(&self) -> bool {
+        self.watchdog_tripped
     }
 
     /// Current simulated time (the timestamp of the last delivered event).
@@ -166,8 +221,22 @@ impl<M: Model> Simulation<M> {
     /// Deliver the next event, if any. Returns `false` when the heap is empty
     /// or a stop was requested.
     pub fn step(&mut self) -> bool {
+        self.step_observed(&mut NoopObserver)
+    }
+
+    /// [`step`](Self::step), reporting to `obs`. With [`NoopObserver`] this
+    /// compiles to the same code as the unobserved step.
+    pub fn step_observed<O: Observer<M::Event>>(&mut self, obs: &mut O) -> bool {
         if self.stopped {
             return false;
+        }
+        if let Some(limit) = self.max_events {
+            if self.processed >= limit {
+                self.stopped = true;
+                self.watchdog_tripped = true;
+                obs.on_watchdog(self.now, self.processed);
+                return false;
+            }
         }
         let Some(Reverse(next)) = self.heap.pop() else {
             self.stopped = true;
@@ -176,6 +245,7 @@ impl<M: Model> Simulation<M> {
         debug_assert!(next.at >= self.now, "heap produced an out-of-order event");
         self.now = next.at;
         self.processed += 1;
+        obs.pre_event(self.now, &next.event, self.heap.len());
         let mut ctx = Ctx {
             now: self.now,
             seq: self.seq,
@@ -184,31 +254,47 @@ impl<M: Model> Simulation<M> {
         };
         self.world.handle(self.now, next.event, &mut ctx);
         self.seq = ctx.seq;
+        let newly_scheduled = ctx.pending.len();
         for s in ctx.pending {
             self.heap.push(Reverse(s));
         }
         if ctx.stop {
             self.stopped = true;
         }
+        obs.post_event(self.now, newly_scheduled, self.processed);
         true
     }
 
     /// Run until the heap drains or a stop is requested. Returns the number
     /// of events delivered by this call.
     pub fn run(&mut self) -> u64 {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// [`run`](Self::run), reporting every event to `obs`.
+    pub fn run_observed<O: Observer<M::Event>>(&mut self, obs: &mut O) -> u64 {
         let before = self.processed;
-        while self.step() {}
+        while self.step_observed(obs) {}
         self.processed - before
     }
 
     /// Run until simulated time reaches `deadline` (events strictly after the
     /// deadline remain queued), the heap drains, or a stop is requested.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.run_until_observed(deadline, &mut NoopObserver)
+    }
+
+    /// [`run_until`](Self::run_until), reporting every event to `obs`.
+    pub fn run_until_observed<O: Observer<M::Event>>(
+        &mut self,
+        deadline: SimTime,
+        obs: &mut O,
+    ) -> u64 {
         let before = self.processed;
         loop {
             match self.heap.peek() {
                 Some(Reverse(s)) if s.at <= deadline => {
-                    if !self.step() {
+                    if !self.step_observed(obs) {
                         break;
                     }
                 }
@@ -310,6 +396,153 @@ mod tests {
         sim.run();
         assert!(sim.is_stopped());
         assert!(sim.world().log.is_empty());
+    }
+
+    /// Counting observer used by the hook tests below.
+    #[derive(Default)]
+    struct Counting {
+        pre: u64,
+        post: u64,
+        scheduled: u64,
+        max_heap_depth: usize,
+        watchdog: Option<(SimTime, u64)>,
+    }
+
+    impl Observer<Ev> for Counting {
+        fn pre_event(&mut self, _now: SimTime, _event: &Ev, heap_depth: usize) {
+            self.pre += 1;
+            self.max_heap_depth = self.max_heap_depth.max(heap_depth);
+        }
+        fn post_event(&mut self, _now: SimTime, newly_scheduled: usize, _processed: u64) {
+            self.post += 1;
+            self.scheduled += newly_scheduled as u64;
+        }
+        fn on_watchdog(&mut self, now: SimTime, processed: u64) {
+            self.watchdog = Some((now, processed));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_event() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { left: 9, gap: SimDuration::from_millis(1) },
+        );
+        sim.schedule_at(SimTime::from_secs(1), Ev::Mark(1));
+        let mut obs = Counting::default();
+        let n = sim.run_observed(&mut obs);
+        assert_eq!(n, 11);
+        assert_eq!(obs.pre, 11);
+        assert_eq!(obs.post, 11);
+        assert_eq!(obs.scheduled, 9); // each chain link but the last reschedules once
+        assert!(obs.max_heap_depth >= 1);
+        assert!(obs.watchdog.is_none());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let build = || {
+            let mut sim = Simulation::new(Recorder { log: vec![] });
+            sim.schedule_at(
+                SimTime::ZERO,
+                Ev::Chain { left: 20, gap: SimDuration::from_micros(500) },
+            );
+            sim.schedule_at(SimTime::from_millis(3), Ev::Mark(7));
+            sim
+        };
+        let mut plain = build();
+        plain.run();
+        let mut observed = build();
+        observed.run_observed(&mut Counting::default());
+        assert_eq!(plain.world().log, observed.world().log);
+        assert_eq!(plain.now(), observed.now());
+        assert_eq!(plain.processed(), observed.processed());
+    }
+
+    /// A world that reschedules itself forever — the bug class the
+    /// watchdog exists to catch.
+    struct Runaway;
+    impl Model for Runaway {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), ctx: &mut Ctx<()>) {
+            ctx.schedule_in(SimDuration::from_micros(1), ());
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_self_rescheduling_world() {
+        let mut sim = Simulation::new(Runaway);
+        sim.set_max_events(Some(1_000));
+        sim.schedule_at(SimTime::ZERO, ());
+        let n = sim.run();
+        assert_eq!(n, 1_000);
+        assert!(sim.watchdog_tripped());
+        assert!(sim.is_stopped());
+    }
+
+    #[test]
+    fn watchdog_reports_through_observer() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.set_max_events(Some(3));
+        sim.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { left: 100, gap: SimDuration::from_millis(1) },
+        );
+        let mut obs = Counting::default();
+        sim.run_observed(&mut obs);
+        assert_eq!(obs.pre, 3);
+        let (at, processed) = obs.watchdog.expect("watchdog should have fired");
+        assert_eq!(processed, 3);
+        assert_eq!(at, SimTime::from_millis(2));
+        assert!(sim.watchdog_tripped());
+    }
+
+    #[test]
+    fn watchdog_disarmed_runs_to_completion() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.set_max_events(Some(2));
+        sim.set_max_events(None);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { left: 5, gap: SimDuration::from_millis(1) },
+        );
+        assert_eq!(sim.run(), 6);
+        assert!(!sim.watchdog_tripped());
+    }
+
+    /// The unobserved loop must not regress from carrying observer hooks:
+    /// a NoopObserver run must cost the same as `run()` to within noise.
+    /// Min-of-N with a generous factor keeps this robust on loaded CI.
+    #[test]
+    fn noop_observer_adds_no_measurable_overhead() {
+        // simlint: allow(R1) host-side timing of the engine itself; result
+        // never feeds simulation state.
+        fn min_time<F: FnMut() -> u64>(mut f: F) -> std::time::Duration {
+            (0..5)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    std::hint::black_box(f());
+                    t0.elapsed()
+                })
+                .min()
+                .unwrap_or_default()
+        }
+        let chain = || {
+            let mut sim = Simulation::new(Recorder { log: Vec::with_capacity(200_001) });
+            sim.schedule_at(
+                SimTime::ZERO,
+                Ev::Chain { left: 200_000, gap: SimDuration::from_micros(1) },
+            );
+            sim
+        };
+        let plain = min_time(|| chain().run());
+        let observed = min_time(|| chain().run_observed(&mut NoopObserver));
+        // Identical monomorphized code; 4x headroom absorbs scheduler noise.
+        assert!(
+            observed <= plain * 4 + std::time::Duration::from_millis(5),
+            "NoopObserver run regressed: {observed:?} vs {plain:?}"
+        );
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Ctx, Model, Simulation};
+pub use engine::{Ctx, Model, NoopObserver, Observer, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -89,7 +89,9 @@ impl SampleSet {
             return 0.0;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // total_cmp: NaN-safe total order. `push` debug-asserts finiteness,
+            // but release builds must degrade gracefully, not panic mid-report.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
@@ -259,6 +261,17 @@ mod tests {
         s.push(0.0);
         s.push(20.0);
         assert_eq!(s.percentile(50.0), 10.0); // re-sorts after new pushes
+    }
+
+    #[test]
+    fn percentile_survives_nan_samples() {
+        // A NaN can only arrive through release-mode arithmetic upstream
+        // (`push` debug-asserts finiteness), but percentile must degrade
+        // gracefully rather than panic mid-report: total_cmp sorts NaN last.
+        let mut s = SampleSet { samples: vec![2.0, f64::NAN, 1.0], sorted: false };
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 2.0);
+        assert!(s.percentile(100.0).is_nan());
     }
 
     #[test]

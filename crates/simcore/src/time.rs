@@ -32,12 +32,23 @@ impl SimTime {
         SimTime(s * NANOS_PER_SEC)
     }
 
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
     ///
     /// Panics in debug builds if `s` is negative or non-finite.
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
         SimTime((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Whole microseconds (truncating) — the unit of Chrome trace-event
+    /// timestamps.
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
     }
 
     /// This instant as fractional seconds.

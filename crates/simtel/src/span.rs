@@ -1,0 +1,133 @@
+//! Span tracing: complete events on named (process, thread) tracks.
+//!
+//! A *track* is a (process, thread) name pair — e.g. `("web", "node-3")` or
+//! `("mr", "edison-1")`. Tracks are interned in first-use order, which gives
+//! every track a stable small id and makes the exported pid/tid assignment a
+//! pure function of the event sequence (byte-identical across same-seed
+//! runs).
+
+use edison_simcore::time::SimTime;
+
+/// One completed span on a track.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Index into [`Tracer::tracks`].
+    pub track: usize,
+    /// Perfetto category (used for filtering in the UI).
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Start instant.
+    pub start: SimTime,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Span arguments, shown in the Perfetto detail pane.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// Collects spans and interns tracks.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    tracks: Vec<(String, String)>,
+    spans: Vec<Span>,
+}
+
+impl Tracer {
+    /// Empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Intern the `(process, thread)` track, returning its id. Linear scan:
+    /// real traces have tens of tracks, not thousands.
+    pub fn track(&mut self, process: &str, thread: &str) -> usize {
+        if let Some(i) = self
+            .tracks
+            .iter()
+            .position(|(p, t)| p == process && t == thread)
+        {
+            return i;
+        }
+        self.tracks.push((process.to_string(), thread.to_string()));
+        self.tracks.len() - 1
+    }
+
+    /// Record a complete span `[start, end)` on `track`. A backwards span is
+    /// clamped to zero duration (and debug-asserted) rather than wrapping.
+    pub fn span(
+        &mut self,
+        track: usize,
+        cat: &'static str,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+        args: Vec<(&'static str, String)>,
+    ) {
+        debug_assert!(start <= end, "span '{name}' ends before it starts");
+        self.spans.push(Span {
+            track,
+            cat,
+            name,
+            start,
+            dur_ns: end.saturating_since(start).0,
+            args,
+        });
+    }
+
+    /// The interned `(process, thread)` track names, in first-use order.
+    pub fn tracks(&self) -> &[(String, String)] {
+        &self.tracks
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Append `other`'s spans, re-interning its tracks into `self`.
+    pub fn merge(&mut self, other: Tracer) {
+        let remap: Vec<usize> = other
+            .tracks
+            .iter()
+            .map(|(p, t)| self.track(p, t))
+            .collect();
+        for mut s in other.spans {
+            s.track = remap.get(s.track).copied().unwrap_or(s.track);
+            self.spans.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_intern_in_first_use_order() {
+        let mut tr = Tracer::new();
+        assert_eq!(tr.track("web", "client"), 0);
+        assert_eq!(tr.track("web", "node-0"), 1);
+        assert_eq!(tr.track("web", "client"), 0);
+        assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn span_duration_is_exact_ns() {
+        let mut tr = Tracer::new();
+        let t = tr.track("p", "t");
+        tr.span(t, "c", "x", SimTime(100), SimTime(350), vec![]);
+        assert_eq!(tr.spans()[0].dur_ns, 250);
+    }
+
+    #[test]
+    fn merge_remaps_tracks() {
+        let mut a = Tracer::new();
+        a.track("web", "client");
+        let mut b = Tracer::new();
+        let t = b.track("mr", "node-0");
+        b.span(t, "mr", "map", SimTime::ZERO, SimTime(10), vec![]);
+        a.merge(b);
+        assert_eq!(a.tracks().len(), 2);
+        assert_eq!(a.spans()[0].track, 1);
+    }
+}

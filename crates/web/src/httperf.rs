@@ -2,8 +2,9 @@
 //! unit of Figures 4–9 and Table 7.
 
 use crate::scenario::{WebScenario, WorkloadMix};
-use crate::stack::{run, GenMode, StackConfig};
+use crate::stack::{run_traced, GenMode, StackConfig};
 use edison_simcore::time::SimDuration;
+use edison_simtel::Telemetry;
 
 /// Default calls per connection (the paper tunes ≈6.6 to match reported
 /// concurrency).
@@ -63,6 +64,19 @@ pub fn run_point(
     concurrency: f64,
     opts: RunOpts,
 ) -> HttperfResult {
+    run_point_traced(scenario, mix, concurrency, opts, Telemetry::off()).0
+}
+
+/// Run one httperf point recording into `tel` (request-lifecycle spans,
+/// counters, per-node power timelines when enabled); returns the summary
+/// plus the telemetry collected by the run.
+pub fn run_point_traced(
+    scenario: &WebScenario,
+    mix: WorkloadMix,
+    concurrency: f64,
+    opts: RunOpts,
+    tel: Telemetry,
+) -> (HttperfResult, Telemetry) {
     let mut cfg = StackConfig::new(
         scenario.clone(),
         mix,
@@ -71,13 +85,13 @@ pub fn run_point(
     );
     cfg.warmup = SimDuration::from_secs(opts.warmup_s);
     cfg.measure = SimDuration::from_secs(opts.measure_s);
-    let world = run(cfg);
+    let mut world = run_traced(cfg, tel);
     let m = &world.metrics;
     let window = opts.measure_s as f64;
     let rps = m.completed as f64 / window;
     let offered_reqs = concurrency * CALLS_PER_CONN * window;
     let energy = m.energy_j.max(1e-9);
-    HttperfResult {
+    let result = HttperfResult {
         concurrency,
         requests_per_sec: rps,
         mean_delay_ms: m.delays_ms.mean(),
@@ -93,7 +107,8 @@ pub fn run_point(
         cache_cpu: m.cache_cpu.mean(),
         web_mem: m.web_mem.mean(),
         cache_mem: m.cache_mem.mean(),
-    }
+    };
+    (result, world.take_telemetry())
 }
 
 /// The paper's concurrency sweep: 8, 16, …, 2048.

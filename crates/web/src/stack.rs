@@ -37,7 +37,13 @@ use edison_simcore::rng::SimRng;
 use edison_simcore::stats::{Histogram, SampleSet, TimeSeries};
 use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, Model, Simulation};
+use edison_simtel::{labels, EventCounter, Telemetry};
 use std::collections::{HashMap, VecDeque};
+
+/// Histogram bounds for request-delay telemetry, seconds (log-ish spacing
+/// over the paper's 0–8 s Figure 10/11 range).
+const DELAY_BOUNDS_S: &[f64] =
+    &[0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 
 /// How load is generated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,6 +168,8 @@ struct Req {
     /// Set when the db reply lands back on the web server.
     db_delay: Option<f64>,
     went_to_db: bool,
+    /// Set while the request waits in the PHP backlog (telemetry span).
+    t_queued: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -255,6 +263,30 @@ pub enum Ev {
     Stop,
 }
 
+impl Ev {
+    /// Static event-kind name for engine-level telemetry
+    /// ([`EventCounter`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Ev::GenConn => "gen_conn",
+            Ev::SynRetry { .. } => "syn_retry",
+            Ev::NodeCpu { .. } => "node_cpu",
+            Ev::DbCpu { .. } => "db_cpu",
+            Ev::ReqAtWeb { .. } => "req_at_web",
+            Ev::ReqAtCache { .. } => "req_at_cache",
+            Ev::CacheReplyAtWeb { .. } => "cache_reply_at_web",
+            Ev::ReqAtDb { .. } => "req_at_db",
+            Ev::DbDiskDone { .. } => "db_disk_done",
+            Ev::DbReplyAtWeb { .. } => "db_reply_at_web",
+            Ev::ReplyAtClient { .. } => "reply_at_client",
+            Ev::Sample => "sample",
+            Ev::MeasureStart => "measure_start",
+            Ev::KillWebServer { .. } => "kill_web_server",
+            Ev::Stop => "stop",
+        }
+    }
+}
+
 /// The web-service world. Construct with [`WebWorld::new`], then call
 /// [`run`] (or drive a [`Simulation`] manually).
 pub struct WebWorld {
@@ -287,6 +319,9 @@ pub struct WebWorld {
     measure_end: SimTime,
     /// Collected metrics.
     pub metrics: Metrics,
+    /// Telemetry sink; [`Telemetry::off`] unless the run came through
+    /// [`run_traced`].
+    tel: Telemetry,
 }
 
 /// Fraction of the per-request web CPU spent before the cache RPC (parse +
@@ -458,7 +493,19 @@ impl WebWorld {
             measure_start,
             measure_end,
             metrics: Metrics::default(),
+            tel: Telemetry::off(),
         }
+    }
+
+    /// The telemetry collected by this world (empty unless the run came
+    /// through [`run_traced`] with an enabled sink).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Move the collected telemetry out of the world.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.tel)
     }
 
     /// The deterministic key → cache-server mapping (memcached client
@@ -473,6 +520,12 @@ impl WebWorld {
 
     fn in_window(&self, t: SimTime) -> bool {
         t >= self.measure_start && t <= self.measure_end
+    }
+
+    /// Telemetry: count one request leaving the system, by outcome
+    /// (`ok`, `server_error`, `client_error`).
+    fn tel_outcome(&mut self, outcome: &'static str) {
+        self.tel.counter_inc("web_requests_total", labels(&[("outcome", outcome)]));
     }
 
     // ---- node CPU plumbing ------------------------------------------------
@@ -521,6 +574,7 @@ impl WebWorld {
         if total_w <= 0.0 {
             // whole tier down
             self.metrics.client_errors += 1;
+            self.tel_outcome("client_error");
             return;
         }
         // deterministic smooth WRR: golden-ratio stride through the
@@ -566,18 +620,21 @@ impl WebWorld {
             }
             Err(AdmitError::AcceptOverrun) => {
                 self.metrics.syn_drops += 1;
+                self.tel.counter_inc("web_syn_drops_total", labels(&[]));
                 if attempt < 3 {
                     // kernel SYN retransmit backoff: +1 s, +2 s, +4 s
                     let backoff = SimDuration::from_secs(1 << attempt);
                     ctx.schedule_at(now + backoff, Ev::SynRetry { conn: conn_id, attempt: attempt + 1 });
                 } else {
                     self.metrics.client_errors += 1;
+                    self.tel_outcome("client_error");
                     self.conns.remove(&conn_id);
                 }
             }
             Err(_) => {
                 // fd exhaustion → lighttpd answers 5xx on this node
                 self.metrics.server_errors += 1;
+                self.tel_outcome("server_error");
                 self.conns.remove(&conn_id);
             }
         }
@@ -608,6 +665,7 @@ impl WebWorld {
                 t_db_sent: SimTime::ZERO,
                 db_delay: None,
                 went_to_db: false,
+                t_queued: None,
             },
         );
         let lat = self.topo.latency(client_host, self.node_hosts[web]);
@@ -615,11 +673,19 @@ impl WebWorld {
     }
 
     fn begin_stage1(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
-        let req = &self.reqs[&req_id];
+        let Some(req) = self.reqs.get_mut(&req_id) else { return };
         let web = req.web;
+        let queued_at = req.t_queued.take();
         let mut mi = self.req_mi_of[web] * STAGE1_FRAC;
         if req.first_call {
             mi += calib::TCP_ACCEPT_MI;
+        }
+        if self.tel.is_on() {
+            if let Some(tq) = queued_at {
+                // time spent waiting for a free PHP worker
+                let thread = format!("web-{web}");
+                self.tel.span("web", &thread, "queue", "php_backlog", tq, now, vec![]);
+            }
         }
         self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
         self.schedule_node_cpu(web, now, ctx);
@@ -632,6 +698,7 @@ impl WebWorld {
         if self.dead[web] {
             // connection reset by a dead server
             self.metrics.server_errors += 1;
+            self.tel_outcome("server_error");
             let req = self.reqs.remove(&req_id).expect("req exists");
             self.conns.remove(&req.conn);
             return;
@@ -642,9 +709,13 @@ impl WebWorld {
             self.begin_stage1(req_id, now, ctx);
         } else if pool.backlog.len() < pool.backlog_max {
             pool.backlog.push_back(req_id);
+            if let Some(r) = self.reqs.get_mut(&req_id) {
+                r.t_queued = Some(now);
+            }
         } else {
             // 5xx: backlog overflow
             self.metrics.server_errors += 1;
+            self.tel_outcome("server_error");
             let req = self.reqs.remove(&req_id).expect("req exists");
             self.abort_conn(req.conn);
         }
@@ -696,6 +767,10 @@ impl WebWorld {
                 };
                 // Table 7 bookkeeping: cache delay includes this CPU slice
                 // (PHP unserialize); db delay was closed at reply arrival.
+                if self.tel.is_on() && !went_to_db {
+                    let thread = format!("web-{web}");
+                    self.tel.span("web", &thread, "rpc", "memcached_get", t_cache_sent, now, vec![]);
+                }
                 if self.in_window(now) {
                     if went_to_db {
                         if let Some(d) = db_delay {
@@ -726,6 +801,10 @@ impl WebWorld {
             None => return,
         };
         let hit = self.caches[cache].get(key).is_some();
+        self.tel.counter_inc(
+            "web_cache_lookups_total",
+            labels(&[("result", if hit { "hit" } else { "miss" })]),
+        );
         let web_host = self.node_hosts[web];
         let cache_host = self.node_hosts[self.n_web() + cache];
         let (path, lat) = self.topo.path(cache_host, web_host);
@@ -802,6 +881,39 @@ impl WebWorld {
         self.metrics.cache_cpu.push(cache_cpu / n_cache as f64);
         self.metrics.web_mem.push(web_mem / n_web as f64);
         self.metrics.cache_mem.push(cache_mem / n_cache as f64);
+        if self.tel.is_on() {
+            let delta = self.metrics.completed_total - self.metrics.last_sampled_completed;
+            self.tel.series_push("web_throughput_rps", labels(&[]), now, delta as f64);
+        }
+    }
+
+    /// Telemetry: fold the per-node power step logs (recorded by the
+    /// cluster when tracing is on) into `node_power_watts{node=...}`
+    /// timeseries. Called once after the run.
+    fn harvest_power_series(&mut self) {
+        if !self.tel.is_on() {
+            return;
+        }
+        self.tel.help("node_power_watts", "Per-node power draw timeline, watts");
+        let n_web = self.n_web();
+        for i in 0..self.nodes.len() {
+            let steps = self.nodes.node(NodeId(i)).power_trace().to_vec();
+            let name = if i < n_web {
+                format!("web-{i}")
+            } else {
+                format!("cache-{}", i - n_web)
+            };
+            for (t, w) in steps {
+                self.tel.series_push("node_power_watts", labels(&[("node", &name)]), t, w);
+            }
+        }
+        for i in 0..self.dbc.len() {
+            let steps = self.dbc.node(NodeId(i)).power_trace().to_vec();
+            let name = format!("db-{i}");
+            for (t, w) in steps {
+                self.tel.series_push("node_power_watts", labels(&[("node", &name)]), t, w);
+            }
+        }
     }
 }
 
@@ -866,6 +978,7 @@ impl Model for WebWorld {
                         let r = self.reqs.remove(&req).expect("req exists");
                         self.conns.remove(&r.conn);
                         self.metrics.server_errors += 1;
+                        self.tel_outcome("server_error");
                         return;
                     }
                     self.begin_stage2(req, now, ctx);
@@ -907,7 +1020,13 @@ impl Model for WebWorld {
                     let r = self.reqs.remove(&req).expect("req exists");
                     self.conns.remove(&r.conn);
                     self.metrics.server_errors += 1;
+                    self.tel_outcome("server_error");
                     return;
+                }
+                if self.tel.is_on() {
+                    let thread = format!("web-{web}");
+                    let args = vec![("db_node", format!("{db_node}"))];
+                    self.tel.span("web", &thread, "rpc", "mysql_query", t_db_sent, now, args);
                 }
                 self.reqs.get_mut(&req).expect("req exists").db_delay =
                     Some(now.since(t_db_sent).as_millis_f64());
@@ -929,6 +1048,21 @@ impl Model for WebWorld {
                 // handshake + any retries), later calls from request send
                 let start = if r.first_call { t_first_syn } else { r.t_sent };
                 self.metrics.completed_total += 1;
+                if self.tel.is_on() {
+                    let thread = format!("web-{web}");
+                    let args = vec![(
+                        "path",
+                        if r.went_to_db { "php/memcached-miss/mysql".to_string() } else { "php/memcached-hit".to_string() },
+                    )];
+                    self.tel.span("web", &thread, "request", "http_request", start, now, args);
+                    self.tel_outcome("ok");
+                    self.tel.observe(
+                        "web_request_delay_seconds",
+                        labels(&[]),
+                        DELAY_BOUNDS_S,
+                        now.since(start).as_secs_f64(),
+                    );
+                }
                 if self.in_window(now) && r.t_sent >= self.measure_start {
                     self.metrics.completed += 1;
                     self.metrics.delays_ms.push(now.since(start).as_millis_f64());
@@ -971,6 +1105,7 @@ impl Model for WebWorld {
                         self.reqs.remove(&id);
                         self.conns.remove(&conn);
                         self.metrics.server_errors += 1;
+                        self.tel_outcome("server_error");
                     }
                 }
                 self.workers[node].busy = 0;
@@ -991,10 +1126,29 @@ impl Model for WebWorld {
 /// Build, seed and run one configuration to completion; returns the world
 /// with populated [`Metrics`].
 pub fn run(cfg: StackConfig) -> WebWorld {
+    run_traced(cfg, Telemetry::off())
+}
+
+/// Like [`run`], but records into `tel` when it is enabled: engine event
+/// counts, request-lifecycle spans, request counters/histograms and
+/// per-node power timelines. With `Telemetry::off()` this is exactly
+/// [`run`] — the unobserved fast path, no tracing hooks.
+pub fn run_traced(cfg: StackConfig, tel: Telemetry) -> WebWorld {
     let warmup = cfg.warmup;
     let measure = cfg.measure;
     let kill = cfg.kill_web_at;
-    let world = WebWorld::new(cfg);
+    let tracing = tel.is_on();
+    let mut world = WebWorld::new(cfg);
+    world.tel = tel;
+    if tracing {
+        world.nodes.enable_power_trace();
+        world.dbc.enable_power_trace();
+        world.tel.help("web_requests_total", "Requests leaving the system, by outcome");
+        world.tel.help("web_request_delay_seconds", "End-to-end request delay, seconds");
+        world.tel.help("web_syn_drops_total", "SYN packets dropped at the accept gate");
+        world.tel.help("web_cache_lookups_total", "memcached lookups, by result");
+        world.tel.help("web_throughput_rps", "Completed requests per second, 1 s samples");
+    }
     let mut sim = Simulation::new(world);
     sim.schedule_at(SimTime::ZERO, Ev::GenConn);
     sim.schedule_at(SimTime::ZERO, Ev::Sample);
@@ -1003,8 +1157,17 @@ pub fn run(cfg: StackConfig) -> WebWorld {
     }
     sim.schedule_at(SimTime::ZERO + warmup, Ev::MeasureStart);
     sim.schedule_at(SimTime::ZERO + warmup + measure, Ev::Stop);
-    sim.run();
-    sim.into_world()
+    if tracing {
+        let mut obs = EventCounter::new(Ev::kind);
+        sim.run_observed(&mut obs);
+        let mut world = sim.into_world();
+        obs.record_into(&mut world.tel, "web");
+        world.harvest_power_series();
+        world
+    } else {
+        sim.run();
+        sim.into_world()
+    }
 }
 
 #[cfg(test)]
@@ -1076,6 +1239,34 @@ mod tests {
         let p = w.metrics.power_w.mean_value();
         // 5 nodes: between 5×1.40=7.0 W and 5×1.68=8.4 W
         assert!((7.0..8.4).contains(&p), "power {p}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records() {
+        let plain = run(small_cfg(32.0));
+        let mut traced = run_traced(small_cfg(32.0), Telemetry::on());
+        // tracing must not perturb the simulation
+        assert_eq!(plain.metrics.completed, traced.metrics.completed);
+        assert_eq!(plain.metrics.server_errors, traced.metrics.server_errors);
+        let tel = traced.take_telemetry();
+        // request spans + engine counters + power timelines all present
+        assert!(tel.tracer.spans().iter().any(|s| s.name == "http_request"));
+        assert!(tel.tracer.spans().iter().any(|s| s.name == "memcached_get"));
+        assert!(tel.tracer.spans().iter().any(|s| s.name == "mysql_query"));
+        let counters: Vec<_> = tel.registry.counters().collect();
+        assert!(counters.iter().any(|(n, _, v)| *n == "sim_events_total" && *v > 0));
+        assert!(counters.iter().any(|(n, l, v)| *n == "web_requests_total"
+            && l.get("outcome") == Some(&"ok".to_string())
+            && *v == traced.metrics.completed_total));
+        assert!(tel
+            .registry
+            .series()
+            .any(|(n, l, pts)| n == "node_power_watts"
+                && l.get("node") == Some(&"web-0".to_string())
+                && !pts.is_empty()));
+        // untraced runs carry an empty sink
+        assert!(plain.telemetry().registry.is_empty());
+        assert!(plain.telemetry().tracer.spans().is_empty());
     }
 
     #[test]

@@ -3,13 +3,14 @@
 //! reproduces the paper to within 2 %.
 
 use edison_core::registry::{all, find, RunBudget};
+use edison_simtel::Telemetry;
 
 #[test]
 fn cheap_experiments_render_with_close_comparisons() {
     let budget = RunBudget::quick();
     for id in ["table2", "table3", "table5", "sec41_dmips", "sec42_membw", "sec44_net", "table9", "table10"] {
         let exp = find(id).unwrap_or_else(|| panic!("missing {id}"));
-        let report = (exp.run)(&budget);
+        let report = (exp.run)(&budget, &mut Telemetry::off());
         assert!(!report.body.is_empty(), "{id} has empty body");
         for c in &report.comparisons {
             let r = c.ratio();
@@ -38,7 +39,7 @@ fn registry_ids_are_unique() {
 fn reports_display_cleanly() {
     let budget = RunBudget::quick();
     let exp = find("table5").unwrap();
-    let report = (exp.run)(&budget);
+    let report = (exp.run)(&budget, &mut Telemetry::off());
     let text = format!("{report}");
     assert!(text.starts_with("==== table5"));
     assert!(text.contains("paper vs measured"));
@@ -50,7 +51,7 @@ fn reports_display_cleanly() {
 fn delay_distribution_contrast() {
     let budget = RunBudget::quick();
     let exp = find("fig10_11").unwrap();
-    let report = (exp.run)(&budget);
+    let report = (exp.run)(&budget, &mut Telemetry::off());
     for c in &report.comparisons {
         assert!(
             (c.measured - 1.0).abs() < 1e-9,
