@@ -7,6 +7,7 @@
 //! repro --full table8        run one experiment at paper scale
 //! repro --all                run everything (quick)
 //! repro --all --full --out reports/   write one file per experiment
+//! repro --jobs 4 table8      cap the sweep worker pool at 4
 //! repro smoke --trace t.json --metrics m.prom   record telemetry
 //! ```
 //!
@@ -14,9 +15,19 @@
 //! `--metrics FILE` writes Prometheus text exposition, `--telemetry-csv
 //! FILE` writes the flat CSV form. Any of these flags enables the
 //! telemetry sink; experiments record a representative traced run into it.
+//!
+//! `--jobs N` bounds the sweep executor's worker pool (default: the
+//! `EDISON_REPRO_JOBS` environment variable, else available cores). The
+//! width never changes results — seeds are derived per point, and sweep
+//! output is ordered by input index.
+//!
+//! Exit codes: `0` success, `2` CLI error / unknown experiment, `3` a
+//! sweep point panicked ([`RunError::PointFailed`]), `4` a typed
+//! simulation error ([`RunError::Sim`]).
 
 use edison_core::export::telemetry_csv;
-use edison_core::registry::{self, RunBudget};
+use edison_core::registry::{self, Experiment, RunBudget};
+use edison_simrun::{Executor, RunError};
 use edison_simtel::Telemetry;
 use std::fs;
 use std::path::PathBuf;
@@ -28,10 +39,10 @@ fn die(msg: String) -> ! {
 }
 
 /// Consume the value operand of `flag`.
-fn flag_value(args: &[String], i: &mut usize, flag: &str) -> PathBuf {
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
     *i += 1;
     match args.get(*i) {
-        Some(v) => PathBuf::from(v),
+        Some(v) => v.clone(),
         None => die(format!("{flag} needs a value")),
     }
 }
@@ -41,6 +52,7 @@ fn main() {
     let mut list = false;
     let mut run_all = false;
     let mut full = false;
+    let mut jobs: Option<usize> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
@@ -52,12 +64,19 @@ fn main() {
             "--list" => list = true,
             "--all" => run_all = true,
             "--full" => full = true,
-            "--out" => out_dir = Some(flag_value(&args, &mut i, "--out")),
-            "--trace" => trace_path = Some(flag_value(&args, &mut i, "--trace")),
-            "--metrics" => metrics_path = Some(flag_value(&args, &mut i, "--metrics")),
-            "--telemetry-csv" => csv_path = Some(flag_value(&args, &mut i, "--telemetry-csv")),
+            "--jobs" => {
+                let v = flag_value(&args, &mut i, "--jobs");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => die(format!("--jobs needs a positive integer, got '{v}'")),
+                }
+            }
+            "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
+            "--trace" => trace_path = Some(PathBuf::from(flag_value(&args, &mut i, "--trace"))),
+            "--metrics" => metrics_path = Some(PathBuf::from(flag_value(&args, &mut i, "--metrics"))),
+            "--telemetry-csv" => csv_path = Some(PathBuf::from(flag_value(&args, &mut i, "--telemetry-csv"))),
             "--help" | "-h" => {
-                println!("usage: repro [--list] [--all] [--full] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [IDS...]");
+                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [IDS...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -68,7 +87,8 @@ fn main() {
     if list || (!run_all && ids.is_empty()) {
         println!("available experiments:");
         for e in registry::all() {
-            println!("  {:<14} {}", e.id, e.title);
+            let note = if e.in_all() { "" } else { "  (not part of --all)" };
+            println!("  {:<14} {}{note}", e.id(), e.title());
         }
         if !list {
             println!("\nrun with: repro --all  or  repro <id>...");
@@ -77,8 +97,12 @@ fn main() {
     }
 
     let budget = if full { RunBudget::full() } else { RunBudget::quick() };
-    let experiments: Vec<_> = if run_all {
-        registry::all()
+    let exec = match jobs {
+        Some(n) => Executor::new(n),
+        None => Executor::from_env(),
+    };
+    let experiments: Vec<&'static dyn Experiment> = if run_all {
+        registry::all().filter(|e| e.in_all()).collect()
     } else {
         ids.iter()
             .map(|id| {
@@ -97,16 +121,28 @@ fn main() {
     } else {
         Telemetry::off()
     };
+    // keep running remaining experiments after a failure; exit with the
+    // first failure's code once everything has had its chance
+    let mut first_failure: Option<RunError> = None;
     for e in experiments {
-        eprintln!("running {} ...", e.id);
+        eprintln!("running {} (jobs={}) ...", e.id(), exec.jobs());
         // simlint: allow(R1) host-side progress display; never feeds sim state
         let t0 = std::time::Instant::now();
-        let report = (e.run)(&budget, &mut tel);
+        let report = match e.run(&budget, &exec, &mut tel) {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("  FAILED {}: {err}", e.id());
+                if first_failure.is_none() {
+                    first_failure = Some(err);
+                }
+                continue;
+            }
+        };
         eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
         let text = format!("{report}");
         match &out_dir {
             Some(dir) => {
-                let path = dir.join(format!("{}.txt", e.id));
+                let path = dir.join(format!("{}.txt", e.id()));
                 if let Err(e) = fs::write(&path, &text) {
                     die(format!("write report {}: {e}", path.display()));
                 }
@@ -136,5 +172,9 @@ fn main() {
     }
     if let Some(path) = &csv_path {
         write_artifact(path, "telemetry csv", telemetry_csv(&tel));
+    }
+    if let Some(err) = first_failure {
+        eprintln!("repro: {err}");
+        std::process::exit(err.exit_code());
     }
 }

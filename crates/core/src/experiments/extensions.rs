@@ -7,36 +7,55 @@ use crate::report::{table, Comparison, Report};
 use edison_hw::dvfs::{daily_energy_wh, DvfsModel};
 use edison_hw::related;
 use edison_simcore::time::SimDuration;
+use edison_simrun::{derive_seed, derive_seed_at, Executor, RunError, SimError, ROOT_SEED};
 use edison_simtel::Telemetry;
-use edison_web::stack::{run, run_traced, GenMode, StackConfig};
+use edison_web::stack::{run, run_traced, GenMode, Metrics, StackConfig};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
-fn web_cfg(platform: Platform, conc: f64, budget: &RunBudget) -> StackConfig {
-    let scenario = WebScenario::table6(platform, ClusterScale::Full).unwrap();
+/// Full-scale web-tier config for one platform, seeded explicitly. The
+/// missing Table 6 rows surface as [`SimError::Config`].
+fn web_cfg(platform: Platform, conc: f64, budget: &RunBudget, seed: u64) -> Result<StackConfig, SimError> {
+    let scenario = WebScenario::table6_or_err(platform, ClusterScale::Full)?;
     let mut cfg = StackConfig::new(
         scenario,
         WorkloadMix::lightest(),
         GenMode::Httperf { connections_per_sec: conc, calls_per_conn: 6.6 },
-        20160509,
+        seed,
     );
     cfg.warmup = SimDuration::from_secs(budget.web_warmup_s);
     cfg.measure = SimDuration::from_secs(budget.web_measure_s);
-    cfg
+    Ok(cfg)
 }
 
 /// §7's "hybrid future datacenter": a half-scale Edison web tier plus one
 /// Dell web server, compared against the pure tiers at equal offered load.
-pub fn ext_hybrid(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+pub fn ext_hybrid(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
     let conc = 1024.0;
     let window = budget.web_measure_s as f64;
 
-    // pure Edison
-    let edison = run(web_cfg(Platform::Edison, conc, budget));
-    // pure Dell
-    let dell = run(web_cfg(Platform::Dell, conc, budget));
+    // the two pure tiers are independent points — fan them out
+    let pure_platforms = [Platform::Edison, Platform::Dell];
+    let pures = exec.sweep(
+        "ext:hybrid",
+        &pure_platforms,
+        tel,
+        |_, p| format!("{p:?}"),
+        |i, &p| {
+            web_cfg(p, conc, budget, derive_seed_at(ROOT_SEED, "ext:hybrid", i)).map(|cfg| run(cfg).metrics)
+        },
+    )?;
+    let mut pures = pures.into_iter();
+    let edison: Metrics = pures.next().ok_or_else(|| SimError::Data("pure Edison run missing".into()))??;
+    let dell: Metrics = pures.next().ok_or_else(|| SimError::Data("pure Dell run missing".into()))??;
+
     // hybrid: 12 Edison web + 1 Dell web (≈ same aggregate capacity as
     // 24 Edison under the 12:1 LB weighting), Edison caches
-    let mut hybrid_cfg = web_cfg(Platform::Edison, conc, budget);
+    let mut hybrid_cfg = web_cfg(
+        Platform::Edison,
+        conc,
+        budget,
+        derive_seed(ROOT_SEED, "ext:hybrid:mixed", 0),
+    )?;
     hybrid_cfg.scenario.web_servers = 12;
     hybrid_cfg.hybrid_web = 1;
     let hybrid = if tel.is_on() {
@@ -44,12 +63,12 @@ pub fn ext_hybrid(budget: &RunBudget, tel: &mut Telemetry) -> Report {
         let mut world = run_traced(hybrid_cfg, Telemetry::on());
         let t = world.take_telemetry();
         tel.merge(t);
-        world
+        world.metrics
     } else {
-        run(hybrid_cfg)
+        run(hybrid_cfg).metrics
     };
 
-    let row = |name: &str, m: &edison_web::stack::Metrics| {
+    let row = |name: &str, m: &Metrics| {
         let rps = m.completed as f64 / window;
         let watts = m.power_w.mean_value();
         vec![
@@ -62,18 +81,18 @@ pub fn ext_hybrid(budget: &RunBudget, tel: &mut Telemetry) -> Report {
         ]
     };
     let rows = vec![
-        row("24 Edison", &edison.metrics),
-        row("2 Dell", &dell.metrics),
-        row("12 Edison + 1 Dell (hybrid)", &hybrid.metrics),
+        row("24 Edison", &edison),
+        row("2 Dell", &dell),
+        row("12 Edison + 1 Dell (hybrid)", &hybrid),
     ];
     let body = table(
         &["web tier", "req/s", "delay ms", "power W", "req/J", "5xx"],
         &rows,
     );
-    let hybrid_rpj = hybrid.metrics.completed as f64 / hybrid.metrics.energy_j.max(1e-9);
-    let dell_rpj = dell.metrics.completed as f64 / dell.metrics.energy_j.max(1e-9);
-    let edison_rpj = edison.metrics.completed as f64 / edison.metrics.energy_j.max(1e-9);
-    Report {
+    let hybrid_rpj = hybrid.completed as f64 / hybrid.energy_j.max(1e-9);
+    let dell_rpj = dell.completed as f64 / dell.energy_j.max(1e-9);
+    let edison_rpj = edison.completed as f64 / edison.energy_j.max(1e-9);
+    Ok(Report {
         id: "ext_hybrid".into(),
         title: "Hybrid web tier (extension of the Section 7 vision)".into(),
         body,
@@ -82,23 +101,37 @@ pub fn ext_hybrid(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             Comparison::new("hybrid req/J vs pure Dell (>1 expected)", 1.0, hybrid_rpj / dell_rpj),
             Comparison::new("hybrid req/J vs pure Edison (<1 expected)", 1.0, hybrid_rpj / edison_rpj),
         ],
-    }
+    })
 }
 
 /// Node-failure impact (Introduction, advantage 2): kill one web server
 /// mid-window on each platform and compare the damage.
-pub fn ext_failure(budget: &RunBudget, _tel: &mut Telemetry) -> Report {
+pub fn ext_failure(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
     let conc = 1024.0;
     let window = budget.web_measure_s as f64;
+    let platforms = [Platform::Edison, Platform::Dell];
+    // each platform's healthy/killed pair shares one derived seed so the
+    // kill is the only difference between the two runs
+    let pairs = exec.sweep(
+        "ext:failure",
+        &platforms,
+        tel,
+        |_, p| format!("{p:?}"),
+        |i, &p| -> Result<(Metrics, Metrics), SimError> {
+            let seed = derive_seed_at(ROOT_SEED, "ext:failure", i);
+            let healthy = run(web_cfg(p, conc, budget, seed)?).metrics;
+            let mut cfg = web_cfg(p, conc, budget, seed)?;
+            cfg.kill_web_at = Some((0, SimDuration::from_secs(budget.web_warmup_s + budget.web_measure_s / 2)));
+            let killed = run(cfg).metrics;
+            Ok((healthy, killed))
+        },
+    )?;
     let mut rows = Vec::new();
     let mut losses = Vec::new();
-    for platform in [Platform::Edison, Platform::Dell] {
-        let healthy = run(web_cfg(platform, conc, budget));
-        let mut cfg = web_cfg(platform, conc, budget);
-        cfg.kill_web_at = Some((0, SimDuration::from_secs(budget.web_warmup_s + budget.web_measure_s / 2)));
-        let killed = run(cfg);
-        let rps_h = healthy.metrics.completed as f64 / window;
-        let rps_k = killed.metrics.completed as f64 / window;
+    for (platform, pair) in platforms.iter().zip(pairs) {
+        let (healthy, killed) = pair?;
+        let rps_h = healthy.completed as f64 / window;
+        let rps_k = killed.completed as f64 / window;
         let loss = 1.0 - rps_k / rps_h;
         losses.push(loss);
         rows.push(vec![
@@ -106,10 +139,10 @@ pub fn ext_failure(budget: &RunBudget, _tel: &mut Telemetry) -> Report {
             format!("{rps_h:.0}"),
             format!("{rps_k:.0}"),
             format!("{:.1}%", loss * 100.0),
-            format!("{}", killed.metrics.server_errors),
+            format!("{}", killed.server_errors),
         ]);
     }
-    Report {
+    Ok(Report {
         id: "ext_failure".into(),
         title: "Web-tier node-failure impact (extension)".into(),
         body: table(
@@ -121,12 +154,12 @@ pub fn ext_failure(budget: &RunBudget, _tel: &mut Telemetry) -> Report {
             12.0,
             losses[1] / losses[0].max(1e-6),
         )],
-    }
+    })
 }
 
 /// Related-work platform what-if: MI-per-joule figure of merit across the
 /// Table 1 platforms with full models.
-pub fn ext_platforms(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
+pub fn ext_platforms(_budget: &RunBudget, _exec: &Executor, _tel: &mut Telemetry) -> Result<Report, RunError> {
     let rows: Vec<Vec<String>> = related::all_platforms()
         .iter()
         .map(|s| {
@@ -141,7 +174,7 @@ pub fn ext_platforms(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
         .collect();
     let edison_eff = related::mi_per_joule(&edison_hw::presets::edison());
     let dell_eff = related::mi_per_joule(&edison_hw::presets::dell_r620());
-    Report {
+    Ok(Report {
         id: "ext_platforms".into(),
         title: "Related-work platform what-if (Table 1 with full models)".into(),
         body: table(&["platform", "MIPS", "busy W", "MI/J", "cost"], &rows),
@@ -150,12 +183,12 @@ pub fn ext_platforms(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
             1.0,
             edison_eff / dell_eff,
         )],
-    }
+    })
 }
 
 /// DVFS vs micro-server substitution on a diurnal day (§1's quantitative
 /// argument): DVFS saves ≲30 %, the Edison swap > 60 %.
-pub fn ext_dvfs(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
+pub fn ext_dvfs(_budget: &RunBudget, _exec: &Executor, _tel: &mut Telemetry) -> Result<Report, RunError> {
     let dell = DvfsModel::from_spec(&edison_hw::presets::dell_r620());
     let edison = edison_hw::presets::edison().power;
     let fixed = daily_energy_wh(|u| dell.power_fixed(u));
@@ -174,7 +207,7 @@ pub fn ext_dvfs(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
             format!("{:.0}%", (1.0 - swap / fixed) * 100.0),
         ],
     ];
-    Report {
+    Ok(Report {
         id: "ext_dvfs".into(),
         title: "DVFS vs micro-server substitution over a diurnal day (extension of §1)".into(),
         body: table(&["configuration", "Wh/day", "saving"], &rows),
@@ -182,7 +215,7 @@ pub fn ext_dvfs(_budget: &RunBudget, _tel: &mut Telemetry) -> Report {
             Comparison::new("ideal-DVFS saving (paper: ≤30%)", 0.30, 1.0 - dvfs / fixed),
             Comparison::new("Edison-swap saving (paper: can exceed 70%)", 0.70, 1.0 - swap / fixed),
         ],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -191,7 +224,8 @@ mod tests {
 
     #[test]
     fn dvfs_report_shapes_hold() {
-        let r = ext_dvfs(&RunBudget::quick(), &mut Telemetry::off());
+        let r = ext_dvfs(&RunBudget::quick(), &Executor::serial(), &mut Telemetry::off())
+            .expect("static experiment");
         let dvfs_saving = r.comparisons[0].measured;
         let swap_saving = r.comparisons[1].measured;
         assert!(swap_saving > 2.0 * dvfs_saving, "swap {swap_saving} vs dvfs {dvfs_saving}");
@@ -199,7 +233,8 @@ mod tests {
 
     #[test]
     fn platform_table_renders() {
-        let r = ext_platforms(&RunBudget::quick(), &mut Telemetry::off());
+        let r = ext_platforms(&RunBudget::quick(), &Executor::serial(), &mut Telemetry::off())
+            .expect("static experiment");
         assert!(r.body.contains("FAWN"));
         assert!(r.body.contains("Raspberry"));
         assert_eq!(r.comparisons.len(), 1);

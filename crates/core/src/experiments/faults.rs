@@ -1,0 +1,66 @@
+//! The deliberate-failure demonstration (`fault_demo`).
+//!
+//! One sweep point panics by design. The run layer's guarantees are
+//! visible end-to-end: the executor isolates the crash, the sibling
+//! points still complete (their outcome counters land in telemetry), and
+//! the experiment surfaces [`RunError::PointFailed`] naming the point —
+//! which `repro fault_demo` renders as a readable error and exit code 3
+//! instead of an aborted process. Excluded from `repro --all`.
+
+use crate::registry::RunBudget;
+use crate::report::Report;
+use edison_simrun::{Executor, RunError};
+use edison_simtel::Telemetry;
+
+/// Run an 8-point sweep whose point 5 always panics.
+pub fn fault_demo(
+    _budget: &RunBudget,
+    exec: &Executor,
+    tel: &mut Telemetry,
+) -> Result<Report, RunError> {
+    let points: Vec<u32> = (0..8).collect();
+    let vals = exec.sweep(
+        "fault_demo",
+        &points,
+        tel,
+        |i, _| format!("point{i}"),
+        |_, &p| {
+            if p == 5 {
+                // simlint: allow(R4) the whole point of this demo is a deliberate panic
+                panic!("deliberate fault-injection panic (point 5)");
+            }
+            u64::from(p) * 2
+        },
+    )?;
+    // Unreachable in practice — point 5 always panics — but kept total so
+    // the demo stays honest if the injection above is ever edited away.
+    Ok(Report {
+        id: "fault_demo".into(),
+        title: "DEMO: fault-isolation showcase".into(),
+        body: format!("all points completed unexpectedly: {vals:?}\n"),
+        comparisons: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_demo_isolates_and_reports() {
+        let mut tel = Telemetry::on();
+        let err = fault_demo(&RunBudget::quick(), &Executor::new(4), &mut tel)
+            .expect_err("point 5 must fail");
+        match err {
+            RunError::PointFailed { point, cause } => {
+                assert_eq!(point, "fault_demo/point5");
+                assert!(cause.contains("deliberate"), "cause: {cause}");
+            }
+            other => panic!("wrong error class: {other:?}"),
+        }
+        // the seven sibling points still ran
+        let prom = tel.prometheus_text();
+        assert!(prom.contains("simrun_points_total"), "{prom}");
+        assert!(prom.contains("outcome=\"ok\"") && prom.contains("7"), "{prom}");
+    }
+}

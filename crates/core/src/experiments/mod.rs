@@ -7,8 +7,11 @@
 //! * [`extensions`] — hybrid tier, failure injection, platform what-ifs.
 //! * [`smoke`] — one quick web point + one small MapReduce job, the
 //!   telemetry demo / CI smoke target.
+//! * [`faults`] — the deliberate-failure demo exercising the simrun
+//!   layer's panic isolation end-to-end.
 
 pub mod extensions;
+pub mod faults;
 pub mod individual;
 pub mod mapred;
 pub mod smoke;

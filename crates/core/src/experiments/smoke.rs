@@ -8,29 +8,35 @@ use super::mapred;
 use crate::registry::RunBudget;
 use crate::report::{table, Comparison, Report};
 use edison_mapreduce::engine::{run_job_traced, ClusterSetup};
+use edison_simrun::{derive_seed, Executor, RunError, ROOT_SEED};
 use edison_simtel::Telemetry;
 use edison_web::httperf::{self, RunOpts};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 /// Run the smoke pair. Unlike the figure experiments (which trace one
 /// representative point on the side), the smoke runs ARE the traced runs:
-/// whatever the sink's state, each simulation executes exactly once.
-pub fn smoke(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+/// whatever the sink's state, each simulation executes exactly once, in
+/// order, on the caller's thread (no executor fan-out — two points are
+/// not worth a pool, and serial runs keep the traced output canonical).
+pub fn smoke(budget: &RunBudget, _exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
     let tracing = tel.is_on();
     let sink = move || if tracing { Telemetry::on() } else { Telemetry::off() };
 
     // web: eighth-scale Edison tier at a mid-curve load
-    let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth)
-        // simlint: allow(R4) Table 6 statically contains the eighth-scale Edison row
-        .expect("eighth-scale Edison row");
-    let opts = RunOpts { seed: 20160509, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s };
+    let scenario = WebScenario::table6_or_err(Platform::Edison, ClusterScale::Eighth)?;
+    let opts = RunOpts {
+        seed: derive_seed(ROOT_SEED, "smoke:web", 0),
+        warmup_s: budget.web_warmup_s,
+        measure_s: budget.web_measure_s,
+    };
     let (web, wtel) = httperf::run_point_traced(&scenario, WorkloadMix::lightest(), 64.0, opts, sink());
     tel.merge(wtel);
 
     // mapreduce: logcount2 on a 4-node Edison cluster (seconds, not minutes)
     let base = ClusterSetup::edison(4);
-    let setup = mapred::setup_for("logcount2", &base);
-    let profile = mapred::profile_for("logcount2", &setup);
+    let mut setup = mapred::setup_for("logcount2", &base);
+    setup.seed = derive_seed(ROOT_SEED, "smoke:mr:logcount2", 0);
+    let profile = mapred::profile_for("logcount2", &setup)?;
     let (job, jtel) = run_job_traced(&profile, &setup, sink());
     tel.merge(jtel);
 
@@ -48,7 +54,7 @@ pub fn smoke(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             format!("{:.0}% data-local", 100.0 * job.data_local_fraction),
         ],
     ];
-    Report {
+    Ok(Report {
         id: "smoke".into(),
         title: "End-to-end smoke run (web + MapReduce, telemetry-ready)".into(),
         body: table(&["run", "throughput / time", "delay / energy", "power / locality"], &rows),
@@ -56,7 +62,7 @@ pub fn smoke(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             Comparison::new("web point completes requests (>0 expected)", 1.0, web.requests_per_sec.min(1.0)),
             Comparison::new("MapReduce job finishes (>0 s expected)", 1.0, job.finish_time_s.min(1.0)),
         ],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -66,7 +72,7 @@ mod tests {
     #[test]
     fn smoke_runs_and_traces() {
         let mut tel = Telemetry::on();
-        let r = smoke(&RunBudget::quick(), &mut tel);
+        let r = smoke(&RunBudget::quick(), &Executor::serial(), &mut tel).expect("smoke healthy");
         assert_eq!(r.id, "smoke");
         assert!(r.body.contains("req/s"));
         // both worlds contributed telemetry
@@ -82,7 +88,7 @@ mod tests {
     #[test]
     fn smoke_off_is_clean() {
         let mut tel = Telemetry::off();
-        let r = smoke(&RunBudget::quick(), &mut tel);
+        let r = smoke(&RunBudget::quick(), &Executor::serial(), &mut tel).expect("smoke healthy");
         assert!(!r.body.is_empty());
         assert!(tel.chrome_trace_json().contains("\"traceEvents\": []") || !tel.chrome_trace_json().contains("http_request"));
     }

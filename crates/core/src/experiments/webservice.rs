@@ -1,13 +1,16 @@
 //! Web-service experiments: Figures 4–11 and Table 7 (§5.1).
 //!
 //! Each figure point is one full `edison_web::stack` run; sweep points are
-//! executed in parallel with crossbeam scoped threads (each simulation is
-//! independent and deterministic).
+//! independent, so they fan out over the simrun [`Executor`] (bounded
+//! worker pool, input-order results, per-point panic isolation). Every
+//! point draws its seed from [`derive_seed_at`] keyed by the sweep's
+//! stream id, so a single point can be reproduced outside its sweep.
 
 use crate::chart::{bar_chart, chart, Scale};
 use crate::paper;
 use crate::registry::RunBudget;
 use crate::report::{series_table, table, Comparison, Report, Series};
+use edison_simrun::{derive_seed_at, Executor, RunError, SimError, ROOT_SEED};
 use edison_simtel::Telemetry;
 use edison_web::httperf::{self, concurrency_sweep, HttperfResult, RunOpts};
 use edison_web::pyclient;
@@ -27,7 +30,8 @@ fn trace_representative(
     if !tel.is_on() {
         return;
     }
-    let (_, t) = httperf::run_point_traced(scenario, mix, concurrency, opts(budget), Telemetry::on());
+    let seed = derive_seed_at(ROOT_SEED, &format!("trace:{}", stream_id(scenario, mix)), 0);
+    let (_, t) = httperf::run_point_traced(scenario, mix, concurrency, opts(budget, seed), Telemetry::on());
     tel.merge(t);
 }
 
@@ -48,6 +52,17 @@ fn legend(s: &WebScenario) -> String {
     format!("{} {p}", s.web_servers)
 }
 
+/// The seed-derivation stream id of one (scenario, mix) sweep: stable,
+/// human-readable, and distinct across every Table 6 row × workload mix.
+fn stream_id(s: &WebScenario, mix: WorkloadMix) -> String {
+    format!(
+        "web:{}:img{:.0}%:hit{:.0}%",
+        legend(s),
+        100.0 * mix.image_fraction,
+        100.0 * mix.cache_hit_ratio
+    )
+}
+
 /// All scale configurations of Table 6 that exist.
 fn all_scenarios() -> Vec<WebScenario> {
     let mut v = Vec::new();
@@ -61,24 +76,28 @@ fn all_scenarios() -> Vec<WebScenario> {
     v
 }
 
-fn opts(budget: &RunBudget) -> RunOpts {
-    RunOpts { seed: 20160509, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s }
+fn opts(budget: &RunBudget, seed: u64) -> RunOpts {
+    RunOpts { seed, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s }
 }
 
-/// Run a full concurrency sweep for one scenario/mix, in parallel.
-pub fn sweep(scenario: &WebScenario, mix: WorkloadMix, budget: &RunBudget) -> Vec<HttperfResult> {
+/// Run a full concurrency sweep for one scenario/mix over the executor.
+/// Point `i` runs with seed `derive_seed(ROOT_SEED, stream_id, i)`.
+pub fn sweep(
+    scenario: &WebScenario,
+    mix: WorkloadMix,
+    budget: &RunBudget,
+    exec: &Executor,
+    tel: &mut Telemetry,
+) -> Result<Vec<HttperfResult>, RunError> {
     let concs = concurrency_sweep();
-    let opts = opts(budget);
-    let mut results: Vec<Option<HttperfResult>> = (0..concs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, &c) in results.iter_mut().zip(&concs) {
-            scope.spawn(move |_| {
-                *slot = Some(httperf::run_point(scenario, mix, c, opts));
-            });
-        }
-    })
-    .expect("sweep threads");
-    results.into_iter().map(|r| r.expect("filled")).collect()
+    let stream = stream_id(scenario, mix);
+    exec.sweep(
+        &stream,
+        &concs,
+        tel,
+        |_, &c| format!("conc={c}"),
+        |i, &c| httperf::run_point(scenario, mix, c, opts(budget, derive_seed_at(ROOT_SEED, &stream, i))),
+    )
 }
 
 /// A point is "shown" in the paper's figures while server-side errors stay
@@ -87,12 +106,20 @@ fn shown(r: &HttperfResult) -> bool {
     r.error_rate < 0.02
 }
 
-fn throughput_series(scenarios: &[WebScenario], mix: WorkloadMix, budget: &RunBudget) -> (Vec<Series>, Vec<Series>, Vec<(String, Vec<HttperfResult>)>) {
+type SeriesBundle = (Vec<Series>, Vec<Series>, Vec<(String, Vec<HttperfResult>)>);
+
+fn throughput_series(
+    scenarios: &[WebScenario],
+    mix: WorkloadMix,
+    budget: &RunBudget,
+    exec: &Executor,
+    tel: &mut Telemetry,
+) -> Result<SeriesBundle, RunError> {
     let mut tput = Vec::new();
     let mut delay = Vec::new();
     let mut raw = Vec::new();
     for sc in scenarios {
-        let rs = sweep(sc, mix, budget);
+        let rs = sweep(sc, mix, budget, exec, tel)?;
         let label = legend(sc);
         tput.push(Series {
             label: label.clone(),
@@ -104,7 +131,7 @@ fn throughput_series(scenarios: &[WebScenario], mix: WorkloadMix, budget: &RunBu
         });
         raw.push((label, rs));
     }
-    (tput, delay, raw)
+    Ok((tput, delay, raw))
 }
 
 fn power_summary(raw: &[(String, Vec<HttperfResult>)]) -> String {
@@ -120,10 +147,31 @@ fn power_summary(raw: &[(String, Vec<HttperfResult>)]) -> String {
     out
 }
 
+/// The raw sweep of `label`, or a typed data error naming what's missing.
+fn series_for<'a>(
+    raw: &'a [(String, Vec<HttperfResult>)],
+    label: &str,
+) -> Result<&'a Vec<HttperfResult>, RunError> {
+    raw.iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, rs)| rs)
+        .ok_or_else(|| SimError::Data(format!("sweep series '{label}' missing")).into())
+}
+
+/// The peak-throughput shown point of a sweep, or a typed data error if
+/// every point was excluded.
+fn peak_point(label: &str, rs: &[HttperfResult]) -> Result<HttperfResult, RunError> {
+    rs.iter()
+        .filter(|r| shown(r))
+        .max_by(|a, b| a.requests_per_sec.total_cmp(&b.requests_per_sec))
+        .cloned()
+        .ok_or_else(|| SimError::Data(format!("sweep '{label}' has no shown points")).into())
+}
+
 /// Figures 4 and 7: lightest load (93 % hits, 0 % images), all scales,
 /// with cluster power.
-pub fn fig04_07(budget: &RunBudget, tel: &mut Telemetry) -> Report {
-    let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::lightest(), budget);
+pub fn fig04_07(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
+    let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::lightest(), budget, exec, tel)?;
     trace_eighth(tel, WorkloadMix::lightest(), 64.0, budget);
     let mut body = String::from("Figure 4 (throughput, req/s) + power lines:\n");
     body.push_str(&series_table("conc", &tput));
@@ -135,22 +183,15 @@ pub fn fig04_07(budget: &RunBudget, tel: &mut Telemetry) -> Report {
 
     // headline comparisons: peak throughput of the full clusters + the
     // work-done-per-joule ratio at peak
-    let full_e = raw.iter().find(|(l, _)| l == "24 Edison").expect("full edison");
-    let full_d = raw.iter().find(|(l, _)| l == "2 Dell").expect("full dell");
-    let peak = |rs: &[HttperfResult]| {
-        rs.iter()
-            .filter(|r| shown(r))
-            .max_by(|a, b| a.requests_per_sec.total_cmp(&b.requests_per_sec))
-            .cloned()
-            .expect("nonempty")
-    };
-    let pe = peak(&full_e.1);
-    let pd = peak(&full_d.1);
+    let full_e = series_for(&raw, "24 Edison")?;
+    let full_d = series_for(&raw, "2 Dell")?;
+    let pe = peak_point("24 Edison", full_e)?;
+    let pd = peak_point("2 Dell", full_d)?;
     let efficiency = pe.requests_per_joule / pd.requests_per_joule;
     // low-load delay comparison: Edison ≈ 5× Dell
-    let low_e = &full_e.1[1];
-    let low_d = &full_d.1[1];
-    Report {
+    let low_e = &full_e[1];
+    let low_d = &full_d[1];
+    Ok(Report {
         id: "fig04_07".into(),
         title: "Web throughput & delay, no image query (Figures 4 and 7)".into(),
         body,
@@ -162,15 +203,15 @@ pub fn fig04_07(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             Comparison::new("work-done-per-joule gain", paper::WEB_EFFICIENCY_GAIN, efficiency),
             Comparison::new("low-load delay ratio (Edison/Dell)", 5.0, low_e.mean_delay_ms / low_d.mean_delay_ms),
         ],
-    }
+    })
 }
 
 /// Figures 5 and 8: lower hit ratios and moderate image mixes, full
 /// clusters only.
-pub fn fig05_08(budget: &RunBudget, tel: &mut Telemetry) -> Report {
-    let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
+pub fn fig05_08(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
+    let full_e = WebScenario::table6_or_err(Platform::Edison, ClusterScale::Full)?;
     trace_representative(tel, &full_e, WorkloadMix::hit(0.77), 64.0, budget);
-    let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+    let full_d = WebScenario::table6_or_err(Platform::Dell, ClusterScale::Full)?;
     let mixes = [
         ("cache=77%", WorkloadMix::hit(0.77)),
         ("cache=60%", WorkloadMix::hit(0.60)),
@@ -181,7 +222,7 @@ pub fn fig05_08(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let mut delay = Vec::new();
     for (name, mix) in mixes {
         for (sc, plat) in [(&full_e, "Edison"), (&full_d, "Dell")] {
-            let rs = sweep(sc, mix, budget);
+            let rs = sweep(sc, mix, budget, exec, tel)?;
             tput.push(Series {
                 label: format!("{plat} {name}"),
                 points: rs.iter().filter(|r| shown(r)).map(|r| (r.concurrency, r.requests_per_sec)).collect(),
@@ -200,7 +241,7 @@ pub fn fig05_08(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let peak = |s: &Series| s.points.iter().map(|p| p.1).fold(0.0, f64::max);
     let e77 = peak(&tput[0]);
     let e10 = peak(&tput[6]);
-    Report {
+    Ok(Report {
         id: "fig05_08".into(),
         title: "Web throughput & delay, higher image %, lower hit ratio (Figures 5 and 8)".into(),
         body,
@@ -209,13 +250,13 @@ pub fn fig05_08(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             0.95,
             e10 / e77,
         )],
-    }
+    })
 }
 
 /// Figures 6 and 9: the heaviest fair mix (20 % images), all scales.
-pub fn fig06_09(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+pub fn fig06_09(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
     trace_eighth(tel, WorkloadMix::img20(), 64.0, budget);
-    let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::img20(), budget);
+    let (tput, delay, raw) = throughput_series(&all_scenarios(), WorkloadMix::img20(), budget, exec, tel)?;
     let mut body = String::from("Figure 6 (throughput, req/s, 20% image) + power lines:\n");
     body.push_str(&series_table("conc", &tput));
     body.push_str(&chart(&tput, 64, 16, Scale::Log, Scale::Linear));
@@ -234,7 +275,7 @@ pub fn fig06_09(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let pe = peak("24 Edison");
     let pd = peak("2 Dell");
     // §5.1.2: throughput at 20 % images ≈ 85 % of the lightest workload
-    Report {
+    Ok(Report {
         id: "fig06_09".into(),
         title: "Web throughput & delay, 20% image query (Figures 6 and 9)".into(),
         body,
@@ -242,15 +283,15 @@ pub fn fig06_09(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             Comparison::new("Edison peak (req/s, ≈85% of light)", 0.85 * paper::WEB_PEAK_RPS, pe),
             Comparison::new("Dell peak (req/s)", 0.85 * paper::WEB_PEAK_RPS, pd),
         ],
-    }
+    })
 }
 
 /// Figures 10 and 11: python-client delay distributions at ~6000 req/s,
 /// 20 % images.
-pub fn fig10_11(budget: &RunBudget, tel: &mut Telemetry) -> Report {
+pub fn fig10_11(budget: &RunBudget, _exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
     trace_eighth(tel, WorkloadMix::img20(), 64.0, budget);
-    let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
-    let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+    let full_e = WebScenario::table6_or_err(Platform::Edison, ClusterScale::Full)?;
+    let full_d = WebScenario::table6_or_err(Platform::Dell, ClusterScale::Full)?;
     let rate = 6000.0;
     let e = pyclient::run_distribution(&full_e, WorkloadMix::img20(), rate, 7, budget.web_measure_s);
     let d = pyclient::run_distribution(&full_d, WorkloadMix::img20(), rate, 7, budget.web_measure_s);
@@ -277,7 +318,7 @@ pub fn fig10_11(budget: &RunBudget, tel: &mut Telemetry) -> Report {
     let d3 = spike(&d, 3.0);
     let e1 = spike(&e, 1.0);
     body.push_str(&format!("Dell retry spikes: ~1s mass {d1}, ~3s mass {d3}; Edison ~1s mass {e1}\n"));
-    Report {
+    Ok(Report {
         id: "fig10_11".into(),
         title: "Response delay distributions (Figures 10 and 11)".into(),
         body,
@@ -286,36 +327,43 @@ pub fn fig10_11(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             Comparison::new("Dell 3s-spike present", 1.0, f64::from(d3 > 0.0)),
             Comparison::new("Edison spike-free at 1s (mass≈0 → 1)", 1.0, f64::from(e1 <= d1 / 4.0)),
         ],
-    }
+    })
 }
 
 /// Table 7: delay decomposition at fixed request rates (20 % images, 93 %
 /// hits).
-pub fn table7(budget: &RunBudget, tel: &mut Telemetry) -> Report {
-    let full_e = WebScenario::table6(Platform::Edison, ClusterScale::Full).unwrap();
-    let full_d = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+pub fn table7(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
+    let full_e = WebScenario::table6_or_err(Platform::Edison, ClusterScale::Full)?;
+    let full_d = WebScenario::table6_or_err(Platform::Dell, ClusterScale::Full)?;
     trace_representative(tel, &full_e, WorkloadMix::img20(), 480.0 / httperf::CALLS_PER_CONN, budget);
     let rates = [480.0, 960.0, 1920.0, 3840.0, 7680.0];
-    let o = opts(budget);
-    // all ten runs are independent — execute them concurrently
-    let mut cells: Vec<Option<(httperf::HttperfResult, httperf::HttperfResult)>> =
-        rates.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, &rps) in cells.iter_mut().zip(&rates) {
-            let (fe, fd) = (&full_e, &full_d);
-            scope.spawn(move |_| {
-                let conc = rps / httperf::CALLS_PER_CONN;
-                let e = httperf::run_point(fe, WorkloadMix::img20(), conc, o);
-                let d = httperf::run_point(fd, WorkloadMix::img20(), conc, o);
-                *slot = Some((e, d));
-            });
-        }
-    })
-    .expect("table7 threads");
+    // all ten runs are independent — a 5-point sweep of (Edison, Dell)
+    // pairs; each half of a pair draws from its own seed stream
+    let cells = exec.sweep(
+        "web:table7",
+        &rates,
+        tel,
+        |_, &rps| format!("rate={rps:.0}"),
+        |i, &rps| {
+            let conc = rps / httperf::CALLS_PER_CONN;
+            let e = httperf::run_point(
+                &full_e,
+                WorkloadMix::img20(),
+                conc,
+                opts(budget, derive_seed_at(ROOT_SEED, "web:table7:edison", i)),
+            );
+            let d = httperf::run_point(
+                &full_d,
+                WorkloadMix::img20(),
+                conc,
+                opts(budget, derive_seed_at(ROOT_SEED, "web:table7:dell", i)),
+            );
+            (e, d)
+        },
+    )?;
     let mut rows = Vec::new();
     let mut comparisons = Vec::new();
-    for (i, &rps) in rates.iter().enumerate() {
-        let (e, d) = cells[i].take().expect("filled");
+    for (i, ((e, d), &rps)) in cells.iter().zip(&rates).enumerate() {
         rows.push(vec![
             format!("{rps:.0}"),
             format!("({:.2}, {:.2})", e.db_delay_ms, d.db_delay_ms),
@@ -330,12 +378,12 @@ pub fn table7(budget: &RunBudget, tel: &mut Telemetry) -> Report {
             comparisons.push(Comparison::new(format!("Dell cache delay @{rps} (ms)"), p.4, d.cache_delay_ms));
         }
     }
-    Report {
+    Ok(Report {
         id: "table7".into(),
         title: "Time delay decomposition (Table 7), (Edison, Dell) ms".into(),
         body: table(&["# Request/s", "Database delay", "Cache delay", "Total"], &rows),
         comparisons,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -351,6 +399,23 @@ mod tests {
     }
 
     #[test]
+    fn stream_ids_are_distinct_across_rows_and_mixes() {
+        let e8 = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+        let d2 = WebScenario::table6(Platform::Dell, ClusterScale::Full).unwrap();
+        let ids = [
+            stream_id(&e8, WorkloadMix::lightest()),
+            stream_id(&e8, WorkloadMix::img20()),
+            stream_id(&e8, WorkloadMix::hit(0.77)),
+            stream_id(&d2, WorkloadMix::lightest()),
+        ];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
     fn all_scenarios_count() {
         // 4 Edison scales + 2 Dell scales
         assert_eq!(all_scenarios().len(), 6);
@@ -361,7 +426,8 @@ mod tests {
         // minimal budget: eighth-scale Edison only, truncated sweep
         let sc = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
         let budget = RunBudget::quick();
-        let rs = sweep(&sc, WorkloadMix::lightest(), &budget);
+        let rs = sweep(&sc, WorkloadMix::lightest(), &budget, &Executor::serial(), &mut Telemetry::off())
+            .expect("healthy sweep");
         assert_eq!(rs.len(), 9);
         // below saturation, throughput tracks concurrency
         assert!(rs[1].requests_per_sec > rs[0].requests_per_sec);

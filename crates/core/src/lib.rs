@@ -6,12 +6,16 @@
 //!
 //! ```no_run
 //! use edison_core::registry;
+//! use edison_simrun::Executor;
 //! use edison_simtel::Telemetry;
 //!
 //! let mut tel = Telemetry::off(); // or `Telemetry::on()` to record traces
-//! for exp in registry::all() {
-//!     let report = (exp.run)(&registry::RunBudget::quick(), &mut tel);
-//!     println!("{report}");
+//! let exec = Executor::from_env(); // worker-pool width for sweeps
+//! for exp in registry::all().filter(|e| e.in_all()) {
+//!     match exp.run(&registry::RunBudget::quick(), &exec, &mut tel) {
+//!         Ok(report) => println!("{report}"),
+//!         Err(err) => eprintln!("{}: {err}", exp.id()),
+//!     }
 //! }
 //! ```
 //!

@@ -1,8 +1,15 @@
 //! The experiment registry: every table/figure behind one uniform entry.
+//!
+//! Experiments implement the [`Experiment`] trait — metadata plus a
+//! fallible `run` — and live in a lazily-built static index, so lookups
+//! by id ([`find`]) are allocation-free and iteration ([`all`]) hands out
+//! `&'static dyn Experiment` borrows.
 
-use crate::experiments::{extensions, individual, mapred, smoke, tco_exp, webservice};
+use crate::experiments::{extensions, faults, individual, mapred, smoke, tco_exp, webservice};
 use crate::report::Report;
+use edison_simrun::{Executor, RunError};
 use edison_simtel::Telemetry;
+use std::sync::OnceLock;
 
 /// How much simulated time / how many sweep columns an experiment may
 /// spend. `quick` keeps CI fast; `full` is the paper-scale run the `repro`
@@ -29,52 +36,121 @@ impl RunBudget {
     }
 }
 
-/// A registered experiment.
-pub struct Experiment {
+/// A runnable paper artefact: stable metadata plus a fallible `run`.
+///
+/// `run` receives the sweep [`Executor`] (worker-pool width from
+/// `--jobs` / `EDISON_REPRO_JOBS`) and the telemetry sink
+/// (`Telemetry::off()` for plain runs); experiments with simulation
+/// content record a representative traced run into the sink when it is
+/// enabled. Failures surface as typed [`RunError`]s instead of panics.
+pub trait Experiment: Sync {
     /// Stable id (`table8`, `fig04_07`, …).
-    pub id: &'static str,
+    fn id(&self) -> &'static str;
     /// What it reproduces.
-    pub title: &'static str,
-    /// Execute and render. The second argument is the telemetry sink
-    /// (`Telemetry::off()` for plain runs); experiments with simulation
-    /// content record a representative traced run into it when enabled.
-    pub run: fn(&RunBudget, &mut Telemetry) -> Report,
+    fn title(&self) -> &'static str;
+    /// Whether `repro --all` includes this experiment. Demonstration
+    /// entries (e.g. the deliberate-failure `fault_demo`) opt out.
+    fn in_all(&self) -> bool {
+        true
+    }
+    /// Execute and render.
+    fn run(
+        &self,
+        budget: &RunBudget,
+        exec: &Executor,
+        tel: &mut Telemetry,
+    ) -> Result<Report, RunError>;
 }
 
-/// Every experiment, in paper order.
-pub fn all() -> Vec<Experiment> {
-    vec![
-        Experiment { id: "table1", title: "Related-work micro server specs", run: |_, _| individual::table1() },
-        Experiment { id: "table2", title: "Edison vs Dell resource ratios", run: |_, _| individual::table2() },
-        Experiment { id: "table3", title: "Idle/busy power", run: |_, _| individual::table3() },
-        Experiment { id: "table4", title: "Software versions", run: |_, _| individual::table4() },
-        Experiment { id: "sec41_dmips", title: "Dhrystone DMIPS", run: |_, _| individual::sec41_dmips() },
-        Experiment { id: "fig02_03", title: "Sysbench CPU sweep", run: |_, _| individual::fig02_03() },
-        Experiment { id: "sec42_membw", title: "Memory bandwidth sweep", run: |_, _| individual::sec42_membw() },
-        Experiment { id: "table5", title: "Storage throughput/latency", run: |_, _| individual::table5() },
-        Experiment { id: "sec44_net", title: "iperf/ping network tests", run: |_, _| individual::sec44_net() },
-        Experiment { id: "table6", title: "Web cluster scale configs", run: |_, _| individual::table6() },
-        Experiment { id: "fig04_07", title: "Web throughput/delay, lightest load", run: webservice::fig04_07 },
-        Experiment { id: "fig05_08", title: "Web throughput/delay, mixed loads", run: webservice::fig05_08 },
-        Experiment { id: "fig06_09", title: "Web throughput/delay, 20% images", run: webservice::fig06_09 },
-        Experiment { id: "fig10_11", title: "Delay distributions", run: webservice::fig10_11 },
-        Experiment { id: "table7", title: "Delay decomposition", run: webservice::table7 },
-        Experiment { id: "fig12_17", title: "MapReduce timelines", run: mapred::fig12_17 },
-        Experiment { id: "table8", title: "Time/energy matrix (+Fig 18-19)", run: mapred::table8 },
-        Experiment { id: "sec53_speedup", title: "Scalability speed-up", run: mapred::scalability_speedup },
-        Experiment { id: "table9", title: "TCO constants", run: |_, _| individual::table9() },
-        Experiment { id: "table10", title: "TCO comparison", run: |_, _| tco_exp::table10() },
-        Experiment { id: "ext_hybrid", title: "EXT: hybrid web tier (§7 vision)", run: extensions::ext_hybrid },
-        Experiment { id: "ext_failure", title: "EXT: node-failure impact", run: extensions::ext_failure },
-        Experiment { id: "ext_platforms", title: "EXT: related-work platform what-if", run: extensions::ext_platforms },
-        Experiment { id: "ext_dvfs", title: "EXT: DVFS vs substitution (§1)", run: extensions::ext_dvfs },
-        Experiment { id: "smoke", title: "End-to-end smoke run (web + MapReduce, telemetry-ready)", run: smoke::smoke },
-    ]
+/// The uniform run signature registry entries point at.
+type RunFn = fn(&RunBudget, &Executor, &mut Telemetry) -> Result<Report, RunError>;
+
+/// The registry's own [`Experiment`] implementation: static metadata plus
+/// a function pointer. Every current experiment fits this shape; richer
+/// experiments can implement the trait directly and be boxed in later.
+struct FnExperiment {
+    id: &'static str,
+    title: &'static str,
+    in_all: bool,
+    run: RunFn,
 }
 
-/// Find an experiment by id.
-pub fn find(id: &str) -> Option<Experiment> {
-    all().into_iter().find(|e| e.id == id)
+impl Experiment for FnExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn title(&self) -> &'static str {
+        self.title
+    }
+    fn in_all(&self) -> bool {
+        self.in_all
+    }
+    fn run(
+        &self,
+        budget: &RunBudget,
+        exec: &Executor,
+        tel: &mut Telemetry,
+    ) -> Result<Report, RunError> {
+        (self.run)(budget, exec, tel)
+    }
+}
+
+/// Shorthand for the common case: an always-included entry.
+fn entry(id: &'static str, title: &'static str, run: RunFn) -> FnExperiment {
+    FnExperiment { id, title, in_all: true, run }
+}
+
+/// The lazily-built static index, in paper order. Built exactly once per
+/// process; [`find`] and [`all`] borrow from it without allocating.
+fn index() -> &'static [FnExperiment] {
+    static INDEX: OnceLock<Vec<FnExperiment>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        vec![
+            entry("table1", "Related-work micro server specs", |_, _, _| Ok(individual::table1())),
+            entry("table2", "Edison vs Dell resource ratios", |_, _, _| Ok(individual::table2())),
+            entry("table3", "Idle/busy power", |_, _, _| Ok(individual::table3())),
+            entry("table4", "Software versions", |_, _, _| Ok(individual::table4())),
+            entry("sec41_dmips", "Dhrystone DMIPS", |_, _, _| Ok(individual::sec41_dmips())),
+            entry("fig02_03", "Sysbench CPU sweep", |_, _, _| Ok(individual::fig02_03())),
+            entry("sec42_membw", "Memory bandwidth sweep", |_, _, _| Ok(individual::sec42_membw())),
+            entry("table5", "Storage throughput/latency", |_, _, _| Ok(individual::table5())),
+            entry("sec44_net", "iperf/ping network tests", |_, _, _| Ok(individual::sec44_net())),
+            entry("table6", "Web cluster scale configs", |_, _, _| Ok(individual::table6())),
+            entry("fig04_07", "Web throughput/delay, lightest load", webservice::fig04_07),
+            entry("fig05_08", "Web throughput/delay, mixed loads", webservice::fig05_08),
+            entry("fig06_09", "Web throughput/delay, 20% images", webservice::fig06_09),
+            entry("fig10_11", "Delay distributions", webservice::fig10_11),
+            entry("table7", "Delay decomposition", webservice::table7),
+            entry("fig12_17", "MapReduce timelines", mapred::fig12_17),
+            entry("table8", "Time/energy matrix (+Fig 18-19)", mapred::table8),
+            entry("sec53_speedup", "Scalability speed-up", mapred::scalability_speedup),
+            entry("table9", "TCO constants", |_, _, _| Ok(individual::table9())),
+            entry("table10", "TCO comparison", |_, _, _| Ok(tco_exp::table10())),
+            entry("ext_hybrid", "EXT: hybrid web tier (§7 vision)", extensions::ext_hybrid),
+            entry("ext_failure", "EXT: node-failure impact", extensions::ext_failure),
+            entry("ext_platforms", "EXT: related-work platform what-if", extensions::ext_platforms),
+            entry("ext_dvfs", "EXT: DVFS vs substitution (§1)", extensions::ext_dvfs),
+            entry("smoke", "End-to-end smoke run (web + MapReduce, telemetry-ready)", smoke::smoke),
+            FnExperiment {
+                id: "fault_demo",
+                title: "DEMO: fault-isolation showcase (one point panics by design)",
+                in_all: false,
+                run: faults::fault_demo,
+            },
+        ]
+    })
+}
+
+/// Every experiment, in paper order. Borrows from the static index — no
+/// per-call allocation.
+pub fn all() -> impl Iterator<Item = &'static dyn Experiment> {
+    index().iter().map(|e| e as &dyn Experiment)
+}
+
+/// Find an experiment by id. Allocation-free: a linear scan over the
+/// static index (26 entries — cheaper than hashing at this size).
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    index().iter().find(|e| e.id == id).map(|e| e as &dyn Experiment)
 }
 
 #[cfg(test)]
@@ -83,7 +159,7 @@ mod tests {
 
     #[test]
     fn registry_covers_every_paper_artifact() {
-        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        let ids: Vec<&str> = all().map(|e| e.id()).collect();
         // tables 1-10 (7 via table7, 8 via table8...)
         for t in ["table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "table10"] {
             assert!(ids.contains(&t), "missing {t}");
@@ -95,17 +171,30 @@ mod tests {
     }
 
     #[test]
-    fn find_works() {
+    fn find_works_and_borrows_statically() {
         assert!(find("table8").is_some());
         assert!(find("nope").is_none());
+        // two lookups hand out the same static entry, not fresh copies
+        let a = find("table8").expect("present");
+        let b = find("table8").expect("present");
+        assert!(std::ptr::eq(a, b), "find must borrow from the static index");
+    }
+
+    #[test]
+    fn demo_experiments_are_excluded_from_all_runs() {
+        let demo = find("fault_demo").expect("registered");
+        assert!(!demo.in_all());
+        assert!(find("smoke").expect("registered").in_all());
     }
 
     #[test]
     fn cheap_experiments_run_under_quick_budget() {
         let b = RunBudget::quick();
         for id in ["table1", "table2", "table3", "table4", "table5", "table6", "table9", "table10", "sec41_dmips", "sec42_membw", "sec44_net", "fig02_03"] {
-            let e = find(id).unwrap();
-            let r = (e.run)(&b, &mut Telemetry::off());
+            let e = find(id).expect("registered");
+            let r = e
+                .run(&b, &Executor::serial(), &mut Telemetry::off())
+                .expect("cheap experiments cannot fail");
             assert_eq!(r.id, id);
             assert!(!r.body.is_empty());
         }

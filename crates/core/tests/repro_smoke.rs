@@ -1,6 +1,8 @@
-//! End-to-end test of the `repro` binary's telemetry surface: run the
+//! End-to-end tests of the `repro` binary: the telemetry surface (run the
 //! smoke experiment with `--trace`/`--metrics`/`--telemetry-csv` and check
-//! the artefacts are non-empty and well-formed.
+//! the artefacts are non-empty and well-formed) and the simrun error
+//! surface (a panicking sweep point must produce a readable failure and
+//! exit code 3, not an abort).
 
 use edison_simtel::export::{validate_json, validate_prometheus};
 use std::process::Command;
@@ -40,4 +42,49 @@ fn repro_smoke_writes_telemetry_artifacts() {
     assert!(csv_text.lines().count() > 10, "csv has rows");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `repro fault_demo`: the deliberately-panicking sweep point is isolated
+/// (its siblings run to completion), reported as a readable
+/// `RunError::PointFailed`, and mapped to exit code 3 — the process does
+/// not abort with a raw panic.
+#[test]
+fn repro_fault_demo_exits_with_point_failed_code() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fault_demo")
+        .arg("--jobs")
+        .arg("2")
+        .output()
+        .expect("run repro");
+    assert_eq!(output.status.code(), Some(3), "PointFailed must map to exit code 3");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("fault_demo/point5"), "failure names the point:\n{stderr}");
+    assert!(stderr.contains("deliberate fault-injection panic"), "failure carries the cause:\n{stderr}");
+}
+
+/// Unknown experiment ids stay on the CLI-error exit code (2), distinct
+/// from simulation failures.
+#[test]
+fn repro_unknown_experiment_exits_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("no_such_experiment")
+        .output()
+        .expect("run repro");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown experiment"), "{stderr}");
+}
+
+/// `--all` excludes the deliberate-failure demo, so a full quick run's
+/// experiment list never contains it.
+#[test]
+fn repro_list_marks_fault_demo_as_excluded() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--list")
+        .output()
+        .expect("run repro");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("fault_demo"), "{stdout}");
+    assert!(stdout.contains("not part of --all"), "{stdout}");
 }

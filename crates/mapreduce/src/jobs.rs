@@ -15,6 +15,7 @@
 
 use edison_hw::calib;
 use edison_simcore::rng::SimRng;
+use edison_simrun::SimError;
 
 /// Platform-specific job tuning (the paper hand-tunes both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +108,24 @@ impl JobProfile {
         self.map_tasks = n;
         self.map_compute_mi = total_compute / n as f64;
         self
+    }
+}
+
+/// The Table 8 job names, in paper row order.
+pub const JOB_NAMES: [&str; 6] =
+    ["wordcount", "wordcount2", "logcount", "logcount2", "pi", "terasort"];
+
+/// Resolve a Table 8 job name to its profile; unknown names surface as a
+/// typed [`SimError::UnknownJob`] instead of a panic.
+pub fn by_name(name: &str, tune: Tune) -> Result<JobProfile, SimError> {
+    match name {
+        "wordcount" => Ok(wordcount(tune)),
+        "wordcount2" => Ok(wordcount2(tune)),
+        "logcount" => Ok(logcount(tune)),
+        "logcount2" => Ok(logcount2(tune)),
+        "pi" => Ok(pi(tune)),
+        "terasort" => Ok(terasort(tune)),
+        other => Err(SimError::UnknownJob(other.to_string())),
     }
 }
 

@@ -5,7 +5,7 @@
 //! reproducible from a single `u64` seed and that energy figures come
 //! from exact piecewise-constant integration. Nothing in the type system
 //! enforces that, so this crate does: it lexes every workspace `.rs` file
-//! (comments/strings stripped, test regions tracked) and applies five
+//! (comments/strings stripped, test regions tracked) and applies six
 //! repo-specific rules — see [`rules`] for the table — with a ratcheting
 //! baseline ([`baseline`]) that grandfathers existing violations and
 //! fails the build on new ones.
@@ -33,7 +33,7 @@ pub const BASELINE_FILE: &str = "simlint-baseline.json";
 const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
 
 /// Directory names whose whole subtree is treated as test code (lenient
-/// for R1/R3/R4/R5; R2 still applies).
+/// for R1/R3/R4/R5/R6; R2 still applies).
 const TESTISH_DIRS: [&str; 3] = ["tests", "benches", "examples"];
 
 /// Everything `check` learned in one scan.

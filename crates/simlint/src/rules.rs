@@ -1,25 +1,31 @@
-//! The five repo-specific rules, run over one lexed file at a time.
+//! The six repo-specific rules, run over one lexed file at a time.
 //!
 //! | id | name              | what it catches                                        |
 //! |----|-------------------|--------------------------------------------------------|
 //! | R1 | nondeterminism    | wall-clock/ambient-RNG calls; `HashMap`/`HashSet` use   |
 //! | R2 | rng-construction  | RNG built outside `simcore/src/rng.rs`                  |
 //! | R3 | lossy-cast        | `as` casts to truncating numeric types in library code  |
-//! | R4 | panic             | `unwrap()` / `expect(` / `panic!` in library code       |
+//! | R4 | panic-macro       | `panic!`/`unreachable!`/`todo!`/`unimplemented!`        |
 //! | R5 | unit-mix          | `fn` taking 2+ raw `f64`s mixing time/power/energy names|
+//! | R6 | unwrap            | `.unwrap()` / `.expect(` method calls in library code   |
 //!
-//! R1/R3/R4/R5 skip test code (`#[cfg(test)]`, `mod tests`, and whole
+//! R1/R3/R4/R5/R6 skip test code (`#[cfg(test)]`, `mod tests`, and whole
 //! `tests/`/`benches/`/`examples/` trees); R2 applies everywhere, because
 //! a stray RNG in a test breaks reproducibility of the test itself.
 //! Individual sites can be vetted with `// simlint: allow(Rn) reason`
 //! on the offending line or the line above.
+//!
+//! R6 was split out of R4 when the simrun error taxonomy landed: panics by
+//! macro are a deliberate authorial act (R4), while `.unwrap()`-style
+//! option/result punts are exactly what `RunError`/`SimError` replace —
+//! the baseline for R6 is grandfathered shrink-only debt.
 
 use crate::lexer::{AllowMarker, Lexed, Token};
 
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id, `R1`..`R5`.
+    /// Rule id, `R1`..`R6`.
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -30,7 +36,7 @@ pub struct Finding {
 }
 
 /// All rule ids, in report order.
-pub const RULE_IDS: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+pub const RULE_IDS: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
 
 /// One-line description per rule, for `--explain`-style output.
 pub fn rule_summary(rule: &str) -> &'static str {
@@ -38,8 +44,9 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "R1" => "nondeterminism: wall-clock/ambient RNG, or HashMap/HashSet in sim code (use BTreeMap or annotate keyed-only use)",
         "R2" => "rng-construction: randomness must flow through SimRng in simcore/src/rng.rs",
         "R3" => "lossy-cast: `as` to a truncating numeric type; prefer try_from/checked helpers",
-        "R4" => "panic: unwrap()/expect()/panic! in library code; budget may never grow",
+        "R4" => "panic-macro: panic!/unreachable!/todo!/unimplemented! in library code; budget may never grow",
         "R5" => "unit-mix: fn takes 2+ raw f64s mixing time/power/energy names; use SimTime-style newtypes",
+        "R6" => "unwrap: .unwrap()/.expect() in library code; return RunError/SimError instead (shrink-only baseline)",
         _ => "unknown rule",
     }
 }
@@ -126,14 +133,14 @@ pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
             }
         }
 
-        // R4: the panic budget.
+        // R4: the panic-macro budget; R6: the unwrap/expect budget.
         if !tok.in_test {
             if (t == "unwrap" || t == "expect") && next(1) == Some("(") {
                 // Only count method calls `.unwrap()` — a local fn named
                 // `expect` would be unusual but shouldn't be punished.
                 let is_method = i > 0 && toks[i - 1].text == ".";
                 if is_method {
-                    push(&mut findings, "R4", rel_path, tok.line, format!(".{t}() can panic at runtime"));
+                    push(&mut findings, "R6", rel_path, tok.line, format!(".{t}() can panic at runtime; return RunError/SimError instead"));
                 }
             }
             if (t == "panic" || t == "unreachable" || t == "todo" || t == "unimplemented")
@@ -317,13 +324,24 @@ mod tests {
     }
 
     #[test]
-    fn r4_counts_panics_in_library_code_only() {
-        assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap() }"), vec!["R4"]);
-        assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }"), vec!["R4"]);
+    fn r4_counts_panic_macros_in_library_code_only() {
         assert_eq!(rules_of("fn f() { panic!(\"boom\") }"), vec!["R4"]);
-        assert!(findings("#[cfg(test)]\nmod tests { fn f(o: Option<u8>) -> u8 { o.unwrap() } }").is_empty());
+        assert_eq!(rules_of("fn f() { unreachable!() }"), vec!["R4"]);
+        assert!(findings("#[cfg(test)]\nmod tests { fn f() { panic!(\"boom\") } }").is_empty());
         // assert! is the sanctioned mechanism, not flagged
         assert!(findings("fn f(x: u8) { assert!(x > 0); debug_assert!(x < 10); }").is_empty());
+    }
+
+    #[test]
+    fn r6_counts_unwrap_expect_method_calls_only() {
+        assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap() }"), vec!["R6"]);
+        assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }"), vec!["R6"]);
+        // non-method identifiers and the *_or family are not unwraps
+        assert!(findings("fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }").is_empty());
+        assert!(findings("fn expect(x: u8) -> u8 { expect(x) }").is_empty());
+        assert!(findings("#[cfg(test)]\nmod tests { fn f(o: Option<u8>) -> u8 { o.unwrap() } }").is_empty());
+        // an allow marker with a reason vets a deliberate site
+        assert!(findings("fn f(o: Option<u8>) -> u8 {\n    // simlint: allow(R6) statically always Some\n    o.unwrap()\n}").is_empty());
     }
 
     #[test]

@@ -73,19 +73,19 @@ fn r3_negative_widening_and_test_code() {
     assert!(rules_of("#[cfg(test)]\nmod tests { fn f(x: u64) -> u8 { x as u8 } }").is_empty());
 }
 
-// ---- R4: panic budget -----------------------------------------------------
+// ---- R4: panic-macro budget -----------------------------------------------
 
 #[test]
-fn r4_positive_unwrap_expect_panic() {
-    assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap() }"), vec!["R4"]);
-    assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }"), vec!["R4"]);
+fn r4_positive_panic_macros() {
+    assert_eq!(rules_of("fn f() { panic!(\"boom\") }"), vec!["R4"]);
     assert_eq!(rules_of("fn f() { unreachable!() }"), vec!["R4"]);
+    assert_eq!(rules_of("fn f() { todo!() }"), vec!["R4"]);
 }
 
 #[test]
 fn r4_negative_asserts_and_test_code() {
     assert!(rules_of("fn f(x: u8) { assert!(x > 0); debug_assert_eq!(x, 1); }").is_empty());
-    assert!(rules_of("#[cfg(test)]\nmod tests { fn f(o: Option<u8>) -> u8 { o.unwrap() } }").is_empty());
+    assert!(rules_of("#[cfg(test)]\nmod tests { fn f() { panic!(\"boom\") } }").is_empty());
 }
 
 // ---- R5: unit-mixing signatures ------------------------------------------
@@ -101,6 +101,21 @@ fn r5_negative_single_class_newtypes_and_unclassified() {
     assert!(rules_of("fn f(warmup_s: f64, measure_s: f64) {}").is_empty());
     assert!(rules_of("fn f(watts: f64, t: SimTime) {}").is_empty());
     assert!(rules_of("fn f(a: f64, b: f64) {}").is_empty());
+}
+
+// ---- R6: unwrap/expect budget ---------------------------------------------
+
+#[test]
+fn r6_positive_unwrap_expect_method_calls() {
+    assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap() }"), vec!["R6"]);
+    assert_eq!(rules_of("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }"), vec!["R6"]);
+}
+
+#[test]
+fn r6_negative_or_family_free_fns_and_test_code() {
+    assert!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }").is_empty());
+    assert!(rules_of("fn f(o: Option<u8>) -> u8 { o.unwrap_or_else(|| 0) }").is_empty());
+    assert!(rules_of("#[cfg(test)]\nmod tests { fn f(o: Option<u8>) -> u8 { o.unwrap() } }").is_empty());
 }
 
 // ---- end to end: the ratchet against a real directory tree ---------------
@@ -122,7 +137,7 @@ fn ratchet_cycle_on_disk() {
     let report = check(&root).expect("scan");
     assert!(!report.passed(), "missing baseline must not pass a dirty tree");
     assert_eq!(report.regressions.len(), 1);
-    assert_eq!(report.regressions[0].rule, "R4");
+    assert_eq!(report.regressions[0].rule, "R6");
 
     // Grandfather the debt; the same tree now passes.
     let scan = update_baseline(&root).expect("update");

@@ -1,0 +1,131 @@
+//! The structured error taxonomy of the run layer.
+//!
+//! Two levels, mirroring the two layers that can fail:
+//!
+//! * [`SimError`] — a simulation layer (`web`, `mapreduce`, `microbench`)
+//!   could not build or interpret a requested configuration. These are
+//!   *input* problems: the simulation never ran.
+//! * [`RunError`] — the orchestration layer failed: a sweep point panicked
+//!   mid-simulation ([`RunError::PointFailed`]), a simulation layer
+//!   rejected its input ([`RunError::Sim`]), or an experiment id did not
+//!   resolve ([`RunError::UnknownExperiment`]).
+//!
+//! The `repro` binary maps each variant to a distinct exit code via
+//! [`RunError::exit_code`], so scripts can tell a crashed point (retryable
+//! in isolation) from a misconfiguration (not retryable).
+
+use std::fmt;
+
+/// A simulation layer rejected its input before (or instead of) running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A requested configuration row does not exist or is inconsistent
+    /// (e.g. a Table 6 scale that the paper never built).
+    Config(String),
+    /// A job name did not resolve to a registered job profile.
+    UnknownJob(String),
+    /// A result set was empty or missing where data was required to
+    /// render a report (e.g. every sweep point excluded by error rate).
+    Data(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnknownJob(name) => write!(f, "unknown job '{name}'"),
+            SimError::Data(msg) => write!(f, "missing result data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// An orchestration-layer failure. Carries enough structure for the CLI
+/// to render a readable message and pick a distinct exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// One sweep point panicked. The executor isolates the panic
+    /// ([`crate::Executor`]), so every *other* point of the sweep still
+    /// completed; `point` names the crashed one and `cause` carries its
+    /// panic payload.
+    PointFailed {
+        /// Human-readable point identity, e.g. `fig04_07/24 Edison/conc=512`.
+        point: String,
+        /// The panic payload (message) of the crashed point.
+        cause: String,
+    },
+    /// A simulation layer rejected the run's configuration.
+    Sim(SimError),
+    /// An experiment id did not resolve in the registry.
+    UnknownExperiment(String),
+}
+
+impl RunError {
+    /// The process exit code the `repro` binary uses for this failure:
+    /// `3` for a crashed sweep point, `4` for a simulation-layer
+    /// rejection, `2` for an unresolvable experiment id (the same code as
+    /// other CLI usage errors).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RunError::PointFailed { .. } => 3,
+            RunError::Sim(_) => 4,
+            RunError::UnknownExperiment(_) => 2,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::PointFailed { point, cause } => {
+                write!(f, "sweep point '{point}' panicked: {cause} (remaining points completed)")
+            }
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::UnknownExperiment(id) => write!(f, "unknown experiment '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = RunError::PointFailed { point: "table8/pi@edison-35".into(), cause: "boom".into() };
+        let msg = format!("{e}");
+        assert!(msg.contains("table8/pi@edison-35"));
+        assert!(msg.contains("boom"));
+        assert!(msg.contains("remaining points completed"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        assert_eq!(RunError::PointFailed { point: "p".into(), cause: "c".into() }.exit_code(), 3);
+        assert_eq!(RunError::Sim(SimError::Config("x".into())).exit_code(), 4);
+        assert_eq!(RunError::UnknownExperiment("nope".into()).exit_code(), 2);
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let r: RunError = SimError::UnknownJob("tera".into()).into();
+        assert!(matches!(r, RunError::Sim(SimError::UnknownJob(_))));
+        assert!(format!("{r}").contains("tera"));
+    }
+}

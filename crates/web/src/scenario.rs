@@ -1,6 +1,7 @@
 //! Cluster configurations (Table 6) and workload mixes (§5.1.1).
 
 use edison_hw::{presets, ServerSpec};
+use edison_simrun::SimError;
 
 /// Which platform serves the web tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +54,14 @@ impl WebScenario {
             (Platform::Dell, _) => return None,
         };
         Some(WebScenario { platform, scale, web_servers, cache_servers })
+    }
+
+    /// [`Self::table6`] for callers that *require* the row: the N/A cells
+    /// surface as a typed [`SimError::Config`] instead of a panic.
+    pub fn table6_or_err(platform: Platform, scale: ClusterScale) -> Result<WebScenario, SimError> {
+        Self::table6(platform, scale).ok_or_else(|| {
+            SimError::Config(format!("Table 6 has no {platform:?} {scale:?} configuration (the paper marks it N/A)"))
+        })
     }
 
     /// Total nodes in this scenario.

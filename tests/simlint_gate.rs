@@ -45,9 +45,10 @@ fn committed_baseline_matches_fresh_scan() {
     );
 }
 
-/// Policy floor: only lossy casts (R3) and panics (R4) were grandfathered
-/// at introduction. Nondeterminism (R1), stray RNG construction (R2) and
-/// unit-mixing (R5) start — and must stay — at zero.
+/// Policy floor: only lossy casts (R3), panic macros (R4) and
+/// unwrap/expect debt (R6) are grandfathered. Nondeterminism (R1), stray
+/// RNG construction (R2) and unit-mixing (R5) start — and must stay — at
+/// zero.
 #[test]
 fn determinism_rules_have_zero_budget() {
     let report = check(&workspace_root()).expect("scan");
