@@ -25,14 +25,14 @@ fn print_once() {
 
 fn bench_web(c: &mut Criterion) {
     print_once();
-    let opts = RunOpts { seed: 5, warmup_s: 1, measure_s: 3 };
+    let opts = RunOpts { seed: 5, warmup_s: 1, measure_s: 3, ..RunOpts::default() };
     let eighth = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
     c.bench_function("fig04/point_eighth_scale_conc64", |b| {
-        b.iter(|| black_box(httperf::run_point(&eighth, WorkloadMix::lightest(), 64.0, opts)))
+        b.iter(|| black_box(httperf::run_point(&eighth, WorkloadMix::lightest(), 64.0, opts.clone())))
     });
     let dell_half = WebScenario::table6(Platform::Dell, ClusterScale::Half).unwrap();
     c.bench_function("fig06/point_dell_half_img20_conc128", |b| {
-        b.iter(|| black_box(httperf::run_point(&dell_half, WorkloadMix::img20(), 128.0, opts)))
+        b.iter(|| black_box(httperf::run_point(&dell_half, WorkloadMix::img20(), 128.0, opts.clone())))
     });
 }
 

@@ -196,6 +196,12 @@ impl Node {
         self.connections = self.connections.saturating_sub(1);
     }
 
+    /// Drop every open connection — a reboot after a crash fault. Peak
+    /// diagnostics survive; the fd table starts empty.
+    pub fn reset_connections(&mut self) {
+        self.connections = 0;
+    }
+
     /// Open connections right now.
     pub fn connections(&self) -> u32 {
         self.connections

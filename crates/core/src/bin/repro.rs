@@ -21,12 +21,21 @@
 //! width never changes results — seeds are derived per point, and sweep
 //! output is ordered by input index.
 //!
-//! Exit codes: `0` success, `2` CLI error / unknown experiment, `3` a
-//! sweep point panicked ([`RunError::PointFailed`]), `4` a typed
-//! simulation error ([`RunError::Sim`]).
+//! `--fault-plan FILE` loads a simfault text spec (see
+//! `crates/simfault/src/spec.rs` for the grammar) and hands it to
+//! fault-aware experiments (`fault_sweep`), replacing their built-in
+//! intensity ladder. Parse errors are CLI errors (exit 2).
+//!
+//! Exit codes: `0` success, `2` CLI error / unknown experiment / bad
+//! fault-plan file, `3` a sweep point panicked
+//! ([`RunError::PointFailed`]), `4` a typed simulation error
+//! ([`RunError::Sim`]), `5` an injected fault the stack could not recover
+//! from (`SimError::FaultUnrecovered`) — never 3, which is reserved for
+//! harness failures.
 
 use edison_core::export::telemetry_csv;
 use edison_core::registry::{self, Experiment, RunBudget};
+use edison_simfault::FaultPlan;
 use edison_simrun::{Executor, RunError};
 use edison_simtel::Telemetry;
 use std::fs;
@@ -57,6 +66,7 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
+    let mut fault_plan: Option<FaultPlan> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +74,17 @@ fn main() {
             "--list" => list = true,
             "--all" => run_all = true,
             "--full" => full = true,
+            "--fault-plan" => {
+                let path = flag_value(&args, &mut i, "--fault-plan");
+                let text = match fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => die(format!("read fault plan {path}: {e}")),
+                };
+                match FaultPlan::parse(&text) {
+                    Ok(plan) => fault_plan = Some(plan),
+                    Err(e) => die(format!("fault plan {path}: {e}")),
+                }
+            }
             "--jobs" => {
                 let v = flag_value(&args, &mut i, "--jobs");
                 match v.parse::<usize>() {
@@ -76,7 +97,7 @@ fn main() {
             "--metrics" => metrics_path = Some(PathBuf::from(flag_value(&args, &mut i, "--metrics"))),
             "--telemetry-csv" => csv_path = Some(PathBuf::from(flag_value(&args, &mut i, "--telemetry-csv"))),
             "--help" | "-h" => {
-                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [IDS...]");
+                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [IDS...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -96,7 +117,8 @@ fn main() {
         return;
     }
 
-    let budget = if full { RunBudget::full() } else { RunBudget::quick() };
+    let mut budget = if full { RunBudget::full() } else { RunBudget::quick() };
+    budget.fault_plan = fault_plan;
     let exec = match jobs {
         Some(n) => Executor::new(n),
         None => Executor::from_env(),

@@ -6,9 +6,11 @@ use crate::registry::RunBudget;
 use crate::report::{table, Comparison, Report};
 use edison_hw::dvfs::{daily_energy_wh, DvfsModel};
 use edison_hw::related;
-use edison_simcore::time::SimDuration;
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simfault::FaultPlan;
 use edison_simrun::{derive_seed, derive_seed_at, Executor, RunError, SimError, ROOT_SEED};
 use edison_simtel::Telemetry;
+use edison_web::scenario::DEFAULT_RETRY_BUDGET;
 use edison_web::stack::{run, run_traced, GenMode, Metrics, StackConfig};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
@@ -104,14 +106,18 @@ pub fn ext_hybrid(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> R
     })
 }
 
-/// Node-failure impact (Introduction, advantage 2): kill one web server
-/// mid-window on each platform and compare the damage.
+/// Node-failure impact (Introduction, advantage 2): crash one web server
+/// mid-window on each platform — via the simfault layer, so memcached
+/// contents and listen-queue state stay warm right up to the fault — and
+/// compare the damage.
 pub fn ext_failure(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
     let conc = 1024.0;
     let window = budget.web_measure_s as f64;
+    let crash_at =
+        SimTime::ZERO + SimDuration::from_secs(budget.web_warmup_s + budget.web_measure_s / 2);
     let platforms = [Platform::Edison, Platform::Dell];
-    // each platform's healthy/killed pair shares one derived seed so the
-    // kill is the only difference between the two runs
+    // each platform's healthy/crashed pair shares one derived seed so the
+    // scheduled crash is the only difference between the two runs
     let pairs = exec.sweep(
         "ext:failure",
         &platforms,
@@ -121,17 +127,18 @@ pub fn ext_failure(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> 
             let seed = derive_seed_at(ROOT_SEED, "ext:failure", i);
             let healthy = run(web_cfg(p, conc, budget, seed)?).metrics;
             let mut cfg = web_cfg(p, conc, budget, seed)?;
-            cfg.kill_web_at = Some((0, SimDuration::from_secs(budget.web_warmup_s + budget.web_measure_s / 2)));
-            let killed = run(cfg).metrics;
-            Ok((healthy, killed))
+            cfg.fault_plan = FaultPlan::new().crash(0, crash_at);
+            cfg.retry_budget = DEFAULT_RETRY_BUDGET;
+            let crashed = run(cfg).metrics;
+            Ok((healthy, crashed))
         },
     )?;
     let mut rows = Vec::new();
     let mut losses = Vec::new();
     for (platform, pair) in platforms.iter().zip(pairs) {
-        let (healthy, killed) = pair?;
+        let (healthy, crashed) = pair?;
         let rps_h = healthy.completed as f64 / window;
-        let rps_k = killed.completed as f64 / window;
+        let rps_k = crashed.completed as f64 / window;
         let loss = 1.0 - rps_k / rps_h;
         losses.push(loss);
         rows.push(vec![
@@ -139,14 +146,15 @@ pub fn ext_failure(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> 
             format!("{rps_h:.0}"),
             format!("{rps_k:.0}"),
             format!("{:.1}%", loss * 100.0),
-            format!("{}", killed.server_errors),
+            format!("{}", crashed.failovers),
+            format!("{}", crashed.server_errors),
         ]);
     }
     Ok(Report {
         id: "ext_failure".into(),
         title: "Web-tier node-failure impact (extension)".into(),
         body: table(
-            &["platform", "req/s healthy", "req/s with kill", "loss", "5xx"],
+            &["platform", "req/s healthy", "req/s with crash", "loss", "failovers", "5xx"],
             &rows,
         ),
         comparisons: vec![Comparison::new(

@@ -28,6 +28,7 @@ pub fn smoke(budget: &RunBudget, _exec: &Executor, tel: &mut Telemetry) -> Resul
         seed: derive_seed(ROOT_SEED, "smoke:web", 0),
         warmup_s: budget.web_warmup_s,
         measure_s: budget.web_measure_s,
+        ..RunOpts::default()
     };
     let (web, wtel) = httperf::run_point_traced(&scenario, WorkloadMix::lightest(), 64.0, opts, sink());
     tel.merge(wtel);

@@ -77,7 +77,7 @@ fn all_scenarios() -> Vec<WebScenario> {
 }
 
 fn opts(budget: &RunBudget, seed: u64) -> RunOpts {
-    RunOpts { seed, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s }
+    RunOpts { seed, warmup_s: budget.web_warmup_s, measure_s: budget.web_measure_s, ..RunOpts::default() }
 }
 
 /// Run a full concurrency sweep for one scenario/mix over the executor.

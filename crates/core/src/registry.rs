@@ -7,6 +7,7 @@
 
 use crate::experiments::{extensions, faults, individual, mapred, smoke, tco_exp, webservice};
 use crate::report::Report;
+use edison_simfault::FaultPlan;
 use edison_simrun::{Executor, RunError};
 use edison_simtel::Telemetry;
 use std::sync::OnceLock;
@@ -22,17 +23,27 @@ pub struct RunBudget {
     pub web_measure_s: u64,
     /// Run all six Table 8 cluster sizes (vs a reduced column set).
     pub full_scalability: bool,
+    /// Override fault schedule (`repro --fault-plan <file>`): fault-aware
+    /// experiments (`fault_sweep`) play this plan instead of their built-in
+    /// intensity ladder. `None` everywhere else.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunBudget {
     /// CI-friendly budget.
     pub fn quick() -> Self {
-        RunBudget { web_warmup_s: 2, web_measure_s: 6, full_scalability: false }
+        RunBudget { web_warmup_s: 2, web_measure_s: 6, full_scalability: false, fault_plan: None }
     }
 
     /// Paper-scale budget (minutes of wall time in release builds).
     pub fn full() -> Self {
-        RunBudget { web_warmup_s: 5, web_measure_s: 20, full_scalability: true }
+        RunBudget { web_warmup_s: 5, web_measure_s: 20, full_scalability: true, fault_plan: None }
+    }
+
+    /// This budget with a custom fault schedule attached.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -126,6 +137,11 @@ fn index() -> &'static [FnExperiment] {
             entry("sec53_speedup", "Scalability speed-up", mapred::scalability_speedup),
             entry("table9", "TCO constants", |_, _, _| Ok(individual::table9())),
             entry("table10", "TCO comparison", |_, _, _| Ok(tco_exp::table10())),
+            entry(
+                "fault_sweep",
+                "Availability & efficiency under fault intensity × platform",
+                faults::fault_sweep,
+            ),
             entry("ext_hybrid", "EXT: hybrid web tier (§7 vision)", extensions::ext_hybrid),
             entry("ext_failure", "EXT: node-failure impact", extensions::ext_failure),
             entry("ext_platforms", "EXT: related-work platform what-if", extensions::ext_platforms),

@@ -1,0 +1,130 @@
+//! Fault-layer determinism, end to end (ISSUE 5 satellite):
+//!
+//! 1. a zero-width fault (crash and restart at the same `SimTime`) is
+//!    observationally a no-op — byte-identical telemetry export;
+//! 2. the same seed + the same `FaultPlan` produce byte-identical reports
+//!    and telemetry exports at `--jobs 1` vs `--jobs 8`;
+//! 3. a fault injected after the run's end changes nothing;
+//! 4. the acceptance shape: a single web-node crash recovers — post-restart
+//!    throughput returns to within 5 % of the healthy steady state.
+
+use edison_core::experiments::faults::fault_sweep;
+use edison_core::export::telemetry_csv;
+use edison_core::registry::RunBudget;
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simfault::FaultPlan;
+use edison_simrun::Executor;
+use edison_simtel::Telemetry;
+use edison_web::stack::{run, run_traced, GenMode, StackConfig};
+use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+use proptest::prelude::*;
+
+/// A CI-sized web point: eighth-scale Edison (3 web + 2 cache), light load.
+fn small_cfg(seed: u64) -> StackConfig {
+    let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+    let mut cfg = StackConfig::new(
+        scenario,
+        WorkloadMix::lightest(),
+        GenMode::Httperf { connections_per_sec: 32.0, calls_per_conn: 6.6 },
+        seed,
+    );
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.measure = SimDuration::from_secs(5);
+    cfg.retry_budget = 2;
+    cfg
+}
+
+/// Prometheus text of one traced run — the byte-comparison surface.
+fn export_of(cfg: StackConfig) -> String {
+    let mut world = run_traced(cfg, Telemetry::on());
+    world.take_telemetry().prometheus_text()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (1) Crash + restart at the same instant cancel in
+    /// `FaultPlan::normalized()`: no event is scheduled, no counter moves,
+    /// and the telemetry export is byte-identical to the fault-free run.
+    #[test]
+    fn zero_width_fault_is_a_byte_identical_noop(
+        seed in 0u64..500,
+        node in 0usize..5,
+        at_s in 1.0f64..6.0,
+    ) {
+        let at = SimTime::from_secs_f64(at_s);
+        let mut faulted = small_cfg(seed);
+        faulted.fault_plan = FaultPlan::new().crash(node, at).restart(node, at);
+        prop_assert_eq!(export_of(faulted), export_of(small_cfg(seed)));
+    }
+
+    /// (3) A fault scheduled after the measurement window closes is never
+    /// processed: the export stays byte-identical.
+    #[test]
+    fn post_end_fault_changes_nothing(
+        seed in 0u64..500,
+        node in 0usize..5,
+        after_s in 1.0f64..100.0,
+    ) {
+        // warmup 1 s + measure 5 s: anything past 6 s is after the stop
+        let at = SimTime::from_secs_f64(6.0 + after_s);
+        let mut faulted = small_cfg(seed);
+        faulted.fault_plan = FaultPlan::new().crash(node, at);
+        prop_assert_eq!(export_of(faulted), export_of(small_cfg(seed)));
+    }
+}
+
+/// (2) `fault_sweep` at `--jobs 1` vs `--jobs 8`: same seeds, same plans,
+/// byte-identical report and telemetry exports. The worker-pool width is a
+/// scheduling detail, never an input to the simulation.
+#[test]
+fn fault_sweep_is_bit_identical_across_jobs_widths() {
+    let run_at = |jobs: usize| {
+        let mut tel = Telemetry::on();
+        let report = fault_sweep(&RunBudget::quick(), &Executor::new(jobs), &mut tel)
+            .expect("fault_sweep runs");
+        (format!("{report}"), tel.prometheus_text(), telemetry_csv(&tel))
+    };
+    let (rep1, prom1, csv1) = run_at(1);
+    let (rep8, prom8, csv8) = run_at(8);
+    assert_eq!(rep1, rep8, "report text must not depend on --jobs");
+    assert_eq!(prom1, prom8, "prometheus export must not depend on --jobs");
+    assert_eq!(csv1, csv8, "csv export must not depend on --jobs");
+    // and the run actually exercised the fault path
+    assert!(prom1.contains("fault_injected_total"), "{prom1}");
+    assert!(prom1.contains("failover_total"), "faulted trace must record failovers");
+    assert!(prom1.contains("fault_recovery_seconds"), "recovery histogram must be exported");
+}
+
+/// (4) Acceptance: one crashed web server, with failover + retries, costs
+/// only the outage window — after the restart the per-second throughput
+/// returns to within 5 % of the healthy run's steady state.
+#[test]
+fn web_crash_recovers_to_steady_state_throughput() {
+    let mut faulted = small_cfg(11);
+    faulted.measure = SimDuration::from_secs(24);
+    faulted.fault_plan =
+        FaultPlan::new().crash_restart(0, SimTime::from_secs(5), SimDuration::from_secs(4));
+    let f = run(faulted);
+    let mut healthy = small_cfg(11);
+    healthy.measure = SimDuration::from_secs(24);
+    let h = run(healthy);
+    assert!(f.metrics.failovers >= 1, "LB must fail the node over");
+    assert_eq!(f.metrics.recovery_s.len(), 1, "one completed recovery");
+    // steady-state window: well past crash (5 s) + outage (4 s) + RISE
+    let tail_mean = |ts: &edison_simcore::stats::TimeSeries| {
+        let pts: Vec<f64> = ts
+            .points()
+            .iter()
+            .filter(|(t, _)| t.as_secs_f64() >= 17.0)
+            .map(|&(_, v)| v)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len() as f64
+    };
+    let f_tail = tail_mean(&f.metrics.throughput_ts);
+    let h_tail = tail_mean(&h.metrics.throughput_ts);
+    assert!(
+        (f_tail - h_tail).abs() / h_tail < 0.05,
+        "post-recovery throughput {f_tail:.1} rps vs healthy {h_tail:.1} rps"
+    );
+}

@@ -62,6 +62,36 @@ fn repro_fault_demo_exits_with_point_failed_code() {
     assert!(stderr.contains("deliberate fault-injection panic"), "failure carries the cause:\n{stderr}");
 }
 
+/// A missing or malformed `--fault-plan` file is a CLI error (exit 2) with
+/// a readable message — never a panic, never exit 3/4/5.
+#[test]
+fn repro_bad_fault_plan_exits_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fault_sweep")
+        .arg("--fault-plan")
+        .arg("/no/such/plan.txt")
+        .output()
+        .expect("run repro");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("read fault plan"), "{stderr}");
+
+    let dir = std::env::temp_dir().join(format!("repro-badplan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "fault ten 0 crash\n").expect("write bad plan");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fault_sweep")
+        .arg("--fault-plan")
+        .arg(&bad)
+        .output()
+        .expect("run repro");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 1"), "parse errors carry line numbers:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Unknown experiment ids stay on the CLI-error exit code (2), distinct
 /// from simulation failures.
 #[test]

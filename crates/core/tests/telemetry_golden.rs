@@ -16,7 +16,7 @@ fn traced_pair() -> Telemetry {
     let mut tel = Telemetry::on();
 
     let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
-    let opts = RunOpts { seed: 20160509, warmup_s: 2, measure_s: 6 };
+    let opts = RunOpts { seed: 20160509, warmup_s: 2, measure_s: 6, ..RunOpts::default() };
     let (_, wtel) =
         httperf::run_point_traced(&scenario, WorkloadMix::lightest(), 64.0, opts, Telemetry::on());
     tel.merge(wtel);

@@ -19,7 +19,7 @@
 
 use crate::hdfs::Namenode;
 use crate::jobs::{JobProfile, Tune};
-use crate::yarn::{heartbeat, Grant, NodeCapacity, PendingTask};
+use crate::yarn::{heartbeat, Grant, LivenessTracker, NodeCapacity, PendingTask};
 use edison_cluster::{Cluster, NodeId};
 use edison_hw::{calib, presets};
 use edison_net::{HostId, LinkGauge, Topology};
@@ -27,6 +27,9 @@ use edison_simcore::rng::SimRng;
 use edison_simcore::stats::TimeSeries;
 use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, Model, Simulation};
+use edison_simfault::metrics as fault_metrics;
+use edison_simfault::{Fault, FaultKind, FaultPlan};
+use edison_simrun::SimError;
 use edison_simtel::{labels, EventCounter, Telemetry};
 use std::collections::VecDeque;
 
@@ -35,8 +38,33 @@ const MIB: u64 = 1024 * 1024;
 const AM_ID: u64 = u64::MAX;
 /// Disk-job id base for per-node job localisation (base + node index).
 const LOCALIZE_BASE: u64 = u64::MAX / 2;
+/// CPU/disk job ids encode the task's re-execution attempt —
+/// `id = attempt × STRIDE + task` — so a completion scheduled by a dead
+/// incarnation of the task is recognisably stale and dropped.
+const ATTEMPT_STRIDE: u64 = 1 << 40;
 /// Hadoop's default reduce slow-start threshold.
 const REDUCE_SLOWSTART: f64 = 0.05;
+/// A run with no task-phase transition for this long is declared stuck
+/// (an unrecovered fault), not left looping on idle ticks forever.
+const STALL_TIMEOUT: SimDuration = SimDuration::from_secs(3600);
+
+/// Apply a fault multiplier without perturbing fault-free arithmetic: the
+/// common `m == 1.0` case returns `d` bit-exactly.
+fn scaled(d: SimDuration, m: f64) -> SimDuration {
+    if m == 1.0 {
+        d
+    } else {
+        d.mul_f64(m)
+    }
+}
+
+/// Inverse of [`MrWorld::job_id`]: `(attempt, task)`.
+fn decode_job(job: u64) -> (u32, usize) {
+    (
+        u32::try_from(job / ATTEMPT_STRIDE).unwrap_or(u32::MAX),
+        usize::try_from(job % ATTEMPT_STRIDE).unwrap_or(usize::MAX),
+    )
+}
 
 /// Cluster-side configuration of a run.
 #[derive(Debug, Clone)]
@@ -65,6 +93,13 @@ pub struct ClusterSetup {
     /// default); with homogeneous nodes it never triggers, so calibrated
     /// results are unaffected.
     pub speculation: bool,
+    /// Declarative fault schedule executed during the run (node indices are
+    /// worker indices). Empty — the default — leaves the run bit-exactly
+    /// fault-free.
+    pub fault_plan: FaultPlan,
+    /// RM liveness timeout, seconds: a worker silent this long is declared
+    /// lost and its containers re-queued.
+    pub liveness_timeout_s: f64,
 }
 
 impl ClusterSetup {
@@ -80,6 +115,8 @@ impl ClusterSetup {
             seed: 20160509,
             straggler: None,
             speculation: true,
+            fault_plan: FaultPlan::new(),
+            liveness_timeout_s: 5.0,
         }
     }
 
@@ -95,6 +132,8 @@ impl ClusterSetup {
             seed: 20160509,
             straggler: None,
             speculation: true,
+            fault_plan: FaultPlan::new(),
+            liveness_timeout_s: 5.0,
         }
     }
 
@@ -110,6 +149,12 @@ impl ClusterSetup {
     pub fn with_straggler(mut self, index: usize, factor: f64) -> Self {
         assert!(factor > 1.0);
         self.straggler = Some((index, factor));
+        self
+    }
+
+    /// Run the job under the given fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }
@@ -172,6 +217,14 @@ struct Task {
     started: SimTime,
     /// When the current phase began (telemetry spans).
     phase_since: SimTime,
+    /// Re-execution attempt. Bumped whenever the incarnation dies (node
+    /// crash, lost transfer) so events it scheduled are recognisably stale.
+    attempt: u32,
+    /// Origin map whose partition is currently being fetched (reduces).
+    fetching_origin: Option<usize>,
+    /// Per-origin shuffle progress (reduces; `len == n_maps`): partitions
+    /// already pulled stay pulled when the map's output node later dies.
+    fetched_from: Vec<bool>,
 }
 
 /// Events of the MapReduce world.
@@ -181,7 +234,8 @@ pub enum Ev {
     AmReady,
     NodeCpu { node: usize, epoch: u64 },
     DiskDone { node: usize, job: u64 },
-    FlowEnd { task: usize },
+    FlowEnd { task: usize, attempt: u32 },
+    Fault { idx: usize },
     Sample,
 }
 
@@ -195,6 +249,7 @@ impl Ev {
             Ev::NodeCpu { .. } => "node_cpu",
             Ev::DiskDone { .. } => "disk_done",
             Ev::FlowEnd { .. } => "flow_end",
+            Ev::Fault { .. } => "fault",
             Ev::Sample => "sample",
         }
     }
@@ -233,6 +288,13 @@ pub struct JobOutcome {
     pub cpu_rise_s: f64,
     /// Speculative map copies launched (0 on healthy clusters).
     pub speculative_copies: u32,
+    /// Tasks re-executed after node loss (0 on fault-free runs).
+    pub task_reexecs: u32,
+    /// Worker nodes declared lost by the RM's heartbeat timeout.
+    pub nodes_lost: u32,
+    /// Mean seconds from node crash to the node schedulable again
+    /// (restarted + re-localised); 0.0 when no node recovered in-run.
+    pub mean_recovery_s: f64,
 }
 
 impl JobOutcome {
@@ -272,6 +334,35 @@ struct MrWorld {
     first_reduce: Option<SimTime>,
     cpu_rise: Option<SimTime>,
     finish: Option<SimTime>,
+    /// The normalised fault schedule (time-sorted, zero-width pairs gone).
+    fplan: FaultPlan,
+    /// Physical truth: node has crashed and not yet restarted.
+    node_down: Vec<bool>,
+    /// Crashed since the last reap — containers there await re-queueing
+    /// (by the liveness sweep, or instantly by a restarting nodemanager).
+    needs_reap: Vec<bool>,
+    /// Crash instants, taken when the node becomes schedulable again.
+    crash_time: Vec<Option<SimTime>>,
+    /// CPU-work multiplier per node (CpuThrottle faults; 1.0 = healthy).
+    cpu_factor: Vec<f64>,
+    /// Flow-duration multiplier per node (NicDegrade: latency × loss
+    /// inflation; 1.0 = healthy).
+    net_factor: Vec<f64>,
+    /// Disk-service multiplier per node (DiskSlow; 1.0 = healthy).
+    disk_factor: Vec<f64>,
+    /// The RM's heartbeat-timeout view of worker liveness.
+    liveness: LivenessTracker,
+    /// Per logical map: the physical task whose output reducers fetch.
+    map_winner: Vec<Option<usize>>,
+    /// Set when an injected fault is unrecoverable (lost blocks with no
+    /// surviving replica, every worker down, or a stalled job).
+    failed: Option<String>,
+    task_reexecs: u32,
+    nodes_lost: u32,
+    /// Crash → schedulable-again durations, seconds.
+    recovery_s: Vec<f64>,
+    /// Last task-phase transition (stall detection).
+    last_progress: SimTime,
     /// Telemetry sink; [`Telemetry::off`] unless the run came through
     /// [`run_job_traced`].
     tel: Telemetry,
@@ -333,10 +424,17 @@ impl MrWorld {
                 speculated: false,
                 started: SimTime::ZERO,
                 phase_since: SimTime::ZERO,
+                attempt: 0,
+                fetching_origin: None,
+                fetched_from: if i < n_maps { Vec::new() } else { vec![false; n_maps] },
             })
             .collect();
         let running_containers = vec![0; setup.workers];
         let node_ready = vec![false; setup.workers];
+        let fplan = setup.fault_plan.normalized();
+        let liveness =
+            LivenessTracker::new(setup.workers, SimDuration::from_secs_f64(setup.liveness_timeout_s));
+        let workers = setup.workers;
         MrWorld {
             profile,
             setup,
@@ -362,6 +460,20 @@ impl MrWorld {
             first_reduce: None,
             cpu_rise: None,
             finish: None,
+            fplan,
+            node_down: vec![false; workers],
+            needs_reap: vec![false; workers],
+            crash_time: vec![None; workers],
+            cpu_factor: vec![1.0; workers],
+            net_factor: vec![1.0; workers],
+            disk_factor: vec![1.0; workers],
+            liveness,
+            map_winner: vec![None; n_maps],
+            failed: None,
+            task_reexecs: 0,
+            nodes_lost: 0,
+            recovery_s: Vec::new(),
+            last_progress: SimTime::ZERO,
             tel: Telemetry::off(),
         }
     }
@@ -384,6 +496,7 @@ impl MrWorld {
         let t = &mut self.tasks[task];
         t.phase = phase;
         t.phase_since = now;
+        self.last_progress = now;
     }
 
     // ---- derived sizes --------------------------------------------------
@@ -420,6 +533,19 @@ impl MrWorld {
 
     // ---- plumbing -------------------------------------------------------
 
+    /// The CPU/disk job id of `task`'s *current* incarnation (see
+    /// [`ATTEMPT_STRIDE`]): equal to the bare task index until the first
+    /// re-execution, so fault-free runs are bit-identical to the old ids.
+    fn job_id(&self, task: usize) -> u64 {
+        u64::from(self.tasks[task].attempt) * ATTEMPT_STRIDE + task as u64
+    }
+
+    /// Combined flow-duration multiplier of a transfer between two nodes:
+    /// the sicker endpoint's NIC bounds the stream.
+    fn net_scale(&self, a: usize, b: usize) -> f64 {
+        self.net_factor[a].max(self.net_factor[b])
+    }
+
     fn schedule_node_cpu(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
         if let Some((_, at)) = self.nodes.node(NodeId(node)).next_cpu_completion(now) {
             let epoch = self.nodes.node(NodeId(node)).cpu_epoch();
@@ -428,11 +554,19 @@ impl MrWorld {
     }
 
     fn add_cpu(&mut self, node: usize, id: u64, mi: f64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if self.node_down[node] {
+            return; // dies with the node; the RM re-queues it after the sweep
+        }
+        let mi = mi * self.cpu_factor[node];
         self.nodes.node_mut(NodeId(node)).add_cpu_task(now, id, mi.max(1e-3));
         self.schedule_node_cpu(node, now, ctx);
     }
 
     fn submit_disk(&mut self, node: usize, job: u64, service: SimDuration, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if self.node_down[node] {
+            return; // a dead node completes nothing
+        }
+        let service = scaled(service, self.disk_factor[node]);
         if let Some((j, at)) = self.nodes.node_mut(NodeId(node)).disk().submit(now, job, service) {
             ctx.schedule_at(at, Ev::DiskDone { node, job: j });
         }
@@ -441,6 +575,22 @@ impl MrWorld {
     // ---- scheduling -----------------------------------------------------
 
     fn run_heartbeat(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        // RM liveness: every alive worker reports; nodes silent past the
+        // timeout are declared lost and their containers re-queued
+        for i in 0..self.setup.workers {
+            if !self.node_down[i] {
+                self.liveness.beat(i, now);
+            }
+        }
+        for lost in self.liveness.sweep(now) {
+            self.nodes_lost += 1;
+            self.tel.counter_inc(fault_metrics::NODE_LOST_TOTAL, labels(&[("tier", "mapreduce")]));
+            self.reap_node(lost, now, ctx);
+        }
+        if self.node_down.iter().all(|&d| d) {
+            self.fail("every worker node is down".to_string(), ctx);
+            return;
+        }
         if !self.am_placed {
             // The application master runs on the Dell master node of the
             // paper's hybrid setup (outside the slave energy boundary);
@@ -475,7 +625,7 @@ impl MrWorld {
             }
             // drop speculative copies whose original already finished
             if let Some(orig) = t.dup_of {
-                if self.tasks[orig].phase == Phase::Done {
+                if self.tasks[orig].logical_done {
                     continue;
                 }
             }
@@ -497,10 +647,10 @@ impl MrWorld {
                 let node = self.nodes.node(NodeId(i));
                 let used_beyond_base = node.mem_used() - node.spec().os.base_memory;
                 NodeCapacity {
-                    free_mem: if self.node_ready[i] {
+                    free_mem: if self.node_ready[i] && !self.liveness.is_lost(i) {
                         self.setup.schedulable_mem.saturating_sub(used_beyond_base)
                     } else {
-                        0 // job artifacts not yet localised on this node
+                        0 // not localised yet, or declared lost by the RM
                     },
                     running: self.running_containers[i],
                     max_containers: 2 * node.spec().cpu.threads,
@@ -545,7 +695,8 @@ impl MrWorld {
             let kind = if t.is_map { "map" } else { "reduce" };
             self.set_phase(task, Phase::Launching, now);
             self.tel.counter_inc("mr_containers_granted_total", labels(&[("kind", kind)]));
-            self.add_cpu(node, task as u64, self.profile.container_startup_mi, now, ctx);
+            let id = self.job_id(task);
+            self.add_cpu(node, id, self.profile.container_startup_mi, now, ctx);
         }
     }
 
@@ -565,6 +716,7 @@ impl MrWorld {
         for i in 0..self.n_maps {
             let t = &self.tasks[i];
             if t.speculated
+                || t.logical_done
                 || t.dup_of.is_some()
                 || matches!(t.phase, Phase::Pending | Phase::Done)
             {
@@ -588,6 +740,9 @@ impl MrWorld {
                     speculated: true,
                     started: now,
                     phase_since: now,
+                    attempt: 0,
+                    fetching_origin: None,
+                    fetched_from: Vec::new(),
                 });
                 self.speculative_copies += 1;
                 self.tel.counter_inc("mr_speculative_copies_total", labels(&[]));
@@ -597,9 +752,7 @@ impl MrWorld {
 
     // ---- task phase transitions ------------------------------------------
 
-    fn cpu_done(&mut self, node: usize, id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
-        debug_assert_ne!(id, AM_ID, "the AM runs on the master, not a slave");
-        let task = id as usize;
+    fn cpu_done(&mut self, node: usize, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
         let phase = self.tasks[task].phase;
         match phase {
             Phase::Launching => {
@@ -614,21 +767,27 @@ impl MrWorld {
                 self.set_phase(task, Phase::SpillCpu, now);
                 let emit_mib = self.map_input_bytes() as f64 / MIB as f64 * 1.1;
                 let mi = self.profile.spill_mi_per_mib * emit_mib;
+                let id = self.job_id(task);
                 self.add_cpu(node, id, mi, now, ctx);
             }
             Phase::SpillCpu => {
                 self.set_phase(task, Phase::SpillDisk, now);
                 let bytes = self.map_output_bytes();
                 let service = self.nodes.node(NodeId(node)).disk_write_time(bytes, false);
+                let id = self.job_id(task);
                 self.submit_disk(node, id, service, now, ctx);
             }
             Phase::ReduceCpu => {
                 self.set_phase(task, Phase::OutputDisk, now);
                 let bytes = self.output_per_reduce();
                 let service = self.nodes.node(NodeId(node)).disk_write_time(bytes, false);
+                let id = self.job_id(task);
                 self.submit_disk(node, id, service, now, ctx);
             }
-            other => unreachable!("cpu done for task {task} in phase {other:?}"),
+            // a completion that raced a fault-layer transition: the
+            // attempt/liveness guards catch dead incarnations, so anything
+            // landing here in a fault-free run is an engine bug
+            other => debug_assert!(false, "cpu done for task {task} in phase {other:?}"),
         }
     }
 
@@ -637,16 +796,25 @@ impl MrWorld {
         let block = self.tasks[task].block;
         let bytes = self.map_input_bytes();
         self.set_phase(task, Phase::Reading, now);
-        if self.nn.is_local(block, node) {
-            let service = self.nodes.node(NodeId(node)).disk_read_time(bytes, false);
-            self.submit_disk(node, task as u64, service, now, ctx);
-        } else {
-            // remote read: stream from a replica over the fabric
-            let src = self.nn.replica_for(block, node);
-            let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
-            let dur = self.gauge.begin_transfer(&path, bytes as f64);
-            self.tasks[task].current_fetch_src = Some(src);
-            ctx.schedule_at(now + lat + dur, Ev::FlowEnd { task });
+        let alive: Vec<bool> = self.node_down.iter().map(|&d| !d).collect();
+        match self.nn.replica_for_alive(block, node, &alive) {
+            Some(src) if src == node => {
+                let service = self.nodes.node(NodeId(node)).disk_read_time(bytes, false);
+                let id = self.job_id(task);
+                self.submit_disk(node, id, service, now, ctx);
+            }
+            Some(src) => {
+                // remote read: stream from a surviving replica over the fabric
+                let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
+                let dur = self.gauge.begin_transfer(&path, bytes as f64);
+                self.tasks[task].current_fetch_src = Some(src);
+                let attempt = self.tasks[task].attempt;
+                ctx.schedule_at(
+                    now + scaled(lat + dur, self.net_scale(src, node)),
+                    Ev::FlowEnd { task, attempt },
+                );
+            }
+            None => self.fail(format!("block {block} unreadable: every replica node is down"), ctx),
         }
     }
 
@@ -657,7 +825,8 @@ impl MrWorld {
         let mi = self.profile.map_mi_per_mib * mib
             + self.profile.map_compute_mi
             + self.profile.task_setup_mi;
-        self.add_cpu(node, task as u64, mi, now, ctx);
+        let id = self.job_id(task);
+        self.add_cpu(node, id, mi, now, ctx);
     }
 
     fn finish_map(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
@@ -678,10 +847,10 @@ impl MrWorld {
         // engine simpler and costs only its residual slot time.
         let origin = self.tasks[task].dup_of.unwrap_or(task);
         if self.tasks[origin].logical_done {
-            return; // the counterpart already won
+            return; // the counterpart already won; this copy just drained
         }
         self.tasks[origin].logical_done = true;
-        self.tasks[origin].phase = Phase::Done; // reducers seed from origins
+        self.map_winner[origin] = Some(task);
         self.map_durations
             .push(now.saturating_since(self.tasks[task].started).as_secs_f64());
         self.completed_maps += 1;
@@ -693,10 +862,14 @@ impl MrWorld {
             "mr_maps_completed_total",
             labels(&[("local", if local { "true" } else { "false" })]),
         );
-        // notify shuffling reducers (they fetch from the winner's node)
+        // notify shuffling reducers still missing this partition (they
+        // fetch from the winner's node)
         for i in self.n_maps..self.tasks.len() {
             if self.tasks[i].is_map {
                 continue; // speculative map copies live past the reducers
+            }
+            if self.tasks[i].fetched_from[origin] {
+                continue; // already pulled from an earlier incarnation
             }
             match self.tasks[i].phase {
                 Phase::ShuffleWait => {
@@ -710,10 +883,11 @@ impl MrWorld {
     }
 
     fn start_shuffle(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
-        // seed the fetch queue with every logical map already finished
-        // (winners carry the data; originals are marked Done either way)
+        // seed the fetch queue with the winner of every logical map
+        // already finished (the winner's node holds the spill output)
         let done: Vec<usize> = (0..self.n_maps)
-            .filter(|&m| self.tasks[m].phase == Phase::Done)
+            .filter(|&m| self.tasks[m].logical_done)
+            .filter_map(|m| self.map_winner[m])
             .collect();
         self.set_phase(task, Phase::ShuffleWait, now);
         self.tasks[task].fetch_pending = done.into();
@@ -724,23 +898,37 @@ impl MrWorld {
         if self.tasks[task].phase == Phase::Fetching {
             return; // already busy with a fetch
         }
-        let Some(src_task) = self.tasks[task].fetch_pending.pop_front() else {
-            if self.tasks[task].fetched as usize == self.n_maps {
-                self.start_merge(task, now, ctx);
-            } else {
-                self.set_phase(task, Phase::ShuffleWait, now);
+        loop {
+            let Some(src_task) = self.tasks[task].fetch_pending.pop_front() else {
+                if self.tasks[task].fetched as usize == self.n_maps {
+                    self.start_merge(task, now, ctx);
+                } else {
+                    self.set_phase(task, Phase::ShuffleWait, now);
+                }
+                return;
+            };
+            let origin = self.tasks[src_task].dup_of.unwrap_or(src_task);
+            let src = self.tasks[src_task].node;
+            // stale entries: partition already pulled, or the winner's node
+            // died (the map re-executes and re-notifies with fresh output)
+            if self.tasks[task].fetched_from[origin] || src == usize::MAX || self.node_down[src] {
+                continue;
             }
+            let node = self.tasks[task].node;
+            self.set_phase(task, Phase::Fetching, now);
+            self.tasks[task].current_fetch_src = Some(src);
+            self.tasks[task].fetching_origin = Some(origin);
+            let bytes = self.fetch_bytes();
+            let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
+            let dur = self.gauge.begin_transfer(&path, bytes as f64);
+            let attempt = self.tasks[task].attempt;
+            // a fetch also pays a fixed RPC latency
+            ctx.schedule_at(
+                now + scaled(lat + dur + SimDuration::from_millis(1), self.net_scale(src, node)),
+                Ev::FlowEnd { task, attempt },
+            );
             return;
-        };
-        let node = self.tasks[task].node;
-        let src = self.tasks[src_task].node;
-        self.set_phase(task, Phase::Fetching, now);
-        self.tasks[task].current_fetch_src = Some(src);
-        let bytes = self.fetch_bytes();
-        let (path, lat) = self.topo.path(self.hosts[src], self.hosts[node]);
-        let dur = self.gauge.begin_transfer(&path, bytes as f64);
-        // a fetch also pays a fixed RPC latency
-        ctx.schedule_at(now + lat + dur + SimDuration::from_millis(1), Ev::FlowEnd { task });
+        }
     }
 
     fn start_merge(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
@@ -757,11 +945,11 @@ impl MrWorld {
                 + node_ref.disk_read_time(bytes, false)
                 + node_ref.disk_write_time(bytes, false);
         }
-        self.submit_disk(node, task as u64, service, now, ctx);
+        let id = self.job_id(task);
+        self.submit_disk(node, id, service, now, ctx);
     }
 
-    fn disk_done(&mut self, node: usize, job: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
-        let task = job as usize;
+    fn disk_done(&mut self, node: usize, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
         let phase = self.tasks[task].phase;
         match phase {
             Phase::Reading => self.start_map_cpu(task, now, ctx),
@@ -772,27 +960,43 @@ impl MrWorld {
                 let mi = self.profile.reduce_mi_per_mib * mib * self.gc_factor()
                     + self.profile.task_setup_mi
                     + calib::TASK_CLEANUP_MI;
-                self.add_cpu(node, job, mi, now, ctx);
+                let id = self.job_id(task);
+                self.add_cpu(node, id, mi, now, ctx);
             }
             Phase::OutputDisk => {
                 if self.setup.replication > 1 {
-                    // replication pipeline to the next node
+                    // replication pipeline to the next *alive* node
+                    let mut peer = (node + 1) % self.setup.workers;
+                    while peer != node && self.node_down[peer] {
+                        peer = (peer + 1) % self.setup.workers;
+                    }
+                    if peer == node {
+                        // nobody alive to replicate to; the primary stands
+                        self.finish_reduce(task, now, ctx);
+                        return;
+                    }
                     self.set_phase(task, Phase::OutputRepl, now);
-                    let peer = (node + 1) % self.setup.workers;
                     let (path, lat) = self.topo.path(self.hosts[node], self.hosts[peer]);
                     let bytes = self.output_per_reduce();
                     let dur = self.gauge.begin_transfer(&path, bytes as f64);
-                    self.tasks[task].current_fetch_src = Some(node);
-                    ctx.schedule_at(now + lat + dur, Ev::FlowEnd { task });
+                    self.tasks[task].current_fetch_src = Some(peer);
+                    let attempt = self.tasks[task].attempt;
+                    ctx.schedule_at(
+                        now + scaled(lat + dur, self.net_scale(node, peer)),
+                        Ev::FlowEnd { task, attempt },
+                    );
                 } else {
                     self.finish_reduce(task, now, ctx);
                 }
             }
-            other => unreachable!("disk done for task {task} in phase {other:?}"),
+            other => debug_assert!(false, "disk done for task {task} in phase {other:?}"),
         }
     }
 
-    fn flow_end(&mut self, task: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+    fn flow_end(&mut self, task: usize, attempt: u32, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if self.tasks[task].attempt != attempt {
+            return; // a dead incarnation's flow: its gauge was released when it was invalidated
+        }
         let phase = self.tasks[task].phase;
         match phase {
             Phase::Reading => {
@@ -807,18 +1011,23 @@ impl MrWorld {
                 let node = self.tasks[task].node;
                 let (path, _) = self.topo.path(self.hosts[src], self.hosts[node]);
                 self.gauge.end(&path);
-                self.tasks[task].fetched += 1;
+                if let Some(origin) = self.tasks[task].fetching_origin.take() {
+                    if !self.tasks[task].fetched_from[origin] {
+                        self.tasks[task].fetched_from[origin] = true;
+                        self.tasks[task].fetched += 1;
+                    }
+                }
                 self.set_phase(task, Phase::ShuffleWait, now);
                 self.next_fetch(task, now, ctx);
             }
             Phase::OutputRepl => {
-                let src = self.tasks[task].current_fetch_src.take().expect("repl had a source");
-                let peer = (src + 1) % self.setup.workers;
-                let (path, _) = self.topo.path(self.hosts[src], self.hosts[peer]);
+                let peer = self.tasks[task].current_fetch_src.take().expect("repl had a peer");
+                let node = self.tasks[task].node;
+                let (path, _) = self.topo.path(self.hosts[node], self.hosts[peer]);
                 self.gauge.end(&path);
                 self.finish_reduce(task, now, ctx);
             }
-            other => unreachable!("flow end for task {task} in phase {other:?}"),
+            other => debug_assert!(false, "flow end for task {task} in phase {other:?}"),
         }
     }
 
@@ -838,6 +1047,260 @@ impl MrWorld {
         self.tel.counter_inc("mr_reduces_completed_total", labels(&[]));
         if self.completed_reduces == self.profile.reduce_tasks as usize {
             self.finish = Some(now);
+        }
+    }
+
+    // ---- fault layer ----------------------------------------------------
+
+    /// Record an unrecoverable fault and stop the run; [`run_job_checked`]
+    /// surfaces it as [`SimError::FaultUnrecovered`].
+    fn fail(&mut self, msg: String, ctx: &mut Ctx<Ev>) {
+        if self.failed.is_none() && self.finish.is_none() {
+            self.failed = Some(msg);
+            ctx.stop();
+        }
+    }
+
+    fn apply_fault(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let Fault { node, kind, .. } = self.fplan.faults()[idx];
+        let workers = self.setup.workers;
+        let applied = match kind {
+            FaultKind::NodeCrash => self.apply_crash(node, now, ctx),
+            FaultKind::NodeRestart => self.apply_restart(node, now, ctx),
+            FaultKind::NicDegrade { loss, latency_mult } => {
+                if node < workers {
+                    // MR traffic is long bulk TCP streams: packet loss shows
+                    // up as a goodput cut of ≈ 1/(1-loss) on top of the
+                    // latency multiplier, folded into one duration factor
+                    self.net_factor[node] = latency_mult / (1.0 - loss.clamp(0.0, 0.99));
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::NicRestore => {
+                if node < workers && self.net_factor[node] != 1.0 {
+                    self.net_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DiskSlow { factor } => {
+                if node < workers {
+                    self.disk_factor[node] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DiskRestore => {
+                if node < workers && self.disk_factor[node] != 1.0 {
+                    self.disk_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CpuThrottle { factor } => {
+                if node < workers {
+                    self.cpu_factor[node] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CpuRestore => {
+                if node < workers && self.cpu_factor[node] != 1.0 {
+                    self.cpu_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            // no memcached tier in the MapReduce world
+            FaultKind::CacheColdRestart => false,
+        };
+        let name = if applied {
+            fault_metrics::FAULT_INJECTED_TOTAL
+        } else {
+            fault_metrics::FAULT_SKIPPED_TOTAL
+        };
+        self.tel.counter_inc(name, labels(&[("kind", kind.name()), ("tier", "mapreduce")]));
+    }
+
+    /// Kill worker `node`: its containers and disk/CPU work die instantly;
+    /// the RM only learns via the liveness timeout (or a quick restart).
+    fn apply_crash(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) -> bool {
+        if node >= self.setup.workers || self.node_down[node] {
+            return false;
+        }
+        self.node_down[node] = true;
+        self.needs_reap[node] = true;
+        self.node_ready[node] = false; // job artifacts die with the node
+        self.crash_time[node] = Some(now);
+        for t in 0..self.tasks.len() {
+            let phase = self.tasks[t].phase;
+            if matches!(phase, Phase::Pending | Phase::Done) {
+                continue;
+            }
+            let tnode = self.tasks[t].node;
+            if tnode == node {
+                // the task dies with its node: cancel queued/running CPU,
+                // release any in-flight transfer, and invalidate every
+                // event this incarnation scheduled — the reap re-queues it
+                let id = self.job_id(t);
+                self.nodes.node_mut(NodeId(node)).cancel_cpu_task(now, id);
+                if let Some(other) = self.tasks[t].current_fetch_src.take() {
+                    let (a, b) = if phase == Phase::OutputRepl { (node, other) } else { (other, node) };
+                    let (path, _) = self.topo.path(self.hosts[a], self.hosts[b]);
+                    self.gauge.end(&path);
+                }
+                self.tasks[t].fetching_origin = None;
+                self.tasks[t].attempt += 1;
+                continue;
+            }
+            // alive tasks with a transfer touching the crashed node: the
+            // stream dies now and the survivor recovers immediately
+            match phase {
+                Phase::Reading | Phase::Fetching
+                    if self.tasks[t].current_fetch_src == Some(node) =>
+                {
+                    let (path, _) = self.topo.path(self.hosts[node], self.hosts[tnode]);
+                    self.gauge.end(&path);
+                    self.tasks[t].current_fetch_src = None;
+                    self.tasks[t].fetching_origin = None;
+                    self.tasks[t].attempt += 1;
+                    if phase == Phase::Reading {
+                        // HDFS re-read from a surviving replica
+                        self.start_map_read(t, now, ctx);
+                    } else {
+                        // the lost partition re-appears when the map
+                        // re-executes; keep pulling the others meanwhile
+                        self.set_phase(t, Phase::ShuffleWait, now);
+                        self.next_fetch(t, now, ctx);
+                    }
+                }
+                Phase::OutputRepl if self.tasks[t].current_fetch_src == Some(node) => {
+                    let (path, _) = self.topo.path(self.hosts[tnode], self.hosts[node]);
+                    self.gauge.end(&path);
+                    self.tasks[t].current_fetch_src = None;
+                    self.tasks[t].attempt += 1;
+                    // the primary replica is safe; abandon the pipeline
+                    self.finish_reduce(t, now, ctx);
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Bring a crashed worker back: it re-registers with the RM, reports
+    /// its lost containers, and re-localises job artifacts before any new
+    /// container may launch.
+    fn apply_restart(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) -> bool {
+        if node >= self.setup.workers || !self.node_down[node] {
+            return false;
+        }
+        self.node_down[node] = false;
+        // a restarting nodemanager reports lost containers itself, even
+        // when the blip was shorter than the liveness timeout
+        self.reap_node(node, now, ctx);
+        self.liveness.revive(node, now);
+        if self.am_ready {
+            let service =
+                self.nodes.node(NodeId(node)).disk_write_time(calib::JOB_LOCALIZATION_BYTES, false);
+            self.submit_disk(node, LOCALIZE_BASE + node as u64, service, now, ctx);
+        }
+        true
+    }
+
+    /// The RM's response to a lost node (liveness timeout, or a restarted
+    /// nodemanager reporting in): release every container that was placed
+    /// there, re-queue the tasks, and re-execute completed maps whose
+    /// spill output — which reducers still need — died with the node.
+    fn reap_node(&mut self, node: usize, now: SimTime, _ctx: &mut Ctx<Ev>) {
+        if !self.needs_reap[node] {
+            return;
+        }
+        self.needs_reap[node] = false;
+        // 1. containers on the node: release and re-queue
+        for t in 0..self.tasks.len() {
+            if self.tasks[t].node != node
+                || matches!(self.tasks[t].phase, Phase::Pending | Phase::Done)
+            {
+                continue;
+            }
+            let is_map = self.tasks[t].is_map;
+            let mem =
+                if is_map { self.profile.map_container } else { self.profile.reduce_container };
+            self.nodes.node_mut(NodeId(node)).free_mem(mem);
+            self.running_containers[node] = self.running_containers[node].saturating_sub(1);
+            if !is_map {
+                self.running_reduce_mem =
+                    self.running_reduce_mem.saturating_sub(self.profile.reduce_container);
+            }
+            // containers granted after the crash never scheduled events,
+            // but bumping uniformly costs nothing
+            self.tasks[t].attempt += 1;
+            let origin = self.tasks[t].dup_of.unwrap_or(t);
+            if is_map && self.tasks[origin].logical_done {
+                // a draining speculative loser died with the node
+                self.set_phase(t, Phase::Done, now);
+                continue;
+            }
+            let tt = &mut self.tasks[t];
+            tt.current_fetch_src = None;
+            tt.fetching_origin = None;
+            tt.fetch_pending.clear();
+            tt.fetched = 0;
+            tt.fetched_from.iter_mut().for_each(|b| *b = false);
+            tt.local = false;
+            self.set_phase(t, Phase::Pending, now);
+            self.tasks[t].node = usize::MAX;
+            self.task_reexecs += 1;
+            let kind = if is_map { "map" } else { "reduce" };
+            self.tel.counter_inc(fault_metrics::TASK_REEXEC_TOTAL, labels(&[("kind", kind)]));
+        }
+        // 2. completed maps whose output lived on the node: re-execute the
+        //    origin if any reducer still needs its partition
+        for origin in 0..self.n_maps {
+            let Some(w) = self.map_winner[origin] else { continue };
+            if self.tasks[w].node != node {
+                continue;
+            }
+            self.map_winner[origin] = None;
+            let needed = (self.n_maps..self.tasks.len()).any(|r| {
+                let t = &self.tasks[r];
+                !t.is_map && t.phase != Phase::Done && !t.fetched_from[origin]
+            });
+            if !needed {
+                continue;
+            }
+            self.tasks[origin].logical_done = false;
+            self.completed_maps = self.completed_maps.saturating_sub(1);
+            if self.tasks[origin].phase == Phase::Done {
+                self.tasks[origin].attempt += 1;
+                self.tasks[origin].speculated = false;
+                self.tasks[origin].local = false;
+                self.set_phase(origin, Phase::Pending, now);
+                self.tasks[origin].node = usize::MAX;
+                self.task_reexecs += 1;
+                self.tel
+                    .counter_inc(fault_metrics::TASK_REEXEC_TOTAL, labels(&[("kind", "map_output")]));
+            }
+            // else: a speculative loser of this map is still running
+            // elsewhere — with logical_done cleared it now wins
+        }
+        // 3. queued fetch entries pointing at the dead node are stale
+        for r in self.n_maps..self.tasks.len() {
+            if self.tasks[r].is_map || self.tasks[r].fetch_pending.is_empty() {
+                continue;
+            }
+            let pending = std::mem::take(&mut self.tasks[r].fetch_pending);
+            let filtered: VecDeque<usize> =
+                pending.into_iter().filter(|&s| self.tasks[s].node != node).collect();
+            self.tasks[r].fetch_pending = filtered;
         }
     }
 
@@ -906,8 +1369,10 @@ impl Model for MrWorld {
             }
             Ev::Heartbeat => {
                 self.run_heartbeat(now, ctx);
-                if self.finish.is_none() {
-                    ctx.schedule_in(
+                if self.finish.is_none() && self.failed.is_none() {
+                    // idle: a heartbeat during a quiescent outage must not
+                    // burn the event budget (the engine watchdog)
+                    ctx.schedule_idle_in(
                         SimDuration::from_secs_f64(calib::CONTAINER_GRANT_DELAY_S),
                         Ev::Heartbeat,
                     );
@@ -919,7 +1384,12 @@ impl Model for MrWorld {
                 }
                 let done = self.nodes.node_mut(NodeId(node)).take_finished_cpu(now);
                 for id in done {
-                    self.cpu_done(node, id, now, ctx);
+                    debug_assert_ne!(id, AM_ID, "AM work has no completion event");
+                    let (attempt, task) = decode_job(id);
+                    if self.node_down[node] || self.tasks[task].attempt != attempt {
+                        continue; // stale: the node crashed or the task moved on
+                    }
+                    self.cpu_done(node, task, now, ctx);
                 }
                 self.schedule_node_cpu(node, now, ctx);
             }
@@ -928,16 +1398,49 @@ impl Model for MrWorld {
                     ctx.schedule_at(at, Ev::DiskDone { node, job: next });
                 }
                 if job >= LOCALIZE_BASE {
-                    self.node_ready[(job - LOCALIZE_BASE) as usize] = true;
+                    let n = (job - LOCALIZE_BASE) as usize;
+                    if !self.node_down[n] {
+                        self.node_ready[n] = true;
+                        if let Some(crashed) = self.crash_time[n].take() {
+                            // re-localisation done: the node serves again
+                            let rec = now.saturating_since(crashed).as_secs_f64();
+                            self.recovery_s.push(rec);
+                            self.tel.observe(
+                                fault_metrics::RECOVERY_SECONDS,
+                                labels(&[("tier", "mapreduce")]),
+                                fault_metrics::RECOVERY_BOUNDS_S,
+                                rec,
+                            );
+                        }
+                    }
                 } else {
-                    self.disk_done(node, job, now, ctx);
+                    let (attempt, task) = decode_job(job);
+                    if self.node_down[node] || self.tasks[task].attempt != attempt {
+                        return; // stale disk completion from before a crash
+                    }
+                    self.disk_done(node, task, now, ctx);
                 }
             }
-            Ev::FlowEnd { task } => self.flow_end(task, now, ctx),
+            Ev::FlowEnd { task, attempt } => self.flow_end(task, attempt, now, ctx),
+            Ev::Fault { idx } => self.apply_fault(idx, now, ctx),
             Ev::Sample => {
                 self.sample(now);
-                if self.finish.is_none() {
-                    ctx.schedule_in(SimDuration::from_secs(1), Ev::Sample);
+                if self.finish.is_none() && self.failed.is_none() {
+                    if now.saturating_since(self.last_progress) > STALL_TIMEOUT {
+                        self.fail(
+                            format!(
+                                "no task progress for {}s: {}/{} maps, {}/{} reduces",
+                                STALL_TIMEOUT.as_secs_f64(),
+                                self.completed_maps,
+                                self.n_maps,
+                                self.completed_reduces,
+                                self.profile.reduce_tasks
+                            ),
+                            ctx,
+                        );
+                        return;
+                    }
+                    ctx.schedule_idle_in(SimDuration::from_secs(1), Ev::Sample);
                 } else {
                     ctx.stop();
                 }
@@ -947,8 +1450,19 @@ impl Model for MrWorld {
 }
 
 /// Run one job on one cluster setup to completion.
+///
+/// Panics when the job cannot finish — with a fault plan attached, prefer
+/// [`run_job_checked`], which surfaces unrecoverable faults as a typed
+/// error instead.
 pub fn run_job(profile: &JobProfile, setup: &ClusterSetup) -> JobOutcome {
     run_job_traced(profile, setup, Telemetry::off()).0
+}
+
+/// [`run_job`] with a typed error channel: an unrecoverable fault (every
+/// replica of a block lost, all workers down, or a stalled job) returns
+/// [`SimError::FaultUnrecovered`] instead of panicking.
+pub fn run_job_checked(profile: &JobProfile, setup: &ClusterSetup) -> Result<JobOutcome, SimError> {
+    run_job_traced_checked(profile, setup, Telemetry::off()).map(|(o, _)| o)
 }
 
 /// Like [`run_job`], but records into `tel` when it is enabled: engine
@@ -961,6 +1475,16 @@ pub fn run_job_traced(
     setup: &ClusterSetup,
     tel: Telemetry,
 ) -> (JobOutcome, Telemetry) {
+    run_job_traced_checked(profile, setup, tel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The full-fidelity entry point: tracing like [`run_job_traced`], typed
+/// fault errors like [`run_job_checked`].
+pub fn run_job_traced_checked(
+    profile: &JobProfile,
+    setup: &ClusterSetup,
+    tel: Telemetry,
+) -> Result<(JobOutcome, Telemetry), SimError> {
     let tracing = tel.is_on();
     let mut world = MrWorld::new(profile.clone(), setup.clone());
     world.tel = tel;
@@ -972,10 +1496,15 @@ pub fn run_job_traced(
         world.tel.help("mr_speculative_copies_total", "Speculative map copies launched");
         world.tel.help("mr_map_progress_pct", "Completed maps / total, 1 s samples");
         world.tel.help("mr_reduce_progress_pct", "Completed reduces / total, 1 s samples");
+        fault_metrics::register_help(&mut world.tel);
     }
+    let fault_times: Vec<SimTime> = world.fplan.faults().iter().map(|f| f.at).collect();
     let mut sim = Simulation::new(world);
     sim.schedule_at(SimTime::ZERO, Ev::Heartbeat);
-    sim.schedule_at(SimTime::ZERO, Ev::Sample);
+    sim.schedule_idle_at(SimTime::ZERO, Ev::Sample);
+    for (idx, at) in fault_times.into_iter().enumerate() {
+        sim.schedule_at(at, Ev::Fault { idx });
+    }
     if tracing {
         let mut obs = EventCounter::new(Ev::kind);
         sim.run_observed(&mut obs);
@@ -985,17 +1514,26 @@ pub fn run_job_traced(
     } else {
         sim.run();
     }
-    let w = sim.world();
-    let finish = w.finish.unwrap_or_else(|| {
-        panic!(
+    let w = sim.world_mut();
+    if let Some(msg) = w.failed.take() {
+        return Err(SimError::FaultUnrecovered(format!("job {}: {msg}", w.profile.name)));
+    }
+    let Some(finish) = w.finish else {
+        let detail = format!(
             "job {} did not finish: {}/{} maps, {}/{} reduces",
-            w.profile.name,
-            w.completed_maps,
-            w.n_maps,
-            w.completed_reduces,
-            w.profile.reduce_tasks
-        )
-    });
+            w.profile.name, w.completed_maps, w.n_maps, w.completed_reduces, w.profile.reduce_tasks
+        );
+        if w.fplan.is_empty() {
+            // no faults in play: this is an engine bug, not a fault outcome
+            panic!("{detail}");
+        }
+        return Err(SimError::FaultUnrecovered(detail));
+    };
+    let mean_recovery_s = if w.recovery_s.is_empty() {
+        0.0
+    } else {
+        w.recovery_s.iter().sum::<f64>() / w.recovery_s.len() as f64
+    };
     let outcome = JobOutcome {
         finish_time_s: finish.as_secs_f64(),
         energy_j: w.nodes.energy_joules(finish),
@@ -1004,9 +1542,12 @@ pub fn run_job_traced(
         first_reduce_s: w.first_reduce.map(|t| t.as_secs_f64()).unwrap_or(0.0),
         cpu_rise_s: w.cpu_rise.map(|t| t.as_secs_f64()).unwrap_or(0.0),
         speculative_copies: w.speculative_copies,
+        task_reexecs: w.task_reexecs,
+        nodes_lost: w.nodes_lost,
+        mean_recovery_s,
     };
     let tel = std::mem::take(&mut sim.world_mut().tel);
-    (outcome, tel)
+    Ok((outcome, tel))
 }
 
 #[cfg(test)]
@@ -1089,5 +1630,104 @@ mod tests {
         let b = run_job(&jobs::logcount2(Tune::Edison), &ClusterSetup::edison(4));
         assert_eq!(a.finish_time_s, b.finish_time_s);
         assert_eq!(a.energy_j, b.energy_j);
+    }
+
+    #[test]
+    fn node_crash_recovers_with_reexecution() {
+        let profile = jobs::logcount2(Tune::Edison);
+        let base = run_job(&profile, &ClusterSetup::edison(4));
+        // crash a worker a third of the way through; bring it back 20 s
+        // later (past the 5 s liveness timeout, so the RM declares it lost)
+        let at = SimTime::from_secs_f64(base.finish_time_s / 3.0);
+        let plan = FaultPlan::new().crash_restart(1, at, SimDuration::from_secs(20));
+        let setup = ClusterSetup::edison(4).with_fault_plan(plan);
+        let hit = run_job_checked(&profile, &setup).expect("crash of 1 of 4 nodes must recover");
+        assert!(hit.finish_time_s >= base.finish_time_s, "losing a node cannot speed the job up");
+        assert!(hit.task_reexecs > 0, "containers on the dead node must re-execute");
+        assert_eq!(hit.nodes_lost, 1, "the RM should declare exactly one node lost");
+        assert!(hit.mean_recovery_s > 0.0, "re-localisation must be observed as recovery");
+    }
+
+    #[test]
+    fn crash_during_job_populates_fault_telemetry() {
+        let profile = jobs::logcount2(Tune::Edison);
+        let base = run_job(&profile, &ClusterSetup::edison(4));
+        let at = SimTime::from_secs_f64(base.finish_time_s / 3.0);
+        let plan = FaultPlan::new().crash_restart(2, at, SimDuration::from_secs(20));
+        let setup = ClusterSetup::edison(4).with_fault_plan(plan);
+        let (_, tel) =
+            run_job_traced_checked(&profile, &setup, Telemetry::on()).expect("recoverable");
+        let counters: Vec<_> = tel.registry.counters().collect();
+        let injected: u64 = counters
+            .iter()
+            .filter(|(n, _, _)| *n == fault_metrics::FAULT_INJECTED_TOTAL)
+            .map(|(_, _, v)| *v)
+            .sum();
+        assert_eq!(injected, 2, "crash + restart both inject");
+        assert!(counters.iter().any(|(n, _, v)| *n == fault_metrics::NODE_LOST_TOTAL && *v == 1));
+        assert!(counters.iter().any(|(n, _, v)| *n == fault_metrics::TASK_REEXEC_TOTAL && *v > 0));
+        let recovered = tel
+            .registry
+            .histograms()
+            .any(|(n, _, h)| n == fault_metrics::RECOVERY_SECONDS && h.count() > 0);
+        assert!(recovered, "recovery histogram must be populated");
+    }
+
+    #[test]
+    fn zero_width_crash_is_noop() {
+        let profile = jobs::logcount2(Tune::Edison);
+        let base = run_job(&profile, &ClusterSetup::edison(4));
+        let at = SimTime::from_secs(5);
+        let plan = FaultPlan::new().crash_restart(1, at, SimDuration::ZERO);
+        let setup = ClusterSetup::edison(4).with_fault_plan(plan);
+        let z = run_job_checked(&profile, &setup).expect("zero-width fault is a no-op");
+        assert_eq!(z.finish_time_s.to_bits(), base.finish_time_s.to_bits());
+        assert_eq!(z.energy_j.to_bits(), base.energy_j.to_bits());
+        assert_eq!(z.task_reexecs, 0);
+    }
+
+    #[test]
+    fn post_finish_fault_changes_nothing() {
+        let profile = jobs::logcount2(Tune::Edison);
+        let base = run_job(&profile, &ClusterSetup::edison(4));
+        let at = SimTime::from_secs_f64(base.finish_time_s + 100.0);
+        let plan = FaultPlan::new().crash(0, at);
+        let setup = ClusterSetup::edison(4).with_fault_plan(plan);
+        let late = run_job_checked(&profile, &setup).expect("post-finish fault is harmless");
+        assert_eq!(late.finish_time_s.to_bits(), base.finish_time_s.to_bits());
+        assert_eq!(late.energy_j.to_bits(), base.energy_j.to_bits());
+    }
+
+    #[test]
+    fn losing_every_worker_is_unrecoverable() {
+        let profile = jobs::logcount2(Tune::Edison);
+        let at = SimTime::from_secs(30);
+        let mut plan = FaultPlan::new();
+        for n in 0..4 {
+            plan = plan.crash(n, at);
+        }
+        let setup = ClusterSetup::edison(4).with_fault_plan(plan);
+        match run_job_checked(&profile, &setup) {
+            Err(SimError::FaultUnrecovered(msg)) => {
+                assert!(msg.contains("down") || msg.contains("unreadable"), "{msg}")
+            }
+            other => panic!("expected FaultUnrecovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nic_degrade_slows_but_recovers() {
+        let profile = jobs::terasort(Tune::Edison);
+        let base = run_job(&profile, &ClusterSetup::edison(4));
+        let at = SimTime::from_secs(10);
+        let plan = FaultPlan::new().nic_degrade(0, at, 0.05, 4.0);
+        let setup = ClusterSetup::edison(4).with_fault_plan(plan);
+        let slow = run_job_checked(&profile, &setup).expect("a slow NIC is not fatal");
+        assert!(
+            slow.finish_time_s > base.finish_time_s,
+            "shuffle-heavy job must slow down: {} vs {}",
+            slow.finish_time_s,
+            base.finish_time_s
+        );
     }
 }

@@ -127,6 +127,17 @@ impl Namenode {
         }
     }
 
+    /// A replica node for `block` among nodes still alive (`alive[i]`),
+    /// preferring `node` itself. `None` when every replica is down — the
+    /// block is unreadable and the read fails over to nothing (the fault
+    /// layer's unrecoverable case).
+    pub fn replica_for_alive(&self, block: usize, node: usize, alive: &[bool]) -> Option<usize> {
+        if self.is_local(block, node) && alive.get(node).copied().unwrap_or(false) {
+            return Some(node);
+        }
+        self.blocks[block].replicas.iter().copied().find(|&r| alive.get(r).copied().unwrap_or(false))
+    }
+
     /// Bytes stored per node (replica-weighted) — the balance diagnostic.
     pub fn bytes_per_node(&self) -> Vec<u64> {
         let mut v = vec![0u64; self.datanodes];

@@ -10,6 +10,69 @@
 //! data-locality, its container-allocation waves, and the reduce-phase
 //! start times of Figures 12–17.
 
+use edison_simcore::time::{SimDuration, SimTime};
+
+/// The resource manager's liveness view of the slave nodes.
+///
+/// Nodes report on every scheduler heartbeat; a node silent for longer
+/// than the timeout is declared **lost** exactly once (via [`sweep`]),
+/// which is the RM's cue to re-queue the containers it had placed there.
+/// A restarted node re-registers through [`revive`]. The RM deliberately
+/// lags physical reality: between a crash and the sweep that notices it,
+/// containers already placed on the dead node count as running — exactly
+/// YARN's behaviour — and only the reap that follows the sweep (or a
+/// restarted nodemanager reporting in early) re-queues them.
+///
+/// [`sweep`]: LivenessTracker::sweep
+/// [`revive`]: LivenessTracker::revive
+#[derive(Debug, Clone)]
+pub struct LivenessTracker {
+    last_seen: Vec<SimTime>,
+    timeout: SimDuration,
+    lost: Vec<bool>,
+}
+
+impl LivenessTracker {
+    /// Track `nodes` slaves with the given silence timeout.
+    pub fn new(nodes: usize, timeout: SimDuration) -> Self {
+        LivenessTracker { last_seen: vec![SimTime::ZERO; nodes], timeout, lost: vec![false; nodes] }
+    }
+
+    /// Record a heartbeat from `node`.
+    pub fn beat(&mut self, node: usize, now: SimTime) {
+        self.last_seen[node] = now;
+    }
+
+    /// Declare nodes silent past the timeout as lost; returns the nodes
+    /// newly lost this sweep (index order, each reported exactly once).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for i in 0..self.last_seen.len() {
+            if !self.lost[i] && now.saturating_since(self.last_seen[i]) > self.timeout {
+                self.lost[i] = true;
+                newly.push(i);
+            }
+        }
+        newly
+    }
+
+    /// Re-register a node (restart): it is alive and schedulable again.
+    pub fn revive(&mut self, node: usize, now: SimTime) {
+        self.lost[node] = false;
+        self.last_seen[node] = now;
+    }
+
+    /// Whether the RM currently considers `node` lost.
+    pub fn is_lost(&self, node: usize) -> bool {
+        self.lost[node]
+    }
+
+    /// Nodes currently declared lost.
+    pub fn lost_count(&self) -> usize {
+        self.lost.iter().filter(|&&l| l).count()
+    }
+}
+
 /// Free capacity of one node, as seen by the scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeCapacity {
@@ -219,6 +282,31 @@ mod tests {
         let reduces = grants.iter().filter(|g| g.task < 2).count();
         assert_eq!(reduces, 1);
         assert!(grants.iter().any(|g| g.task == 2), "map still granted");
+    }
+
+    #[test]
+    fn liveness_declares_loss_once_and_revives() {
+        use edison_simcore::time::{SimDuration, SimTime};
+        let t = |s| SimTime::from_secs(s);
+        let mut lv = LivenessTracker::new(3, SimDuration::from_secs(5));
+        for s in 0..4 {
+            for n in 0..3 {
+                lv.beat(n, t(s));
+            }
+        }
+        // node 1 goes silent after t=3
+        for s in 4..9 {
+            lv.beat(0, t(s));
+            lv.beat(2, t(s));
+            assert!(lv.sweep(t(s)).is_empty(), "not silent long enough at {s}s");
+        }
+        assert_eq!(lv.sweep(t(9)), vec![1], "silent > 5 s");
+        assert!(lv.is_lost(1));
+        assert_eq!(lv.lost_count(), 1);
+        assert!(lv.sweep(t(10)).is_empty(), "reported exactly once");
+        lv.revive(1, t(11));
+        assert!(!lv.is_lost(1));
+        assert!(lv.sweep(t(12)).is_empty());
     }
 
     #[test]

@@ -37,6 +37,10 @@ struct Scheduled<E> {
     at: SimTime,
     seq: u64,
     event: E,
+    /// Idle-advance marker: the event exists only to move the clock through a
+    /// quiescent period (health-check ticks, heartbeat timers) and is exempt
+    /// from the max-events watchdog budget. Delivery order is unaffected.
+    idle: bool,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -81,12 +85,32 @@ impl<E> Ctx<E> {
         debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.pending.push(Scheduled { at, seq, event });
+        self.pending.push(Scheduled { at, seq, event, idle: false });
     }
 
     /// Schedule `event` after a delay of `d`.
     pub fn schedule_in(&mut self, d: SimDuration, event: E) {
         self.schedule_at(self.now + d, event);
+    }
+
+    /// Schedule an **idle-advance** event at absolute time `at`.
+    ///
+    /// Idle events deliver exactly like normal ones but do not count against
+    /// the [`Simulation::set_max_events`] budget. Use them for pure timers
+    /// that keep the clock moving through quiescent periods — LB health
+    /// checks, liveness heartbeats, metric sampling — so a fault-induced
+    /// lull cannot trip the runaway-loop watchdog spuriously.
+    pub fn schedule_idle_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.pending.push(Scheduled { at, seq, event, idle: true });
+    }
+
+    /// Schedule an idle-advance event after a delay of `d` (see
+    /// [`schedule_idle_at`](Self::schedule_idle_at)).
+    pub fn schedule_idle_in(&mut self, d: SimDuration, event: E) {
+        self.schedule_idle_at(self.now + d, event);
     }
 
     /// Schedule `event` immediately (same timestamp, after currently queued
@@ -143,6 +167,7 @@ pub struct Simulation<M: Model> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    budgeted: u64,
     stopped: bool,
     max_events: Option<u64>,
     watchdog_tripped: bool,
@@ -157,19 +182,25 @@ impl<M: Model> Simulation<M> {
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            budgeted: 0,
             stopped: false,
             max_events: None,
             watchdog_tripped: false,
         }
     }
 
-    /// Arm (or with `None`, disarm) the runaway-run watchdog: once `processed`
-    /// reaches `limit` the loop refuses to deliver further events, marks the
-    /// run stopped, and reports through [`Observer::on_watchdog`].
+    /// Arm (or with `None`, disarm) the runaway-run watchdog: once the number
+    /// of **budgeted** (non-idle) events delivered reaches `limit` the loop
+    /// refuses to deliver further events, marks the run stopped, and reports
+    /// through [`Observer::on_watchdog`].
     ///
     /// A tripped watchdog means the world is live-locked (e.g. an event that
     /// reschedules itself forever without advancing the experiment) — the
     /// budget exists so such bugs surface as a diagnostic instead of a hang.
+    /// Idle-advance events ([`Ctx::schedule_idle_at`]) are exempt: a
+    /// crash-induced quiescent period that is bridged only by periodic timer
+    /// ticks does not consume budget, so `watchdog_tripped` fires only on
+    /// genuine runaway loops.
     pub fn set_max_events(&mut self, limit: Option<u64>) {
         self.max_events = limit;
     }
@@ -184,9 +215,15 @@ impl<M: Model> Simulation<M> {
         self.now
     }
 
-    /// Number of events delivered so far.
+    /// Number of events delivered so far (idle-advance events included).
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of budgeted (non-idle) events delivered so far — the counter
+    /// the max-events watchdog compares against its limit.
+    pub fn budgeted_processed(&self) -> u64 {
+        self.budgeted
     }
 
     /// Shared access to the world.
@@ -215,7 +252,16 @@ impl<M: Model> Simulation<M> {
         assert!(at >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        self.heap.push(Reverse(Scheduled { at, seq, event, idle: false }));
+    }
+
+    /// Schedule an initial idle-advance event from outside the world (see
+    /// [`Ctx::schedule_idle_at`]): exempt from the max-events budget.
+    pub fn schedule_idle_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event, idle: true }));
     }
 
     /// Deliver the next event, if any. Returns `false` when the heap is empty
@@ -231,7 +277,7 @@ impl<M: Model> Simulation<M> {
             return false;
         }
         if let Some(limit) = self.max_events {
-            if self.processed >= limit {
+            if self.budgeted >= limit {
                 self.stopped = true;
                 self.watchdog_tripped = true;
                 obs.on_watchdog(self.now, self.processed);
@@ -245,6 +291,9 @@ impl<M: Model> Simulation<M> {
         debug_assert!(next.at >= self.now, "heap produced an out-of-order event");
         self.now = next.at;
         self.processed += 1;
+        if !next.idle {
+            self.budgeted += 1;
+        }
         obs.pre_event(self.now, &next.event, self.heap.len());
         let mut ctx = Ctx {
             now: self.now,
@@ -322,6 +371,7 @@ mod tests {
     enum Ev {
         Mark(u32),
         Chain { left: u32, gap: SimDuration },
+        IdleTick { left: u32, gap: SimDuration },
         StopNow,
     }
 
@@ -334,6 +384,12 @@ mod tests {
                     self.log.push((now.0, 1000 + left));
                     if left > 0 {
                         ctx.schedule_in(gap, Ev::Chain { left: left - 1, gap });
+                    }
+                }
+                Ev::IdleTick { left, gap } => {
+                    self.log.push((now.0, 2000 + left));
+                    if left > 0 {
+                        ctx.schedule_idle_in(gap, Ev::IdleTick { left: left - 1, gap });
                     }
                 }
                 Ev::StopNow => ctx.stop(),
@@ -543,6 +599,59 @@ mod tests {
             observed <= plain * 4 + std::time::Duration::from_millis(5),
             "NoopObserver run regressed: {observed:?} vs {plain:?}"
         );
+    }
+
+    /// A fault-quiesced world: nothing happens for a long stretch except a
+    /// periodic idle tick bridging the gap. A budget far smaller than the
+    /// tick count must not trip — idle advance is exempt.
+    #[test]
+    fn idle_ticks_do_not_trip_watchdog() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.set_max_events(Some(5));
+        sim.schedule_at(SimTime::ZERO, Ev::Mark(0));
+        sim.schedule_idle_at(
+            SimTime::ZERO,
+            Ev::IdleTick { left: 200, gap: SimDuration::from_secs(1) },
+        );
+        sim.schedule_at(SimTime::from_secs(150), Ev::Mark(1));
+        let n = sim.run();
+        assert_eq!(n, 203, "all events deliver");
+        assert!(!sim.watchdog_tripped(), "idle ticks must not consume budget");
+        assert_eq!(sim.budgeted_processed(), 2);
+        assert_eq!(sim.processed(), 203);
+        assert_eq!(sim.now(), SimTime::from_secs(200));
+    }
+
+    /// A genuine runaway loop still trips even when idle ticks are
+    /// interleaved: only the non-idle events consume budget.
+    #[test]
+    fn runaway_trips_despite_interleaved_idle_ticks() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.set_max_events(Some(50));
+        sim.schedule_idle_at(
+            SimTime::ZERO,
+            Ev::IdleTick { left: 1_000, gap: SimDuration::from_millis(1) },
+        );
+        sim.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { left: 1_000, gap: SimDuration::from_millis(1) },
+        );
+        sim.run();
+        assert!(sim.watchdog_tripped());
+        assert_eq!(sim.budgeted_processed(), 50);
+    }
+
+    /// Idle scheduling must not perturb delivery order relative to normal
+    /// events at the same timestamps (only the budget differs).
+    #[test]
+    fn idle_events_keep_fifo_order() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_secs(1), Ev::Mark(10));
+        sim.schedule_idle_at(SimTime::from_secs(1), Ev::IdleTick { left: 0, gap: SimDuration::ZERO });
+        sim.schedule_at(SimTime::from_secs(1), Ev::Mark(11));
+        sim.run();
+        let ids: Vec<u32> = sim.world().log.iter().map(|&(_, i)| i).collect();
+        assert_eq!(ids, vec![10, 2000, 11]);
     }
 
     #[test]

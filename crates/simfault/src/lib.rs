@@ -1,0 +1,44 @@
+//! Deterministic fault injection for the Edison reproduction stacks.
+//!
+//! The paper's Introduction (advantage 2) claims a 35-node Edison cluster
+//! *degrades gracefully*: losing one node costs ~1/35 of capacity, versus
+//! ~1/3–1/2 on the 2–3 node Xeon testbed. This crate turns that claim into
+//! a measurable input: a declarative [`FaultPlan`] describes *what breaks
+//! when*, and each stack delivers the plan's entries as ordinary simcore
+//! events — so faults obey the same determinism regime as everything else
+//! (same seed + same plan ⇒ identical run, bit-exact across `--jobs`
+//! widths).
+//!
+//! ## Fault model
+//!
+//! | kind | effect | recovery |
+//! |------|--------|----------|
+//! | [`FaultKind::NodeCrash`] | node drops all in-flight work, stops accepting | [`FaultKind::NodeRestart`] cold-restarts it |
+//! | [`FaultKind::NicDegrade`] | packet loss + latency multiplier on the node's NIC | [`FaultKind::NicRestore`] |
+//! | [`FaultKind::DiskSlow`] | disk service times × factor (sick-disk straggler) | [`FaultKind::DiskRestore`] |
+//! | [`FaultKind::CpuThrottle`] | CPU work × factor (thermal-throttle straggler) | [`FaultKind::CpuRestore`] |
+//! | [`FaultKind::CacheColdRestart`] | memcached process restart: contents flushed | cache re-warms organically |
+//!
+//! A plan is built either programmatically ([`FaultPlan::new`] + the
+//! builder methods) or parsed from the line-based text spec
+//! ([`FaultPlan::parse`], written by [`FaultPlan::to_spec`]) that the
+//! `repro --fault-plan <file>` flag loads.
+//!
+//! Per-fault randomness (e.g. which packets a lossy NIC drops) uses seeds
+//! derived with simrun's [`derive_seed`](edison_simrun::derive_seed) from
+//! the plan's seed root and the fault's index — deterministic, and
+//! independent of how many faults precede it.
+//!
+//! ## Normalisation
+//!
+//! [`FaultPlan::normalized`] sorts faults by injection time (stable in plan
+//! order for ties) and cancels *zero-width* pairs — a crash and its restart
+//! (or a degrade and its restore) at the same [`SimTime`] on the same node.
+//! A zero-width fault is observationally a no-op by construction, which the
+//! property tests in the workspace root assert end-to-end.
+
+pub mod metrics;
+mod plan;
+mod spec;
+
+pub use plan::{Fault, FaultKind, FaultPlan, FaultPlanError};

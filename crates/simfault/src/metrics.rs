@@ -1,0 +1,43 @@
+//! Shared metric names for the fault layer, so the web stack, the
+//! MapReduce stack, and the experiments agree on spelling — the byte-exact
+//! export determinism tests depend on this.
+
+use edison_simtel::Telemetry;
+
+/// Counter: faults actually injected, labelled `{kind, tier}`.
+pub const FAULT_INJECTED_TOTAL: &str = "fault_injected_total";
+
+/// Counter: plan entries that did not apply (e.g. a restart for a node
+/// that is not down), labelled `{kind, tier}`.
+pub const FAULT_SKIPPED_TOTAL: &str = "fault_skipped_total";
+
+/// Counter: load-balancer failovers — a backend taken out of rotation
+/// after failed health checks, labelled `{tier}`.
+pub const FAILOVER_TOTAL: &str = "failover_total";
+
+/// Counter: MapReduce tasks re-executed after node loss, labelled
+/// `{kind}` (`map` / `reduce` / `map_output`).
+pub const TASK_REEXEC_TOTAL: &str = "task_reexec_total";
+
+/// Counter: worker nodes declared lost by heartbeat timeout.
+pub const NODE_LOST_TOTAL: &str = "node_lost_total";
+
+/// Histogram: seconds from fault injection until the victim is back in
+/// service (web: back in LB rotation; MapReduce: re-registered and
+/// schedulable).
+pub const RECOVERY_SECONDS: &str = "fault_recovery_seconds";
+
+/// Bucket bounds for [`RECOVERY_SECONDS`].
+pub const RECOVERY_BOUNDS_S: &[f64] = &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Register help text for every fault metric. Called unconditionally by
+/// traced fault-capable runs so exports are byte-identical whether or not
+/// any fault fired.
+pub fn register_help(tel: &mut Telemetry) {
+    tel.help(FAULT_INJECTED_TOTAL, "faults injected from the FaultPlan, by kind and tier");
+    tel.help(FAULT_SKIPPED_TOTAL, "fault plan entries that did not apply, by kind and tier");
+    tel.help(FAILOVER_TOTAL, "backends failed over (taken out of LB rotation) after health-check failures");
+    tel.help(TASK_REEXEC_TOTAL, "tasks re-executed after node loss, by kind");
+    tel.help(NODE_LOST_TOTAL, "worker nodes declared lost by heartbeat timeout");
+    tel.help(RECOVERY_SECONDS, "seconds from fault injection to the victim returning to service");
+}

@@ -1,0 +1,231 @@
+//! The line-based text form of a [`FaultPlan`], loaded by
+//! `repro --fault-plan <file>`.
+//!
+//! ```text
+//! # simfault plan — one fault per line
+//! seed 42
+//! fault 10s    0  crash
+//! fault 15s    0  restart
+//! fault 8.5s   2  nic loss=0.05 lat=2.0
+//! fault 20s    2  nic-restore
+//! fault 5s     1  disk-slow factor=4
+//! fault 30s    1  disk-restore
+//! fault 5s     3  cpu-throttle factor=3
+//! fault 30s    3  cpu-restore
+//! fault 12s    4  cache-cold
+//! ```
+//!
+//! Times accept an `s` suffix (decimal seconds) or a bare integer
+//! (nanoseconds). [`FaultPlan::to_spec`] emits nanoseconds so a
+//! parse → serialize → parse round trip is exact; `#` starts a comment and
+//! blank lines are ignored.
+
+use crate::plan::{FaultKind, FaultPlan, FaultPlanError};
+use edison_simcore::time::SimTime;
+use std::fmt;
+
+fn parse_err(line: usize, msg: impl Into<String>) -> FaultPlanError {
+    FaultPlanError::Parse { line, msg: msg.into() }
+}
+
+fn parse_time(tok: &str, line: usize) -> Result<SimTime, FaultPlanError> {
+    if let Some(secs) = tok.strip_suffix('s') {
+        let v: f64 = secs
+            .parse()
+            .map_err(|_| parse_err(line, format!("bad time '{tok}' (want e.g. '10s' or '8.5s')")))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(parse_err(line, format!("time '{tok}' must be finite and ≥ 0")));
+        }
+        Ok(SimTime::from_secs_f64(v))
+    } else {
+        let ns: u64 = tok
+            .parse()
+            .map_err(|_| parse_err(line, format!("bad time '{tok}' (bare values are integer nanoseconds)")))?;
+        Ok(SimTime(ns))
+    }
+}
+
+fn parse_param(tok: &str, key: &str, line: usize) -> Result<f64, FaultPlanError> {
+    let Some(v) = tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')) else {
+        return Err(parse_err(line, format!("expected '{key}=<value>', got '{tok}'")));
+    };
+    v.parse()
+        .map_err(|_| parse_err(line, format!("bad value in '{tok}'")))
+}
+
+impl FaultPlan {
+    /// Parse the text spec (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultPlanError> {
+        let mut plan = FaultPlan::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let toks: Vec<&str> = content.split_whitespace().collect();
+            match toks[0] {
+                "seed" => {
+                    let [_, v] = toks[..] else {
+                        return Err(parse_err(line, "usage: seed <u64>"));
+                    };
+                    let seed: u64 =
+                        v.parse().map_err(|_| parse_err(line, format!("bad seed '{v}'")))?;
+                    plan = plan.with_seed(seed);
+                }
+                "fault" => {
+                    if toks.len() < 4 {
+                        return Err(parse_err(line, "usage: fault <time> <node> <kind> [k=v ...]"));
+                    }
+                    let at = parse_time(toks[1], line)?;
+                    let node: usize = toks[2]
+                        .parse()
+                        .map_err(|_| parse_err(line, format!("bad node index '{}'", toks[2])))?;
+                    let kind = match toks[3] {
+                        "crash" => FaultKind::NodeCrash,
+                        "restart" => FaultKind::NodeRestart,
+                        "nic" => {
+                            if toks.len() != 6 {
+                                return Err(parse_err(line, "usage: fault <t> <n> nic loss=<p> lat=<m>"));
+                            }
+                            FaultKind::NicDegrade {
+                                loss: parse_param(toks[4], "loss", line)?,
+                                latency_mult: parse_param(toks[5], "lat", line)?,
+                            }
+                        }
+                        "nic-restore" => FaultKind::NicRestore,
+                        "disk-slow" => {
+                            if toks.len() != 5 {
+                                return Err(parse_err(line, "usage: fault <t> <n> disk-slow factor=<f>"));
+                            }
+                            FaultKind::DiskSlow { factor: parse_param(toks[4], "factor", line)? }
+                        }
+                        "disk-restore" => FaultKind::DiskRestore,
+                        "cpu-throttle" => {
+                            if toks.len() != 5 {
+                                return Err(parse_err(line, "usage: fault <t> <n> cpu-throttle factor=<f>"));
+                            }
+                            FaultKind::CpuThrottle { factor: parse_param(toks[4], "factor", line)? }
+                        }
+                        "cpu-restore" => FaultKind::CpuRestore,
+                        "cache-cold" => FaultKind::CacheColdRestart,
+                        other => {
+                            return Err(parse_err(line, format!("unknown fault kind '{other}'")));
+                        }
+                    };
+                    let simple = matches!(
+                        kind,
+                        FaultKind::NodeCrash
+                            | FaultKind::NodeRestart
+                            | FaultKind::NicRestore
+                            | FaultKind::DiskRestore
+                            | FaultKind::CpuRestore
+                            | FaultKind::CacheColdRestart
+                    );
+                    if simple && toks.len() != 4 {
+                        return Err(parse_err(
+                            line,
+                            format!("'{}' takes no parameters", toks[3]),
+                        ));
+                    }
+                    plan = plan.push(at, node, kind);
+                }
+                other => {
+                    return Err(parse_err(
+                        line,
+                        format!("unknown directive '{other}' (want 'seed' or 'fault')"),
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Emit the canonical text spec (nanosecond times, exact round trip).
+    pub fn to_spec(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# simfault plan — fault <time_ns> <node> <kind> [k=v ...]")?;
+        writeln!(f, "seed {}", self.seed_root())?;
+        for fault in self.faults() {
+            write!(f, "fault {} {} {}", fault.at.0, fault.node, fault.kind.name())?;
+            match fault.kind {
+                FaultKind::NicDegrade { loss, latency_mult } => {
+                    write!(f, " loss={loss} lat={latency_mult}")?;
+                }
+                FaultKind::DiskSlow { factor } | FaultKind::CpuThrottle { factor } => {
+                    write!(f, " factor={factor}")?;
+                }
+                _ => {}
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edison_simcore::time::SimDuration;
+
+    #[test]
+    fn parses_the_module_doc_example() {
+        let text = "\
+# comment line
+seed 42
+fault 10s    0  crash
+fault 15s    0  restart
+fault 8.5s   2  nic loss=0.05 lat=2.0
+fault 20s    2  nic-restore
+fault 5s     1  disk-slow factor=4
+fault 30s    1  disk-restore
+fault 5s     3  cpu-throttle factor=3
+fault 30s    3  cpu-restore
+fault 12s    4  cache-cold   # trailing comment
+";
+        let plan = FaultPlan::parse(text).expect("parses");
+        assert_eq!(plan.seed_root(), 42);
+        assert_eq!(plan.len(), 9);
+        assert_eq!(plan.faults()[0].at, SimTime::from_secs(10));
+        assert_eq!(plan.faults()[2].kind, FaultKind::NicDegrade { loss: 0.05, latency_mult: 2.0 });
+        assert_eq!(plan.faults()[8].kind, FaultKind::CacheColdRestart);
+        assert!(plan.validate(5).is_ok());
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let plan = FaultPlan::new()
+            .with_seed(7)
+            .crash_restart(0, SimTime::from_secs_f64(10.123456789), SimDuration::from_millis(1500))
+            .nic_degrade(2, SimTime::from_secs(8), 0.05, 2.0)
+            .disk_slow(1, SimTime::from_secs(5), 4.0)
+            .cpu_throttle(3, SimTime::from_secs(5), 3.0)
+            .cache_cold_restart(4, SimTime::from_secs(12));
+        let text = plan.to_spec();
+        let back = FaultPlan::parse(&text).expect("round trip parses");
+        assert_eq!(plan, back);
+        assert_eq!(text, back.to_spec());
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_numbers() {
+        let err = FaultPlan::parse("seed 1\nfault ten 0 crash\n").expect_err("bad time");
+        assert_eq!(err, FaultPlanError::Parse { line: 2, msg: "bad time 'ten' (bare values are integer nanoseconds)".into() });
+        assert!(FaultPlan::parse("bogus 1 2 3\n").is_err());
+        assert!(FaultPlan::parse("fault 1s 0 melt\n").is_err());
+        assert!(FaultPlan::parse("fault 1s 0 nic loss=0.1\n").is_err());
+        assert!(FaultPlan::parse("fault 1s 0 crash extra\n").is_err());
+        assert!(FaultPlan::parse("fault -1s 0 crash\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_specs_parse_to_empty_plan() {
+        let plan = FaultPlan::parse("# nothing here\n\n").expect("parses");
+        assert!(plan.is_empty());
+    }
+}

@@ -27,6 +27,18 @@ pub enum SimError {
     /// A result set was empty or missing where data was required to
     /// render a report (e.g. every sweep point excluded by error rate).
     Data(String),
+    /// An **injected** fault left the simulated system unable to finish
+    /// (e.g. every replica of a needed HDFS block was lost, or the whole
+    /// web tier crashed with no restart scheduled).
+    ///
+    /// This is the *fault domain*: the simulation itself worked — it
+    /// faithfully played a plan the system could not survive. A fault
+    /// that was injected and **recovered from** is not an error at all
+    /// (the run returns `Ok` with degraded metrics); only an
+    /// *unrecovered* fault surfaces here, with its own exit code so
+    /// scripts never confuse it with a crashed sweep point (exit 3) or a
+    /// rejected configuration (exit 4).
+    FaultUnrecovered(String),
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +47,9 @@ impl fmt::Display for SimError {
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::UnknownJob(name) => write!(f, "unknown job '{name}'"),
             SimError::Data(msg) => write!(f, "missing result data: {msg}"),
+            SimError::FaultUnrecovered(msg) => {
+                write!(f, "injected fault was not recoverable: {msg}")
+            }
         }
     }
 }
@@ -64,11 +79,15 @@ pub enum RunError {
 impl RunError {
     /// The process exit code the `repro` binary uses for this failure:
     /// `3` for a crashed sweep point, `4` for a simulation-layer
-    /// rejection, `2` for an unresolvable experiment id (the same code as
-    /// other CLI usage errors).
+    /// rejection, `5` for an injected fault the system could not recover
+    /// from ([`SimError::FaultUnrecovered`] — never code 3, which is
+    /// reserved for genuine simulation failures), `2` for an
+    /// unresolvable experiment id (the same code as other CLI usage
+    /// errors).
     pub fn exit_code(&self) -> i32 {
         match self {
             RunError::PointFailed { .. } => 3,
+            RunError::Sim(SimError::FaultUnrecovered(_)) => 5,
             RunError::Sim(_) => 4,
             RunError::UnknownExperiment(_) => 2,
         }
@@ -120,6 +139,17 @@ mod tests {
         assert_eq!(RunError::PointFailed { point: "p".into(), cause: "c".into() }.exit_code(), 3);
         assert_eq!(RunError::Sim(SimError::Config("x".into())).exit_code(), 4);
         assert_eq!(RunError::UnknownExperiment("nope".into()).exit_code(), 2);
+    }
+
+    #[test]
+    fn unrecovered_fault_gets_its_own_exit_code() {
+        // An injected-but-unrecovered fault must be distinguishable from a
+        // crashed point (3) and a rejected configuration (4): a recovered
+        // fault never errors at all, and an unrecovered one exits 5.
+        let e = RunError::Sim(SimError::FaultUnrecovered("all replicas of block 7 lost".into()));
+        assert_eq!(e.exit_code(), 5);
+        assert_ne!(e.exit_code(), RunError::PointFailed { point: "p".into(), cause: "c".into() }.exit_code());
+        assert!(format!("{e}").contains("not recoverable"));
     }
 
     #[test]

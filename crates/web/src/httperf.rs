@@ -4,6 +4,7 @@
 use crate::scenario::{WebScenario, WorkloadMix};
 use crate::stack::{run_traced, GenMode, StackConfig};
 use edison_simcore::time::SimDuration;
+use edison_simfault::FaultPlan;
 use edison_simtel::Telemetry;
 
 /// Default calls per connection (the paper tunes ≈6.6 to match reported
@@ -25,6 +26,19 @@ pub struct HttperfResult {
     pub client_errors: u64,
     /// Fraction of offered requests that errored server-side.
     pub error_rate: f64,
+    /// 99th-percentile response delay, ms (tail under faults).
+    pub p99_delay_ms: f64,
+    /// Fraction of offered requests that completed — the availability
+    /// metric of the fault experiments.
+    pub availability: f64,
+    /// Backends taken out of LB rotation after failed health checks.
+    pub failovers: u64,
+    /// Client connections re-dispatched through the LB after hitting a
+    /// dead backend.
+    pub retries: u64,
+    /// Mean seconds from crash to the victim rejoining LB rotation
+    /// (0 when no recovery completed in the window).
+    pub mean_recovery_s: f64,
     /// Mean cluster power over the window, W (the green lines in
     /// Figures 4 and 6).
     pub mean_power_w: f64,
@@ -43,17 +57,30 @@ pub struct HttperfResult {
     pub cache_mem: f64,
 }
 
-/// Options controlling window length / seed.
-#[derive(Debug, Clone, Copy)]
+/// Options controlling window length / seed / fault injection.
+#[derive(Debug, Clone)]
 pub struct RunOpts {
     pub seed: u64,
     pub warmup_s: u64,
     pub measure_s: u64,
+    /// Fault schedule played against the run (empty: no faults, and the
+    /// run is byte-identical to the pre-fault code path).
+    pub fault_plan: FaultPlan,
+    /// Client failover re-dispatches per connection
+    /// ([`crate::scenario::DEFAULT_RETRY_BUDGET`] is the tuned default
+    /// for fault experiments; 0 disables failover retries).
+    pub retry_budget: u32,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { seed: 20160509, warmup_s: 5, measure_s: 20 }
+        RunOpts {
+            seed: 20160509,
+            warmup_s: 5,
+            measure_s: 20,
+            fault_plan: FaultPlan::new(),
+            retry_budget: 0,
+        }
     }
 }
 
@@ -85,16 +112,24 @@ pub fn run_point_traced(
     );
     cfg.warmup = SimDuration::from_secs(opts.warmup_s);
     cfg.measure = SimDuration::from_secs(opts.measure_s);
+    cfg.fault_plan = opts.fault_plan.clone();
+    cfg.retry_budget = opts.retry_budget;
     let mut world = run_traced(cfg, tel);
-    let m = &world.metrics;
+    let m = &mut world.metrics;
     let window = opts.measure_s as f64;
     let rps = m.completed as f64 / window;
     let offered_reqs = concurrency * CALLS_PER_CONN * window;
     let energy = m.energy_j.max(1e-9);
+    let failed = m.server_errors + m.client_errors;
     let result = HttperfResult {
         concurrency,
         requests_per_sec: rps,
         mean_delay_ms: m.delays_ms.mean(),
+        p99_delay_ms: m.delays_ms.percentile(99.0),
+        availability: m.completed as f64 / (m.completed + failed).max(1) as f64,
+        failovers: m.failovers,
+        retries: m.retries,
+        mean_recovery_s: if m.recovery_s.is_empty() { 0.0 } else { m.recovery_s.mean() },
         server_errors: m.server_errors,
         client_errors: m.client_errors,
         error_rate: (m.server_errors as f64 * CALLS_PER_CONN / offered_reqs).min(1.0),
@@ -122,7 +157,7 @@ mod tests {
     use crate::scenario::{ClusterScale, Platform};
 
     fn opts() -> RunOpts {
-        RunOpts { seed: 1, warmup_s: 2, measure_s: 8 }
+        RunOpts { seed: 1, warmup_s: 2, measure_s: 8, ..RunOpts::default() }
     }
 
     #[test]

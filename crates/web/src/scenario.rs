@@ -94,6 +94,14 @@ pub const IMAGE_TABLES: usize = 4;
 /// effects are negligible.
 pub const ROWS_PER_TABLE: u32 = 6_000;
 
+/// Client retry budget used by the fault experiments: how many times an
+/// httperf client re-dispatches a connection through the load balancer
+/// after a connect/read timeout on a crashed backend. Two retries ride
+/// out a failover (detect + re-dispatch) without letting a hard outage
+/// spin forever; `0` (the [`crate::httperf::RunOpts`] default) keeps
+/// fault-free sweeps byte-identical to the pre-fault behaviour.
+pub const DEFAULT_RETRY_BUDGET: u32 = 2;
+
 /// A workload mix: image-query probability + target cache hit ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadMix {

@@ -37,6 +37,8 @@ use edison_simcore::rng::SimRng;
 use edison_simcore::stats::{Histogram, SampleSet, TimeSeries};
 use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, Model, Simulation};
+use edison_simfault::metrics as fault_metrics;
+use edison_simfault::{Fault, FaultKind, FaultPlan};
 use edison_simtel::{labels, EventCounter, Telemetry};
 use std::collections::{HashMap, VecDeque};
 
@@ -72,8 +74,19 @@ pub struct StackConfig {
     /// Fault injection: kill web server `node` this long after t = 0.
     /// Models the paper's Introduction argument (advantage 2) that node
     /// failure hits brawny clusters harder — each Dell web server carries
-    /// 12× the load share of an Edison one.
+    /// 12× the load share of an Edison one. Sugar for a one-crash
+    /// [`FaultPlan`]; merged into `fault_plan` when the run starts.
     pub kill_web_at: Option<(usize, SimDuration)>,
+    /// Declarative fault schedule played against this run (crashes,
+    /// restarts, NIC degradation, CPU throttling, cache cold restarts).
+    /// Empty plans leave the run byte-identical to the pre-fault code
+    /// path.
+    pub fault_plan: FaultPlan,
+    /// How many times a client re-dispatches a connection through the
+    /// load balancer after hitting a dead backend (connect/read timeout).
+    /// `0` reproduces the original behaviour: every request caught on a
+    /// crashed node is a hard `server_error`.
+    pub retry_budget: u32,
     /// Extension (§7's "hybrid future datacenter"): append this many web
     /// servers of the *other* platform to the web tier. They sit in their
     /// own room with their own NIC/OS limits; the load balancer spreads
@@ -93,6 +106,8 @@ impl StackConfig {
             measure: SimDuration::from_secs(20),
             clients: 8,
             kill_web_at: None,
+            fault_plan: FaultPlan::new(),
+            retry_budget: 0,
             hybrid_web: 0,
         }
     }
@@ -178,6 +193,9 @@ struct Conn {
     web: usize,
     calls_left: u32,
     t_first_syn: SimTime,
+    /// Failover re-dispatches consumed (bounded by
+    /// [`StackConfig::retry_budget`]).
+    retries: u32,
 }
 
 /// Everything measured during the window.
@@ -216,6 +234,16 @@ pub struct Metrics {
     /// Completed requests per second, sampled at 1 s (fault-injection dip).
     pub throughput_ts: TimeSeries,
     last_sampled_completed: u64,
+    /// Faults actually applied from the plan.
+    pub faults_injected: u64,
+    /// Backends taken out of LB rotation after failed health checks.
+    pub failovers: u64,
+    /// Client connections re-dispatched through the LB after hitting a
+    /// dead backend.
+    pub retries: u64,
+    /// Seconds from crash injection until the victim is back in LB
+    /// rotation (one sample per completed recovery).
+    pub recovery_s: SampleSet,
 }
 
 impl Default for Metrics {
@@ -239,6 +267,10 @@ impl Default for Metrics {
             completed_total: 0,
             throughput_ts: TimeSeries::new(),
             last_sampled_completed: 0,
+            faults_injected: 0,
+            failovers: 0,
+            retries: 0,
+            recovery_s: SampleSet::new(),
         }
     }
 }
@@ -259,7 +291,14 @@ pub enum Ev {
     ReplyAtClient { req: u64 },
     Sample,
     MeasureStart,
-    KillWebServer { node: usize },
+    /// Inject fault `idx` of the normalized plan.
+    Fault { idx: usize },
+    /// HAProxy-style health-check tick over the web tier (idle-scheduled;
+    /// starts with the first injected fault).
+    HealthCheck,
+    /// A client re-dispatches a connection through the LB after a
+    /// failover timeout.
+    RetryConn { conn: u64 },
     Stop,
 }
 
@@ -281,7 +320,9 @@ impl Ev {
             Ev::ReplyAtClient { .. } => "reply_at_client",
             Ev::Sample => "sample",
             Ev::MeasureStart => "measure_start",
-            Ev::KillWebServer { .. } => "kill_web_server",
+            Ev::Fault { .. } => "fault",
+            Ev::HealthCheck => "health_check",
+            Ev::RetryConn { .. } => "retry_conn",
             Ev::Stop => "stop",
         }
     }
@@ -315,6 +356,43 @@ pub struct WebWorld {
     req_mi_of: Vec<f64>,
     /// Load-balancer weights (one per web node, capacity-proportional).
     lb_weights: Vec<f64>,
+    // ---- fault layer --------------------------------------------------
+    /// Normalized fault plan (time-sorted, zero-width pairs cancelled);
+    /// `Ev::Fault { idx }` indexes into `fplan.faults()`.
+    fplan: FaultPlan,
+    /// Backends the LB has taken out of rotation (health-check verdict;
+    /// lags `dead` by FALL checks and outlives it by RISE checks).
+    lb_dead: Vec<bool>,
+    /// Consecutive failed / passed health checks per web node.
+    hc_fail: Vec<u8>,
+    hc_ok: Vec<u8>,
+    /// When each web node crashed (cleared once it is back in rotation —
+    /// the recovery-time sample).
+    crash_time: Vec<Option<SimTime>>,
+    /// Accept-gate rate per web node, kept for post-restart re-init.
+    accept_rate_of: Vec<f64>,
+    /// Cache store capacity per cache node, kept for cold restarts.
+    cache_cap_of: Vec<u64>,
+    /// Packet-loss probability per tier node (web then cache), from NIC
+    /// degradation faults. Applies to connection-establishment SYNs.
+    nic_loss: Vec<f64>,
+    /// Latency/transfer multiplier per tier node, from NIC degradation.
+    nic_lat: Vec<f64>,
+    /// CPU service-time multiplier per tier node (straggler faults).
+    cpu_factor: Vec<f64>,
+    /// Disk service-time multiplier per MySQL node.
+    db_disk_factor: Vec<f64>,
+    /// RNG for fault-effect draws (NIC loss); separate stream from the
+    /// workload RNG so injecting a fault never shifts workload draws.
+    /// Re-seeded from the plan's per-fault seed at each NIC fault.
+    fault_rng: SimRng,
+    /// Health checks are scheduled lazily at the first injected fault so
+    /// fault-free runs stay byte-identical to the pre-fault code path.
+    hc_running: bool,
+    /// Write-allocate on db replies, enabled by a cache cold restart so
+    /// the store re-warms (off by default: the pre-warmed steady state
+    /// never inserts on the miss path).
+    cache_writeback: bool,
     measure_start: SimTime,
     measure_end: SimTime,
     /// Collected metrics.
@@ -339,6 +417,25 @@ const BACKLOG_PER_WORKER: usize = 4;
 const EDISON_WORKER_MEM: u64 = 512 * 1024;
 /// Dell runs the older PHP 5.3 with fatter processes.
 const DELL_WORKER_MEM: u64 = 24 * 1024 * 1024;
+/// HAProxy-style health-check interval (`inter`).
+const HC_PERIOD: SimDuration = SimDuration::from_secs(1);
+/// Consecutive failed checks before a backend leaves rotation (`fall`).
+const HC_FALL: u8 = 2;
+/// Consecutive passed checks before a restarted backend rejoins (`rise`).
+const HC_RISE: u8 = 2;
+/// Client-side connect/read timeout before a retry re-dispatches through
+/// the load balancer.
+const FAILOVER_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+
+/// Scale a duration by a fault multiplier (identity fast path keeps
+/// fault-free runs bit-exact with the pre-fault arithmetic).
+fn scaled(d: SimDuration, m: f64) -> SimDuration {
+    if m == 1.0 {
+        d
+    } else {
+        d.mul_f64(m)
+    }
+}
 
 impl WebWorld {
     /// Assemble the world: cluster, fabric, pre-warmed caches.
@@ -407,6 +504,7 @@ impl WebWorld {
         let mut syn_gates = Vec::new();
         let mut req_mi_of = Vec::new();
         let mut lb_weights = Vec::new();
+        let mut accept_rate_of = Vec::new();
         for (i, p) in web_platforms.iter().enumerate() {
             let (workers_per_node, worker_mem, accept, mi, weight) = match p {
                 Platform::Edison => (
@@ -432,6 +530,7 @@ impl WebWorld {
                 backlog_max: workers_per_node as usize * BACKLOG_PER_WORKER,
             });
             syn_gates.push(SynGate::new(accept));
+            accept_rate_of.push(accept);
             req_mi_of.push(mi);
             lb_weights.push(weight);
             nodes
@@ -442,9 +541,12 @@ impl WebWorld {
 
         // caches: real LRU stores pre-warmed to the target hit ratio
         let mut caches = Vec::new();
+        let mut cache_cap_of = Vec::new();
         for _ in 0..n_cache {
             let free = nodes.node(NodeId(n_web)).mem_free();
-            caches.push(LruStore::new((free as f64 * 0.85) as u64));
+            let cap = (free as f64 * 0.85) as u64;
+            cache_cap_of.push(cap);
+            caches.push(LruStore::new(cap));
         }
         let warm_rows = (cfg.mix.cache_hit_ratio * ROWS_PER_TABLE as f64) as u32;
         for table in 0..db::TOTAL_TABLES as u8 {
@@ -466,6 +568,14 @@ impl WebWorld {
         let measure_start = SimTime::ZERO + cfg.warmup;
         let measure_end = measure_start + cfg.measure;
         let rng = SimRng::new(cfg.seed);
+        // the kill_web_at sugar rides the same fault plan as everything else
+        let mut full_plan = cfg.fault_plan.clone();
+        if let Some((node, at)) = cfg.kill_web_at {
+            full_plan = full_plan.crash(node, SimTime::ZERO + at);
+        }
+        let fplan = full_plan.normalized();
+        let n_tier = n_web + n_cache;
+        let fault_rng = SimRng::new(fplan.fault_seed(0));
         WebWorld {
             cfg,
             nodes,
@@ -490,6 +600,20 @@ impl WebWorld {
             dead: vec![false; n_web],
             req_mi_of,
             lb_weights,
+            fplan,
+            lb_dead: vec![false; n_web],
+            hc_fail: vec![0; n_web],
+            hc_ok: vec![0; n_web],
+            crash_time: vec![None; n_web],
+            accept_rate_of,
+            cache_cap_of,
+            nic_loss: vec![0.0; n_tier],
+            nic_lat: vec![1.0; n_tier],
+            cpu_factor: vec![1.0; n_tier],
+            db_disk_factor: vec![1.0; 2],
+            fault_rng,
+            hc_running: false,
+            cache_writeback: false,
             measure_start,
             measure_end,
             metrics: Metrics::default(),
@@ -565,17 +689,17 @@ impl WebWorld {
         }
     }
 
-    fn open_connection(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
-        let id = self.next_conn;
-        self.next_conn += 1;
-        // HAProxy weighted round robin, health-checked around dead servers
+    /// HAProxy smooth WRR over backends still in rotation (`dead` covers
+    /// the pre-health-check kill path; `lb_dead` the health-check
+    /// verdict). `None` when the whole tier is out.
+    fn lb_pick(&mut self) -> Option<usize> {
         let n_web = self.n_web();
-        let total_w: f64 = (0..n_web).filter(|&i| !self.dead[i]).map(|i| self.lb_weights[i]).sum();
+        let total_w: f64 = (0..n_web)
+            .filter(|&i| !self.dead[i] && !self.lb_dead[i])
+            .map(|i| self.lb_weights[i])
+            .sum();
         if total_w <= 0.0 {
-            // whole tier down
-            self.metrics.client_errors += 1;
-            self.tel_outcome("client_error");
-            return;
+            return None;
         }
         // deterministic smooth WRR: golden-ratio stride through the
         // cumulative weights spreads picks evenly at every prefix length
@@ -584,7 +708,7 @@ impl WebWorld {
         let mut web = 0;
         let mut acc = 0.0;
         for i in 0..n_web {
-            if self.dead[i] {
+            if self.dead[i] || self.lb_dead[i] {
                 continue;
             }
             acc += self.lb_weights[i];
@@ -593,20 +717,76 @@ impl WebWorld {
                 break;
             }
         }
+        Some(web)
+    }
+
+    fn open_connection(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        // HAProxy weighted round robin, health-checked around dead servers
+        let Some(web) = self.lb_pick() else {
+            // whole tier down
+            self.metrics.client_errors += 1;
+            self.tel_outcome("client_error");
+            return;
+        };
         let client = self.rr_client % self.client_hosts.len();
         self.rr_client += 1;
         let calls = self.draw_calls();
-        self.conns.insert(id, Conn { client, web, calls_left: calls, t_first_syn: now });
+        self.conns.insert(id, Conn { client, web, calls_left: calls, t_first_syn: now, retries: 0 });
         self.syn_attempt(id, 0, now, ctx);
+    }
+
+    /// Consume one unit of the client retry budget and schedule a
+    /// re-dispatch after the failover timeout. `false` when the budget is
+    /// disabled or exhausted (the caller then accounts the failure).
+    fn conn_retry(&mut self, conn_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) -> bool {
+        if self.cfg.retry_budget == 0 {
+            return false;
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return true };
+        if conn.retries >= self.cfg.retry_budget {
+            return false;
+        }
+        conn.retries += 1;
+        self.metrics.retries += 1;
+        self.tel.counter_inc("web_client_retries_total", labels(&[]));
+        ctx.schedule_at(now + FAILOVER_TIMEOUT, Ev::RetryConn { conn: conn_id });
+        true
+    }
+
+    /// A request was caught on a crashed node: retry the connection
+    /// through the LB if the client has budget, else it is a hard 5xx.
+    fn drop_req_on_dead_node(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let Some(r) = self.reqs.remove(&req_id) else { return };
+        let conn_id = r.conn;
+        if self.conn_retry(conn_id, now, ctx) {
+            return;
+        }
+        self.conns.remove(&conn_id);
+        self.metrics.server_errors += 1;
+        self.tel_outcome("server_error");
     }
 
     fn syn_attempt(&mut self, conn_id: u64, attempt: u8, now: SimTime, ctx: &mut Ctx<Ev>) {
         let Some(conn) = self.conns.get(&conn_id) else { return };
         let web = conn.web;
+        if self.dead[web] && self.cfg.retry_budget > 0 {
+            // a crashed host sends no RST: the connect times out and the
+            // client re-resolves through the LB (or gives up)
+            if !self.conn_retry(conn_id, now, ctx) {
+                self.conns.remove(&conn_id);
+                self.metrics.client_errors += 1;
+                self.tel_outcome("client_error");
+            }
+            return;
+        }
+        // degraded NIC: the SYN itself may be lost on the wire
+        let nic_lost = self.nic_loss[web] > 0.0 && self.fault_rng.chance(self.nic_loss[web]);
         // listen-queue collapse first, then the token bucket
         let extra_drop = self.syn_gates[web].pressure_drop_p(now);
         let collapsed = extra_drop > 0.0 && self.rng.chance(extra_drop);
-        let admit = if collapsed {
+        let admit = if nic_lost || collapsed {
             Err(AdmitError::AcceptOverrun)
         } else {
             self.nodes.node_mut(NodeId(web)).try_accept(now)
@@ -615,7 +795,7 @@ impl WebWorld {
             Ok(()) => {
                 // handshake: one RTT before the first request leaves
                 let client_host = self.client_hosts[self.conns[&conn_id].client];
-                let rtt = self.topo.rtt(client_host, self.node_hosts[web]);
+                let rtt = scaled(self.topo.rtt(client_host, self.node_hosts[web]), self.nic_lat[web]);
                 self.start_request(conn_id, true, now + rtt, ctx);
             }
             Err(AdmitError::AcceptOverrun) => {
@@ -668,7 +848,7 @@ impl WebWorld {
                 t_queued: None,
             },
         );
-        let lat = self.topo.latency(client_host, self.node_hosts[web]);
+        let lat = scaled(self.topo.latency(client_host, self.node_hosts[web]), self.nic_lat[web]);
         ctx.schedule_at(send_at + lat, Ev::ReqAtWeb { req: id });
     }
 
@@ -680,6 +860,7 @@ impl WebWorld {
         if req.first_call {
             mi += calib::TCP_ACCEPT_MI;
         }
+        mi *= self.cpu_factor[web];
         if self.tel.is_on() {
             if let Some(tq) = queued_at {
                 // time spent waiting for a free PHP worker
@@ -696,11 +877,8 @@ impl WebWorld {
         let Some(req) = self.reqs.get(&req_id) else { return };
         let web = req.web;
         if self.dead[web] {
-            // connection reset by a dead server
-            self.metrics.server_errors += 1;
-            self.tel_outcome("server_error");
-            let req = self.reqs.remove(&req_id).expect("req exists");
-            self.conns.remove(&req.conn);
+            // connection reset by a dead server (retryable)
+            self.drop_req_on_dead_node(req_id, now, ctx);
             return;
         }
         let pool = &mut self.workers[web];
@@ -753,9 +931,11 @@ impl WebWorld {
                     r.t_cache_sent = now;
                     (r.web, r.cache)
                 };
-                let lat = self
-                    .topo
-                    .latency(self.node_hosts[web], self.node_hosts[self.n_web() + cache]);
+                let cache_node = self.n_web() + cache;
+                let lat = scaled(
+                    self.topo.latency(self.node_hosts[web], self.node_hosts[cache_node]),
+                    self.nic_lat[web] * self.nic_lat[cache_node],
+                );
                 ctx.schedule_at(now + lat, Ev::ReqAtCache { req: req_id });
             }
             ReqState::Stage2 => {
@@ -789,7 +969,8 @@ impl WebWorld {
                 let client_host = self.client_hosts[conn.client];
                 let (path, lat) = self.topo.path(self.node_hosts[web], client_host);
                 let dur = self.gauge.begin_transfer(&path, (bytes + HEADER_BYTES) as f64);
-                ctx.schedule_at(now + lat + dur, Ev::ReplyAtClient { req: req_id });
+                let m = self.nic_lat[web];
+                ctx.schedule_at(now + scaled(lat, m) + scaled(dur, m), Ev::ReplyAtClient { req: req_id });
             }
             other => unreachable!("web cpu done in state {other:?}"),
         }
@@ -806,15 +987,17 @@ impl WebWorld {
             labels(&[("result", if hit { "hit" } else { "miss" })]),
         );
         let web_host = self.node_hosts[web];
-        let cache_host = self.node_hosts[self.n_web() + cache];
+        let cache_node = self.n_web() + cache;
+        let cache_host = self.node_hosts[cache_node];
         let (path, lat) = self.topo.path(cache_host, web_host);
+        let m = self.nic_lat[web] * self.nic_lat[cache_node];
         if hit {
             let bytes = db::reply_bytes_for(key) + HEADER_BYTES;
             let dur = self.gauge.begin_transfer(&path, bytes as f64);
-            ctx.schedule_at(now + lat + dur, Ev::CacheReplyAtWeb { req: req_id, hit: true });
+            ctx.schedule_at(now + scaled(lat, m) + scaled(dur, m), Ev::CacheReplyAtWeb { req: req_id, hit: true });
         } else {
             // tiny miss notice: latency only, no gauge claim
-            ctx.schedule_at(now + lat, Ev::CacheReplyAtWeb { req: req_id, hit: false });
+            ctx.schedule_at(now + scaled(lat, m), Ev::CacheReplyAtWeb { req: req_id, hit: false });
         }
     }
 
@@ -827,7 +1010,10 @@ impl WebWorld {
             let r = self.reqs.get_mut(&req_id).expect("checked");
             r.state = ReqState::DbDisk;
             let bytes = r.query.reply_bytes;
-            let service = self.dbc.node(NodeId(db_node)).disk_read_time(bytes, false);
+            let service = scaled(
+                self.dbc.node(NodeId(db_node)).disk_read_time(bytes, false),
+                self.db_disk_factor[db_node],
+            );
             if let Some((job, at)) = self.dbc.node_mut(NodeId(db_node)).disk().submit(now, req_id, service) {
                 ctx.schedule_at(at, Ev::DbDiskDone { node: db_node, job });
             }
@@ -843,7 +1029,8 @@ impl WebWorld {
         };
         let (path, lat) = self.topo.path(self.db_hosts[db_node], self.node_hosts[web]);
         let dur = self.gauge.begin_transfer(&path, (bytes + HEADER_BYTES) as f64);
-        ctx.schedule_at(now + lat + dur, Ev::DbReplyAtWeb { req: req_id });
+        let m = self.nic_lat[web];
+        ctx.schedule_at(now + scaled(lat, m) + scaled(dur, m), Ev::DbReplyAtWeb { req: req_id });
     }
 
     fn begin_stage2(&mut self, req_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) {
@@ -852,10 +1039,198 @@ impl WebWorld {
             r.state = ReqState::Stage2;
             (r.web, r.query.reply_bytes)
         };
-        let mi = self.req_mi_of[web] * (1.0 - STAGE1_FRAC)
-            + bytes as f64 / 1024.0 * calib::WEB_REQ_MI_PER_KIB;
+        let mi = (self.req_mi_of[web] * (1.0 - STAGE1_FRAC)
+            + bytes as f64 / 1024.0 * calib::WEB_REQ_MI_PER_KIB)
+            * self.cpu_factor[web];
         self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
         self.schedule_node_cpu(web, now, ctx);
+    }
+
+    // ---- fault layer --------------------------------------------------
+
+    /// Total tier nodes (web + cache) addressable by NIC/CPU faults.
+    fn n_tier(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lazily start the health-check loop. Deferred to the first injected
+    /// fault so fault-free runs (including plans whose every fault lands
+    /// after the run ends) stay byte-identical to the pre-fault code path.
+    fn ensure_health_checks(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        if !self.hc_running {
+            self.hc_running = true;
+            ctx.schedule_idle_at(now + HC_PERIOD, Ev::HealthCheck);
+        }
+    }
+
+    fn apply_fault(&mut self, idx: usize, now: SimTime, ctx: &mut Ctx<Ev>) {
+        let Fault { node, kind, .. } = self.fplan.faults()[idx];
+        let applied = match kind {
+            FaultKind::NodeCrash => self.apply_crash(node, now, ctx),
+            FaultKind::NodeRestart => self.apply_restart(node),
+            FaultKind::NicDegrade { loss, latency_mult } => {
+                if node < self.n_tier() {
+                    self.nic_loss[node] = loss;
+                    self.nic_lat[node] = latency_mult;
+                    // per-fault seed: the loss stream is reproducible even
+                    // if earlier faults are edited out of the plan
+                    self.fault_rng = SimRng::new(self.fplan.fault_seed(idx));
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::NicRestore => {
+                if node < self.n_tier() && (self.nic_loss[node] > 0.0 || self.nic_lat[node] != 1.0) {
+                    self.nic_loss[node] = 0.0;
+                    self.nic_lat[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DiskSlow { factor } => {
+                // the only disks in the web world are the two MySQL nodes
+                if node < self.db_disk_factor.len() {
+                    self.db_disk_factor[node] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DiskRestore => {
+                if node < self.db_disk_factor.len() && self.db_disk_factor[node] != 1.0 {
+                    self.db_disk_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CpuThrottle { factor } => {
+                if node < self.n_tier() {
+                    self.cpu_factor[node] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CpuRestore => {
+                if node < self.n_tier() && self.cpu_factor[node] != 1.0 {
+                    self.cpu_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CacheColdRestart => self.apply_cache_cold(node),
+        };
+        let name = if applied {
+            self.metrics.faults_injected += 1;
+            fault_metrics::FAULT_INJECTED_TOTAL
+        } else {
+            fault_metrics::FAULT_SKIPPED_TOTAL
+        };
+        self.tel.counter_inc(name, labels(&[("kind", kind.name()), ("tier", "web")]));
+        self.ensure_health_checks(now, ctx);
+    }
+
+    /// Kill web server `node`: in-flight work dies, the LB notices via
+    /// health checks, clients burn retry budget (or eat hard errors).
+    fn apply_crash(&mut self, node: usize, now: SimTime, ctx: &mut Ctx<Ev>) -> bool {
+        if node >= self.n_web() || self.dead[node] {
+            return false;
+        }
+        self.dead[node] = true;
+        self.crash_time[node] = Some(now);
+        // in-flight CPU work on the node dies with it; sorted so the
+        // retry re-dispatch order is independent of map iteration order
+        let mut doomed: Vec<u64> = self
+            .reqs
+            .iter()
+            .filter(|(_, r)| r.web == node)
+            .map(|(&id, _)| id)
+            .collect();
+        doomed.sort_unstable();
+        for id in doomed {
+            self.nodes.node_mut(NodeId(node)).cancel_cpu_task(now, id);
+            // requests with RPCs in flight are dropped when their
+            // reply lands on the dead node (see the dead guards)
+            if matches!(self.reqs[&id].state, ReqState::Stage1 | ReqState::Stage2) {
+                self.drop_req_on_dead_node(id, now, ctx);
+            }
+        }
+        self.workers[node].busy = 0;
+        self.workers[node].backlog.clear();
+        true
+    }
+
+    /// Bring a crashed web server back: empty pools, fresh accept gate,
+    /// zero connections. It only rejoins the LB after RISE health checks.
+    fn apply_restart(&mut self, node: usize) -> bool {
+        if node >= self.n_web() || !self.dead[node] {
+            return false;
+        }
+        self.dead[node] = false;
+        self.syn_gates[node] = SynGate::new(self.accept_rate_of[node]);
+        self.workers[node].busy = 0;
+        self.workers[node].backlog.clear();
+        self.nodes.node_mut(NodeId(node)).reset_connections();
+        self.hc_ok[node] = 0;
+        true
+    }
+
+    /// memcached cold restart: the store loses its contents (memory is
+    /// released) and re-warms through the miss path (write-allocate on db
+    /// replies from here on).
+    fn apply_cache_cold(&mut self, cache: usize) -> bool {
+        if cache >= self.caches.len() {
+            return false;
+        }
+        let node = self.n_web() + cache;
+        let used = self.caches[cache].used_bytes();
+        self.nodes.node_mut(NodeId(node)).free_mem(used);
+        self.caches[cache] = LruStore::new(self.cache_cap_of[cache]);
+        self.cache_writeback = true;
+        true
+    }
+
+    /// One HAProxy health-check round: FALL consecutive failures take a
+    /// backend out of rotation (a failover), RISE consecutive passes put
+    /// a restarted one back (closing the recovery-time measurement).
+    fn health_check_tick(&mut self, now: SimTime, ctx: &mut Ctx<Ev>) {
+        for i in 0..self.n_web() {
+            if self.dead[i] {
+                self.hc_ok[i] = 0;
+                self.hc_fail[i] = self.hc_fail[i].saturating_add(1);
+                if !self.lb_dead[i] && self.hc_fail[i] >= HC_FALL {
+                    self.lb_dead[i] = true;
+                    self.metrics.failovers += 1;
+                    self.tel.counter_inc(fault_metrics::FAILOVER_TOTAL, labels(&[("tier", "web")]));
+                }
+            } else {
+                self.hc_fail[i] = 0;
+                if self.lb_dead[i] {
+                    self.hc_ok[i] += 1;
+                    if self.hc_ok[i] >= HC_RISE {
+                        self.lb_dead[i] = false;
+                        self.hc_ok[i] = 0;
+                        if let Some(t0) = self.crash_time[i].take() {
+                            let rec = now.since(t0).as_secs_f64();
+                            self.metrics.recovery_s.push(rec);
+                            self.tel.observe(
+                                fault_metrics::RECOVERY_SECONDS,
+                                labels(&[("tier", "web")]),
+                                fault_metrics::RECOVERY_BOUNDS_S,
+                                rec,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if now < self.measure_end {
+            ctx.schedule_idle_at(now + HC_PERIOD, Ev::HealthCheck);
+        }
     }
 
     // ---- sampling -----------------------------------------------------
@@ -961,7 +1336,8 @@ impl Model for WebWorld {
                     None => return,
                 };
                 let node = self.n_web() + cache;
-                self.nodes.node_mut(NodeId(node)).add_cpu_task(now, req, calib::CACHE_LOOKUP_MI);
+                let mi = calib::CACHE_LOOKUP_MI * self.cpu_factor[node];
+                self.nodes.node_mut(NodeId(node)).add_cpu_task(now, req, mi);
                 self.schedule_node_cpu(node, now, ctx);
             }
             Ev::CacheReplyAtWeb { req, hit } => {
@@ -975,10 +1351,7 @@ impl Model for WebWorld {
                         .path(self.node_hosts[self.n_web() + cache], self.node_hosts[web]);
                     self.gauge.end(&path);
                     if self.dead[web] {
-                        let r = self.reqs.remove(&req).expect("req exists");
-                        self.conns.remove(&r.conn);
-                        self.metrics.server_errors += 1;
-                        self.tel_outcome("server_error");
+                        self.drop_req_on_dead_node(req, now, ctx);
                         return;
                     }
                     self.begin_stage2(req, now, ctx);
@@ -1017,11 +1390,27 @@ impl Model for WebWorld {
                 let (path, _) = self.topo.path(self.db_hosts[db_node], self.node_hosts[web]);
                 self.gauge.end(&path);
                 if self.dead[web] {
-                    let r = self.reqs.remove(&req).expect("req exists");
-                    self.conns.remove(&r.conn);
-                    self.metrics.server_errors += 1;
-                    self.tel_outcome("server_error");
+                    self.drop_req_on_dead_node(req, now, ctx);
                     return;
+                }
+                if self.cache_writeback {
+                    // re-warm a cold-restarted store: PHP writes the row
+                    // back to memcached after the db read
+                    let (key, cache) = {
+                        let r = self.reqs.get(&req).expect("req exists");
+                        (r.query.key, r.cache)
+                    };
+                    let node = self.n_web() + cache;
+                    let before = self.caches[cache].used_bytes();
+                    let bytes = u32::try_from(db::reply_bytes_for(key)).unwrap_or(u32::MAX);
+                    self.caches[cache].set(key, bytes);
+                    let after = self.caches[cache].used_bytes();
+                    if after > before {
+                        // capacity is sized below free memory, so this holds
+                        self.nodes.node_mut(NodeId(node)).alloc_mem(after - before).ok();
+                    } else {
+                        self.nodes.node_mut(NodeId(node)).free_mem(before - after);
+                    }
                 }
                 if self.tel.is_on() {
                     let thread = format!("web-{web}");
@@ -1083,33 +1472,32 @@ impl Model for WebWorld {
                 self.metrics.last_sampled_completed = self.metrics.completed_total;
                 self.metrics.throughput_ts.push(now, delta as f64);
                 if now < self.measure_end {
-                    ctx.schedule_at(now + SimDuration::from_secs(1), Ev::Sample);
+                    // measurement tick, not model work: exempt from the
+                    // watchdog budget so quiescent (crashed) periods with
+                    // nothing but ticks cannot trip it
+                    ctx.schedule_idle_at(now + SimDuration::from_secs(1), Ev::Sample);
                 }
             }
-            Ev::KillWebServer { node } => {
-                self.dead[node] = true;
-                // in-flight CPU work on the node dies with it
-                let doomed: Vec<u64> = self
-                    .reqs
-                    .iter()
-                    .filter(|(_, r)| r.web == node)
-                    .map(|(&id, _)| id)
-                    .collect();
-                for id in doomed {
-                    self.nodes.node_mut(NodeId(node)).cancel_cpu_task(now, id);
-                    // requests with RPCs in flight are dropped when their
-                    // reply lands on the dead node (see the dead guards)
-                    let r = &self.reqs[&id];
-                    if matches!(r.state, ReqState::Stage1 | ReqState::Stage2) {
-                        let conn = r.conn;
-                        self.reqs.remove(&id);
+            Ev::Fault { idx } => self.apply_fault(idx, now, ctx),
+            Ev::HealthCheck => self.health_check_tick(now, ctx),
+            Ev::RetryConn { conn } => {
+                if !self.conns.contains_key(&conn) {
+                    return;
+                }
+                match self.lb_pick() {
+                    Some(web) => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.web = web;
+                        }
+                        self.syn_attempt(conn, 0, now, ctx);
+                    }
+                    None => {
+                        // nothing left to fail over to
                         self.conns.remove(&conn);
-                        self.metrics.server_errors += 1;
-                        self.tel_outcome("server_error");
+                        self.metrics.client_errors += 1;
+                        self.tel_outcome("client_error");
                     }
                 }
-                self.workers[node].busy = 0;
-                self.workers[node].backlog.clear();
             }
             Ev::MeasureStart => {
                 self.metrics.energy_at_start = self.nodes.energy_joules(now);
@@ -1136,7 +1524,6 @@ pub fn run(cfg: StackConfig) -> WebWorld {
 pub fn run_traced(cfg: StackConfig, tel: Telemetry) -> WebWorld {
     let warmup = cfg.warmup;
     let measure = cfg.measure;
-    let kill = cfg.kill_web_at;
     let tracing = tel.is_on();
     let mut world = WebWorld::new(cfg);
     world.tel = tel;
@@ -1148,12 +1535,24 @@ pub fn run_traced(cfg: StackConfig, tel: Telemetry) -> WebWorld {
         world.tel.help("web_syn_drops_total", "SYN packets dropped at the accept gate");
         world.tel.help("web_cache_lookups_total", "memcached lookups, by result");
         world.tel.help("web_throughput_rps", "Completed requests per second, 1 s samples");
+        // registered whether or not any fault fires, so exports stay
+        // byte-identical across fault-free and faulted configurations
+        edison_simfault::metrics::register_help(&mut world.tel);
+        world.tel.help("web_client_retries_total", "Connections re-dispatched through the LB after failover timeouts");
     }
+    let fault_times: Vec<SimTime> = world.fplan.faults().iter().map(|f| f.at).collect();
     let mut sim = Simulation::new(world);
     sim.schedule_at(SimTime::ZERO, Ev::GenConn);
-    sim.schedule_at(SimTime::ZERO, Ev::Sample);
-    if let Some((node, at)) = kill {
-        sim.schedule_at(SimTime::ZERO + at, Ev::KillWebServer { node });
+    sim.schedule_idle_at(SimTime::ZERO, Ev::Sample);
+    let stop_at = SimTime::ZERO + warmup + measure;
+    for (idx, at) in fault_times.into_iter().enumerate() {
+        // a fault at/after the stop can never fire (Ev::Stop's earlier
+        // sequence number wins the tie): skip it so the run — including
+        // engine meta-telemetry like heap depth — is byte-identical to the
+        // fault-free one
+        if at < stop_at {
+            sim.schedule_at(at, Ev::Fault { idx });
+        }
     }
     sim.schedule_at(SimTime::ZERO + warmup, Ev::MeasureStart);
     sim.schedule_at(SimTime::ZERO + warmup + measure, Ev::Stop);
@@ -1267,6 +1666,62 @@ mod tests {
         // untraced runs carry an empty sink
         assert!(plain.telemetry().registry.is_empty());
         assert!(plain.telemetry().tracer.spans().is_empty());
+    }
+
+    #[test]
+    fn crash_restart_recovers_with_failover_and_retries() {
+        let mut cfg = small_cfg(32.0);
+        cfg.measure = SimDuration::from_secs(20);
+        cfg.retry_budget = 2;
+        cfg.fault_plan = FaultPlan::new()
+            .crash_restart(0, SimTime::from_secs(6), SimDuration::from_secs(3));
+        let w = run(cfg);
+        // the LB noticed (failover), the node came back (recovery sample)
+        assert_eq!(w.metrics.faults_injected, 2, "crash + restart both applied");
+        assert!(w.metrics.failovers >= 1, "failovers {}", w.metrics.failovers);
+        assert_eq!(w.metrics.recovery_s.len(), 1);
+        let rec = w.metrics.recovery_s.samples()[0];
+        // down 3 s + RISE health checks ≈ 5 s; well under the window
+        assert!((3.0..10.0).contains(&rec), "recovery {rec} s");
+        assert!(w.metrics.retries > 0, "clients should burn retry budget");
+
+        // with failover + retries the fault barely dents completed work
+        let mut base = small_cfg(32.0);
+        base.measure = SimDuration::from_secs(20);
+        let b = run(base);
+        let frac = w.metrics.completed as f64 / b.metrics.completed as f64;
+        assert!(frac > 0.9, "completed {} vs baseline {}", w.metrics.completed, b.metrics.completed);
+    }
+
+    #[test]
+    fn zero_width_crash_restart_is_observationally_a_noop() {
+        let mut cfg = small_cfg(32.0);
+        cfg.fault_plan = FaultPlan::new()
+            .crash(0, SimTime::from_secs(5))
+            .restart(0, SimTime::from_secs(5));
+        let faulted = run(cfg);
+        let plain = run(small_cfg(32.0));
+        assert_eq!(faulted.metrics.completed, plain.metrics.completed);
+        assert_eq!(faulted.metrics.server_errors, plain.metrics.server_errors);
+        assert_eq!(faulted.metrics.delays_ms.len(), plain.metrics.delays_ms.len());
+        assert_eq!(faulted.metrics.faults_injected, 0);
+        assert_eq!(faulted.metrics.failovers, 0);
+    }
+
+    #[test]
+    fn cache_cold_restart_dents_hit_ratio_then_rewarms() {
+        let mut cfg = small_cfg(32.0);
+        cfg.measure = SimDuration::from_secs(20);
+        cfg.fault_plan = FaultPlan::new().cache_cold_restart(0, SimTime::from_secs(6));
+        let w = run(cfg);
+        assert_eq!(w.metrics.faults_injected, 1);
+        let hits = w.metrics.cache_delays_ms.len() as f64;
+        let misses = w.metrics.db_delays_ms.len() as f64;
+        let ratio = hits / (hits + misses);
+        // cold store: more misses than the calibrated 93 % steady state,
+        // but write-allocate re-warms it — not a total collapse
+        assert!(ratio < 0.92, "hit ratio {ratio} should dip below steady state");
+        assert!(ratio > 0.5, "hit ratio {ratio} should re-warm");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use edison_web::pyclient;
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 fn main() {
-    let opts = RunOpts { seed: 1, warmup_s: 3, measure_s: 10 };
+    let opts = RunOpts { seed: 1, warmup_s: 3, measure_s: 10, ..RunOpts::default() };
     for (mix, name) in [
         (WorkloadMix::lightest(), "lightest (0% images, 93% hits)"),
         (WorkloadMix::img20(), "heaviest fair (20% images, 93% hits)"),
@@ -28,7 +28,7 @@ fn main() {
                 "conc", "req/s", "delay ms", "5xx", "clerr", "power W", "req/J"
             );
             for conc in concurrency_sweep() {
-                let r = httperf::run_point(&sc, mix, conc, opts);
+                let r = httperf::run_point(&sc, mix, conc, opts.clone());
                 println!(
                     "{:>6.0} {:>10.0} {:>10.2} {:>8} {:>8} {:>9.1} {:>8.1}",
                     conc,

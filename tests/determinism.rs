@@ -18,7 +18,7 @@ fn web_run(seed: u64) -> String {
         &sc,
         WorkloadMix::img20(),
         96.0,
-        RunOpts { seed, warmup_s: 2, measure_s: 6 },
+        RunOpts { seed, warmup_s: 2, measure_s: 6, ..RunOpts::default() },
     );
     format!("{r:?}")
 }

@@ -8,7 +8,7 @@ use edison_web::httperf::{self, RunOpts};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 fn quick() -> RunOpts {
-    RunOpts { seed: 99, warmup_s: 2, measure_s: 8 }
+    RunOpts { seed: 99, warmup_s: 2, measure_s: 8, ..RunOpts::default() }
 }
 
 /// Abstract: "up to 3.5× improvement on work-done-per-joule for web

@@ -5,7 +5,7 @@ use edison_web::httperf::{self, RunOpts};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 fn opts() -> RunOpts {
-    RunOpts { seed: 77, warmup_s: 2, measure_s: 8 }
+    RunOpts { seed: 77, warmup_s: 2, measure_s: 8, ..RunOpts::default() }
 }
 
 /// Below saturation, throughput is monotone in offered concurrency.
