@@ -112,7 +112,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// data, one column per curve).
 pub fn series_table(x_label: &str, series: &[Series]) -> String {
     let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs.dedup();
     let mut headers: Vec<&str> = vec![x_label];
     for s in series {

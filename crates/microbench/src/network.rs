@@ -61,7 +61,12 @@ pub fn iperf(pair: Pair, proto: Proto, bytes: u64, edison: &ServerSpec, dell: &S
     let t0 = SimTime::ZERO;
     let net = rooms.topo.network_mut();
     net.start_flow(t0, 1, bytes as f64, path, f64::INFINITY);
-    let (_, done) = net.next_completion(t0).expect("flow running");
+    let done = match net.next_completion(t0) {
+        Some((_, done)) => done,
+        // A just-started flow always schedules a completion; the only way
+        // to get none is a zero-byte transfer, which finishes instantly.
+        None => t0,
+    };
     net.take_finished(done);
     let seconds = (done + latency).as_secs_f64();
     IperfResult {

@@ -235,6 +235,7 @@ impl Network {
             .filter(|(_, f)| f.rate > 0.0)
             .map(|(&id, f)| (id, f.remaining / f.rate))
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            // simlint: allow(R3) non-negative finite seconds -> ns; ceil lands past completion
             .map(|(id, dt)| (id, now + SimDuration((dt.max(0.0) * 1e9).ceil() as u64 + 1)))
     }
 
@@ -270,14 +271,21 @@ impl Network {
     /// Flow/link counts in this codebase are small (≲ hundreds), so the
     /// simple exact algorithm beats maintaining incremental state.
     fn recompute(&mut self) {
-        // Collect per-link membership once. `flows` is a BTreeMap, so the
-        // ids arrive sorted and every pass below is order-deterministic.
+        // Snapshot per-flow state into index-parallel vectors once. `flows`
+        // is a BTreeMap, so the ids arrive sorted and every pass below is
+        // order-deterministic; the solver then runs on plain vectors (no
+        // map lookups, no per-freeze `links.clone()`), and the single
+        // write-back at the end is the only mutation.
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut frozen: BTreeMap<FlowId, bool> = ids.iter().map(|&i| (i, false)).collect();
+        let links_of: Vec<Vec<LinkId>> =
+            ids.iter().map(|id| self.flows[id].links.clone()).collect();
+        let caps: Vec<f64> = ids.iter().map(|id| self.flows[id].rate_cap).collect();
+        let mut rates = vec![0.0f64; ids.len()];
+        let mut frozen = vec![false; ids.len()];
         let mut link_load = vec![0.0f64; self.links.len()]; // frozen rate sum
         let mut unfrozen_count = vec![0usize; self.links.len()];
-        for id in &ids {
-            for l in &self.flows[id].links {
+        for links in &links_of {
+            for l in links {
                 unfrozen_count[l.0] += 1;
             }
         }
@@ -293,36 +301,33 @@ impl Network {
                     }
                 }
             }
-            // Flow caps may bind before any link does.
-            let mut capped: Vec<FlowId> = Vec::new();
-            for id in &ids {
-                if !frozen[id] && self.flows[id].rate_cap <= best_share {
-                    capped.push(*id);
-                }
-            }
-            if !capped.is_empty() {
-                // Freeze cap-limited flows at their caps and iterate.
-                for id in capped {
-                    let rate = self.flows[&id].rate_cap;
-                    let links = self.flows[&id].links.clone();
-                    self.flows.get_mut(&id).unwrap().rate = rate;
-                    *frozen.get_mut(&id).unwrap() = true;
+            // Flow caps may bind before any link does: freeze cap-limited
+            // flows at their caps and iterate. (The cap test is against the
+            // fixed `best_share`, so freezing within the pass cannot change
+            // which flows qualify.)
+            let mut capped_any = false;
+            for k in 0..ids.len() {
+                if !frozen[k] && caps[k] <= best_share {
+                    rates[k] = caps[k];
+                    frozen[k] = true;
                     remaining_flows -= 1;
-                    for l in links {
-                        link_load[l.0] += rate;
+                    capped_any = true;
+                    for l in &links_of[k] {
+                        link_load[l.0] += caps[k];
                         unfrozen_count[l.0] -= 1;
                     }
                 }
+            }
+            if capped_any {
                 continue;
             }
             if !best_share.is_finite() {
                 // Remaining flows traverse no constrained link (loopback):
                 // they run at their rate caps.
-                for id in &ids {
-                    if !frozen[id] {
-                        let cap = self.flows[id].rate_cap;
-                        self.flows.get_mut(id).unwrap().rate = cap;
-                        *frozen.get_mut(id).unwrap() = true;
+                for k in 0..ids.len() {
+                    if !frozen[k] {
+                        rates[k] = caps[k];
+                        frozen[k] = true;
                     }
                 }
                 break;
@@ -336,16 +341,15 @@ impl Network {
                 let share = (link.capacity - link_load[i]).max(0.0) / unfrozen_count[i] as f64;
                 if share <= best_share * (1.0 + 1e-12) {
                     // Freeze all unfrozen flows crossing link i.
-                    for id in &ids {
-                        if frozen[id] || !self.flows[id].links.iter().any(|l| l.0 == i) {
+                    for k in 0..ids.len() {
+                        if frozen[k] || !links_of[k].iter().any(|l| l.0 == i) {
                             continue;
                         }
-                        let links = self.flows[id].links.clone();
-                        self.flows.get_mut(id).unwrap().rate = best_share;
-                        *frozen.get_mut(id).unwrap() = true;
+                        rates[k] = best_share;
+                        frozen[k] = true;
                         remaining_flows -= 1;
                         froze_any = true;
-                        for l in links {
+                        for l in &links_of[k] {
                             link_load[l.0] += best_share;
                             unfrozen_count[l.0] -= 1;
                         }
@@ -355,6 +359,11 @@ impl Network {
             debug_assert!(froze_any, "progressive filling made no progress");
             if !froze_any {
                 break; // defensive: avoid an infinite loop in release builds
+            }
+        }
+        for (k, id) in ids.iter().enumerate() {
+            if let Some(f) = self.flows.get_mut(id) {
+                f.rate = rates[k];
             }
         }
     }

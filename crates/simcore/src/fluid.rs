@@ -182,12 +182,13 @@ impl FluidResource {
         let (&id, &rem) = self
             .tasks
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))?;
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0)))?;
         let dt = (rem / rate).max(0.0);
         // Round the completion instant *up* (plus 1 ns of slack) so that
         // advancing to it always clears the task's remaining work; rounding
         // to nearest can land half a nanosecond early and strand residue
         // above any epsilon.
+        // simlint: allow(R3) dt is clamped non-negative; ceil keeps the cast in range
         let dt_nanos = (dt * 1e9).ceil() as u64 + 1;
         Some((id, now + SimDuration(dt_nanos)))
     }

@@ -67,6 +67,7 @@ impl SimRng {
     ///
     /// Panics if all weights are zero or any is negative.
     pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        // simlint: allow(R6) documented panic contract; every caller passes literal weights
         let dist = WeightedIndex::new(weights).expect("invalid weights");
         dist.sample(&mut self.inner)
     }
@@ -87,7 +88,7 @@ impl SimRng {
         debug_assert!(!cumulative.is_empty());
         let total = cumulative[n - 1];
         let target = self.uniform() * total;
-        match cumulative.binary_search_by(|c| c.partial_cmp(&target).unwrap()) {
+        match cumulative.binary_search_by(|c| c.total_cmp(&target)) {
             Ok(i) => (i + 1).min(n - 1),
             Err(i) => i.min(n - 1),
         }

@@ -4,22 +4,44 @@
 //! The repo's headline claim is that every experiment is exactly
 //! reproducible from a single `u64` seed and that energy figures come
 //! from exact piecewise-constant integration. Nothing in the type system
-//! enforces that, so this crate does: it lexes every workspace `.rs` file
-//! (comments/strings stripped, test regions tracked) and applies six
-//! repo-specific rules — see [`rules`] for the table — with a ratcheting
-//! baseline ([`baseline`]) that grandfathers existing violations and
-//! fails the build on new ones.
+//! enforces that, so this crate does, in a four-stage pipeline:
+//!
+//! 1. **lex** ([`lexer`]) — v1 token stream with test regions and allow
+//!    markers; feeds the six token rules R1–R6.
+//! 2. **parse** ([`parse`]) — a hand-rolled, span-preserving
+//!    item/expression parser (lossless: reassembling spans reproduces the
+//!    input byte-for-byte).
+//! 3. **index** ([`index`]) — workspace symbol tables (struct fields,
+//!    impl methods, `Experiment` impls) scoped per crate, plus
+//!    AST-derived suppressions that silence token-rule false positives
+//!    (provably-widening casts for R3, crate-local `expect`/`unwrap`
+//!    methods for R6).
+//! 4. **rules** — the token rules ([`rules`]) plus two AST analyses:
+//!    determinism taint tracking R7 ([`taint`]) and dimensional analysis
+//!    R8 ([`units`]).
+//!
+//! All eight rules share the ratcheting baseline ([`baseline`]) that
+//! grandfathers existing violations and fails the build on new ones —
+//! and, since v2, on baseline entries pointing at files that no longer
+//! exist (stale-debt rot).
 //!
 //! Run it as `cargo run -p edison-simlint -- check` (or the
-//! `cargo lint-gate` alias); the root-package integration test
-//! `tests/simlint_gate.rs` runs the same scan in tier-1.
+//! `cargo lint-gate` alias; `cargo lint-explain R7` prints rule docs);
+//! the root-package integration test `tests/simlint_gate.rs` runs the
+//! same scan in tier-1.
 
 pub mod baseline;
+pub mod index;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod taint;
+pub mod units;
 
 use baseline::{Baseline, Regression, StaleEntry};
+use index::{FileUnit, Index};
 use rules::Finding;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -45,6 +67,9 @@ pub struct ScanResult {
     pub counts: Baseline,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Workspace-relative paths of every scanned file (sorted) — used to
+    /// detect baseline entries whose files no longer exist.
+    pub files: Vec<String>,
 }
 
 /// Result of comparing a scan to the committed baseline.
@@ -56,12 +81,16 @@ pub struct CheckReport {
     pub regressions: Vec<Regression>,
     /// (rule, file) pairs under budget — cleanups not yet locked in.
     pub stale: Vec<StaleEntry>,
+    /// Baseline entries naming files that no longer exist (stale-debt
+    /// rot) — these fail the check too: dead entries hide real budget.
+    pub rot: Vec<(String, String)>,
 }
 
 impl CheckReport {
-    /// True when no (rule, file) pair exceeds the baseline.
+    /// True when no (rule, file) pair exceeds the baseline and no
+    /// baseline entry points at a deleted file.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.rot.is_empty()
     }
 
     /// The fresh findings belonging to regressed (rule, file) pairs —
@@ -75,28 +104,62 @@ impl CheckReport {
     }
 }
 
-/// Walk the workspace from `root`, lex and lint every `.rs` file.
+/// Walk the workspace from `root`; lex, parse, index and lint every
+/// `.rs` file (the full v2 pipeline).
 pub fn scan_workspace(root: &Path) -> io::Result<ScanResult> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for tree in SCAN_ROOTS {
         let dir = root.join(tree);
         if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
+            collect_rs_files(&dir, &mut paths)?;
         }
     }
-    files.sort();
+    paths.sort();
 
-    let mut findings = Vec::new();
-    for path in &files {
+    // Pass 1: read + lex + parse every file.
+    let mut file_units: Vec<FileUnit> = Vec::with_capacity(paths.len());
+    for path in &paths {
         let source = fs::read_to_string(path)?;
         let rel = rel_path(root, path);
         let force_test = is_testish(&rel);
         let lexed = lexer::lex(&source, force_test);
-        findings.extend(rules::check_file(&rel, &lexed));
+        let (toks, ast) = parse::parse(&source);
+        file_units.push(FileUnit {
+            krate: index::crate_of(&rel),
+            rel,
+            src: source,
+            toks,
+            ast,
+            lexed,
+            testish: force_test,
+        });
+    }
+
+    // Pass 2: build the workspace index and per-crate taint summaries.
+    let ix = Index::build(&file_units);
+    let mut by_crate: BTreeMap<&str, Vec<&FileUnit>> = BTreeMap::new();
+    for u in &file_units {
+        by_crate.entry(u.krate.as_str()).or_default().push(u);
+    }
+    let summaries: BTreeMap<&str, taint::Summaries> = by_crate
+        .iter()
+        .map(|(k, files)| (*k, taint::summarize_crate(files, &ix)))
+        .collect();
+
+    // Pass 3: token rules (with AST suppressions) + AST rules.
+    let mut findings = Vec::new();
+    for u in &file_units {
+        let sup = index::suppressions(u, &ix);
+        findings.extend(rules::check_file(&u.rel, &u.lexed, &sup));
+        let crate_summaries = &summaries[u.krate.as_str()];
+        let mut ast_findings = taint::check_file(u, &ix, crate_summaries);
+        ast_findings.extend(units::check_file(u, &ix));
+        findings.extend(rules::apply_allows(ast_findings, &u.lexed.allows));
     }
     findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     let counts = baseline::aggregate(&findings);
-    Ok(ScanResult { findings, counts, files_scanned: files.len() })
+    let files: Vec<String> = file_units.iter().map(|u| u.rel.clone()).collect();
+    Ok(ScanResult { findings, counts, files_scanned: files.len(), files })
 }
 
 /// Scan and compare against the committed baseline. A missing baseline
@@ -112,7 +175,82 @@ pub fn check(root: &Path) -> io::Result<CheckReport> {
         Baseline::new()
     };
     let (regressions, stale) = baseline::compare(&committed, &scan.counts);
-    Ok(CheckReport { scan, regressions, stale })
+    let mut rot = Vec::new();
+    for (rule, by_file) in &committed {
+        for file in by_file.keys() {
+            if !scan.files.contains(file) {
+                rot.push((rule.clone(), file.clone()));
+            }
+        }
+    }
+    Ok(CheckReport { scan, regressions, stale, rot })
+}
+
+/// Render a `CheckReport` as stable, machine-readable JSON (the
+/// `--json` output). Deterministic: findings are in (file, line, rule)
+/// order, deltas in (rule, file) order, keys always emitted.
+pub fn report_to_json(report: &CheckReport) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"edison-simlint/2\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.scan.files_scanned));
+    out.push_str(&format!("  \"passed\": {},\n", report.passed()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.scan.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.msg)
+        ));
+    }
+    out.push_str(if report.scan.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+    // per-(rule, file) deltas vs the committed baseline: regressions
+    // (delta > 0) and stale entries (delta < 0), in (rule, file) order
+    let mut deltas: Vec<(&str, &str, usize, usize)> = Vec::new();
+    for r in &report.regressions {
+        deltas.push((&r.rule, &r.file, r.baseline, r.current));
+    }
+    for s in &report.stale {
+        deltas.push((&s.rule, &s.file, s.baseline, s.current));
+    }
+    deltas.sort();
+    out.push_str("  \"deltas\": [");
+    for (i, (rule, file, base, cur)) in deltas.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"baseline\": {}, \"current\": {}}}",
+            esc(rule),
+            esc(file),
+            base,
+            cur
+        ));
+    }
+    out.push_str(if deltas.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"rot\": [");
+    for (i, (rule, file)) in report.rot.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    {{\"rule\": \"{}\", \"file\": \"{}\"}}", esc(rule), esc(file)));
+    }
+    out.push_str(if report.rot.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
 }
 
 /// Rewrite the baseline from a fresh scan.

@@ -4,9 +4,11 @@
 //! cargo run -p edison-simlint -- check                     # gate (exit 1 on new violations)
 //! cargo run -p edison-simlint -- check --update-baseline   # lock in cleanups
 //! cargo run -p edison-simlint -- check --list              # dump every grandfathered finding
+//! cargo run -p edison-simlint -- check --json              # machine-readable report
+//! cargo run -p edison-simlint -- explain R7                # long-form rule documentation
 //! ```
 
-use edison_simlint::rules::rule_summary;
+use edison_simlint::rules::{rule_explain, rule_summary};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,13 +17,25 @@ fn main() -> ExitCode {
     let mut command = None;
     let mut update = false;
     let mut list = false;
+    let mut json = false;
+    let mut explain_rule: Option<String> = None;
     let mut root_arg: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "check" if command.is_none() => command = Some("check"),
+            "explain" if command.is_none() => {
+                command = Some("explain");
+                match it.next() {
+                    Some(r) => explain_rule = Some(r.clone()),
+                    None => return usage("`explain` needs a rule id (R1..R8)"),
+                }
+            }
+            // `cargo lint-gate -- --json` forwards the separator itself.
+            "--" => {}
             "--update-baseline" => update = true,
             "--list" => list = true,
+            "--json" => json = true,
             "--root" => match it.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
@@ -30,8 +44,24 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
+
+    if command == Some("explain") {
+        let rule = explain_rule.unwrap_or_default();
+        return match rule_explain(&rule) {
+            Some(doc) => {
+                println!("{rule}: {}", rule_summary(&rule));
+                println!();
+                println!("{doc}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("simlint: unknown rule {rule:?} (known: R1..R8)");
+                ExitCode::from(2)
+            }
+        };
+    }
     if command != Some("check") {
-        return usage("expected the `check` subcommand");
+        return usage("expected the `check` or `explain` subcommand");
     }
 
     let root = match root_arg.or_else(|| {
@@ -74,6 +104,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if json {
+        // Machine-readable mode: the JSON document is the whole contract, so the
+        // human-oriented chatter stays off stdout.
+        println!("{}", edison_simlint::report_to_json(&report));
+        return if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
     if list {
         for f in &report.scan.findings {
             println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
@@ -94,19 +131,29 @@ fn main() -> ExitCode {
         println!("simlint: run `cargo run -p edison-simlint -- check --update-baseline` to ratchet down");
     }
 
+    if !report.rot.is_empty() {
+        eprintln!("simlint: {} baseline entr(ies) name files that no longer exist:", report.rot.len());
+        for (rule, file) in &report.rot {
+            eprintln!("  {rule} {file}");
+        }
+        eprintln!("simlint: rerun with --update-baseline to drop the dead entries");
+    }
+
     if report.passed() {
         println!("simlint: OK");
         ExitCode::SUCCESS
     } else {
-        eprintln!("simlint: FAIL — new violations over the committed budget:");
-        for r in &report.regressions {
-            eprintln!("  {} {}: baseline {} -> now {}  ({})", r.rule, r.file, r.baseline, r.current, rule_summary(&r.rule));
+        if !report.regressions.is_empty() {
+            eprintln!("simlint: FAIL — new violations over the committed budget:");
+            for r in &report.regressions {
+                eprintln!("  {} {}: baseline {} -> now {}  ({})", r.rule, r.file, r.baseline, r.current, rule_summary(&r.rule));
+            }
+            for f in report.regressed_findings() {
+                eprintln!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+            }
+            eprintln!("simlint: fix the new sites (preferred), annotate a vetted site with `// simlint: allow(Rn) reason`,");
+            eprintln!("simlint: or — only for a conscious grandfathering — rerun with --update-baseline.");
         }
-        for f in report.regressed_findings() {
-            eprintln!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
-        }
-        eprintln!("simlint: fix the new sites (preferred), annotate a vetted site with `// simlint: allow(Rn) reason`,");
-        eprintln!("simlint: or — only for a conscious grandfathering — rerun with --update-baseline.");
         ExitCode::FAILURE
     }
 }
@@ -115,7 +162,8 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("simlint: {error}");
     }
-    eprintln!("usage: edison-simlint check [--update-baseline] [--list] [--root <workspace>]");
+    eprintln!("usage: edison-simlint check [--update-baseline] [--list] [--json] [--root <workspace>]");
+    eprintln!("       edison-simlint explain <rule>");
     eprintln!();
     eprintln!("rules:");
     for id in edison_simlint::rules::RULE_IDS {

@@ -1,4 +1,8 @@
-//! The six repo-specific rules, run over one lexed file at a time.
+//! The eight repo-specific rules. R1–R6 run over one lexed file at a
+//! time (token level); R7/R8 live in [`crate::taint`] and
+//! [`crate::units`] and run over the parsed AST with the workspace
+//! symbol index — this module owns the rule table, the finding type, the
+//! allow-marker vetting, and the `--explain` docs for all eight.
 //!
 //! | id | name              | what it catches                                        |
 //! |----|-------------------|--------------------------------------------------------|
@@ -8,18 +12,28 @@
 //! | R4 | panic-macro       | `panic!`/`unreachable!`/`todo!`/`unimplemented!`        |
 //! | R5 | unit-mix          | `fn` taking 2+ raw `f64`s mixing time/power/energy names|
 //! | R6 | unwrap            | `.unwrap()` / `.expect(` method calls in library code   |
+//! | R7 | determinism-taint | nondeterminism source reaching an exported artefact     |
+//! | R8 | units             | dimensional mismatch in arithmetic or assignment        |
 //!
-//! R1/R3/R4/R5/R6 skip test code (`#[cfg(test)]`, `mod tests`, and whole
-//! `tests/`/`benches/`/`examples/` trees); R2 applies everywhere, because
-//! a stray RNG in a test breaks reproducibility of the test itself.
-//! Individual sites can be vetted with `// simlint: allow(Rn) reason`
-//! on the offending line or the line above.
+//! R1/R3/R4/R5/R6/R7/R8 skip test code (`#[cfg(test)]`, `mod tests`, and
+//! whole `tests/`/`benches/`/`examples/` trees); R2 applies everywhere,
+//! because a stray RNG in a test breaks reproducibility of the test
+//! itself. Individual sites can be vetted with
+//! `// simlint: allow(Rn) reason` on the offending line or the line
+//! above.
+//!
+//! Since v2, two token rules consult AST-derived [`Suppressions`]: R3
+//! stays quiet on provably-widening integer casts (`usize as u64` on the
+//! 64-bit targets this workspace supports), and R6 stays quiet when
+//! `.expect(`/`.unwrap(` resolves to a *crate-local* method of that name
+//! rather than `Option`/`Result`.
 //!
 //! R6 was split out of R4 when the simrun error taxonomy landed: panics by
 //! macro are a deliberate authorial act (R4), while `.unwrap()`-style
 //! option/result punts are exactly what `RunError`/`SimError` replace —
 //! the baseline for R6 is grandfathered shrink-only debt.
 
+use crate::index::Suppressions;
 use crate::lexer::{AllowMarker, Lexed, Token};
 
 /// A single rule violation.
@@ -36,19 +50,86 @@ pub struct Finding {
 }
 
 /// All rule ids, in report order.
-pub const RULE_IDS: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
+pub const RULE_IDS: [&str; 8] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
 
 /// One-line description per rule, for `--explain`-style output.
 pub fn rule_summary(rule: &str) -> &'static str {
     match rule {
         "R1" => "nondeterminism: wall-clock/ambient RNG, or HashMap/HashSet in sim code (use BTreeMap or annotate keyed-only use)",
         "R2" => "rng-construction: randomness must flow through SimRng in simcore/src/rng.rs",
-        "R3" => "lossy-cast: `as` to a truncating numeric type; prefer try_from/checked helpers",
+        "R3" => "lossy-cast: `as` to a truncating numeric type; prefer try_from/checked helpers (widening casts exempt)",
         "R4" => "panic-macro: panic!/unreachable!/todo!/unimplemented! in library code; budget may never grow",
         "R5" => "unit-mix: fn takes 2+ raw f64s mixing time/power/energy names; use SimTime-style newtypes",
         "R6" => "unwrap: .unwrap()/.expect() in library code; return RunError/SimError instead (shrink-only baseline)",
+        "R7" => "determinism-taint: HashMap/HashSet iteration order, wall clock, ambient RNG or thread ids flowing into Telemetry, Report/CSV writers or Experiment::run returns",
+        "R8" => "units: dimensionally-incompatible +/-/comparison, or a */÷ result assigned into a name implying a different unit",
         _ => "unknown rule",
     }
+}
+
+/// Long-form documentation for `explain <rule>` / `cargo lint-explain`.
+pub fn rule_explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "R1" => "R1 — nondeterminism (token rule, zero budget)\n\n\
+            Flags wall-clock reads (Instant::now, SystemTime::now), ambient RNG\n\
+            (thread_rng, rand::random), and any non-`use` mention of HashMap/HashSet\n\
+            outside test code. The simulator's contract is exact reproducibility from\n\
+            one u64 seed; all three break it. Hash collections are flagged on *mention*\n\
+            because the lexer cannot prove absence of iteration — vet keyed-only maps\n\
+            with `// simlint: allow(R1) reason`, and R7 will still catch the day their\n\
+            iteration order leaks into an exported artefact.",
+        "R2" => "R2 — rng-construction (token rule, zero budget, applies in tests too)\n\n\
+            RNG construction (SmallRng, StdRng, ThreadRng, seed_from_u64) is legal only\n\
+            in simcore/src/rng.rs. Everything else derives streams via SimRng::split so\n\
+            that one seed reproduces every draw in the whole workspace, tests included.",
+        "R3" => "R3 — lossy-cast (token rule, ratcheted)\n\n\
+            `expr as T` for a truncating/wrapping numeric T silently destroys value\n\
+            bits. Prefer try_from or a checked helper. Since v2 the AST pass exempts\n\
+            provably-widening integer casts on the 64-bit targets this workspace\n\
+            supports: same-signedness to an equal-or-wider type (u32 as u64,\n\
+            usize as u64, u64 as usize), and unsigned into a strictly wider signed\n\
+            (u32 as i64). Sign-losing and narrowing casts still count.",
+        "R4" => "R4 — panic-macro (token rule, ratcheted)\n\n\
+            panic!/unreachable!/todo!/unimplemented! in library code abort the whole\n\
+            simulation instead of failing one run. assert!/debug_assert! remain the\n\
+            sanctioned invariant mechanism; recoverable paths return SimError/RunError.",
+        "R5" => "R5 — unit-mix (token rule, zero budget)\n\n\
+            A fn signature taking two or more *raw* f64 parameters whose names span\n\
+            different unit vocabularies (watts + secs) is one transposed call away from\n\
+            a silent wrong number. Wrap one side in a newtype (SimTime, SimDuration).\n\
+            R8 supersedes this check inside function bodies; R5 remains as the cheap\n\
+            signature-level guard.",
+        "R6" => "R6 — unwrap (token rule, shrink-only baseline)\n\n\
+            .unwrap()/.expect() in library code panics at runtime; the simrun/simfault\n\
+            error taxonomy (SimError, RunError) exists to make these recoverable. The\n\
+            grandfathered budget may only shrink. Since v2 the symbol index exempts\n\
+            calls that resolve to a crate-local method named unwrap/expect (e.g. the\n\
+            baseline JSON parser's own `Parser::expect`).",
+        "R7" => "R7 — determinism-taint (AST rule, ratcheted)\n\n\
+            Cross-file, per-crate taint analysis. Sources: HashMap/HashSet iteration\n\
+            (.iter/.keys/.values/.drain, or `for _ in map`), Instant::now,\n\
+            SystemTime::now, thread_rng/rand::random, thread ids. Sinks: Telemetry\n\
+            methods (counter_add, counter_inc, gauge_set, observe, series_push,\n\
+            record*), Report/CSV writers (table, series_table, trim_float,\n\
+            Comparison/Series/Report payloads), and Experiment::run return values.\n\
+            Taint propagates through lets, arithmetic, method chains and crate-local\n\
+            calls (fixpoint summaries); order-insensitive reductions (len, count, min,\n\
+            max, contains*, get) and explicit sort()/BTree re-collection sanitize it.\n\
+            Float sum/fold do NOT sanitize — float addition is order-dependent, which\n\
+            is precisely the exported-flakiness bug this rule exists to catch.\n\
+            Vet a site with `// simlint: allow(R7) reason`.",
+        "R8" => "R8 — units (AST rule, ratcheted)\n\n\
+            Dimensional analysis over function bodies. Units (time, watts, joules,\n\
+            bytes, bytes/sec, requests) are inferred from newtypes (SimTime,\n\
+            SimDuration and their as_secs_f64-style accessors), from snake_case name\n\
+            segments (busy_w, total_j, window_secs), and propagated through arithmetic\n\
+            (W x s -> J, J / s -> W, B / s -> B/s, X / X -> dimensionless). Two finding\n\
+            shapes: (a) +/-/comparison between two confidently-known different units;\n\
+            (b) a value assigned into a binding whose name implies a different unit\n\
+            (`let busy_w = watts * secs`). Unknown or dimensionless operands never\n\
+            fire. Vet a site with `// simlint: allow(R8) reason`.",
+        _ => return None,
+    })
 }
 
 /// Calls that read ambient state and so break seed-reproducibility.
@@ -64,11 +145,12 @@ const HASH_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
 const LOSSY_TARGETS: [&str; 13] =
     ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32"];
 
-/// Run every rule over one lexed file.
+/// Run every token rule over one lexed file.
 ///
 /// `rel_path` is the workspace-relative path (used for per-file rule
-/// scoping like R2's rng.rs exemption).
-pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
+/// scoping like R2's rng.rs exemption). `sup` carries the AST-derived
+/// per-line exemptions (R3 widening casts, R6 crate-local methods).
+pub fn check_file(rel_path: &str, lexed: &Lexed, sup: &Suppressions) -> Vec<Finding> {
     let mut findings = Vec::new();
     let toks = &lexed.tokens;
     let is_rng_home = rel_path.ends_with("simcore/src/rng.rs");
@@ -118,8 +200,9 @@ pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
             );
         }
 
-        // R3: lossy numeric casts in library code.
-        if !tok.in_test && !tok.in_use && t == "as" {
+        // R3: lossy numeric casts in library code. The AST pass exempts
+        // lines whose casts are provably widening.
+        if !tok.in_test && !tok.in_use && t == "as" && !sup.r3_widening.contains(&tok.line) {
             if let Some(target) = next(1) {
                 if LOSSY_TARGETS.contains(&target) {
                     push(
@@ -137,9 +220,10 @@ pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
         if !tok.in_test {
             if (t == "unwrap" || t == "expect") && next(1) == Some("(") {
                 // Only count method calls `.unwrap()` — a local fn named
-                // `expect` would be unusual but shouldn't be punished.
+                // `expect` would be unusual but shouldn't be punished —
+                // and skip calls the index resolved to crate-local methods.
                 let is_method = i > 0 && toks[i - 1].text == ".";
-                if is_method {
+                if is_method && !sup.r6_local_method.contains(&tok.line) {
                     push(&mut findings, "R6", rel_path, tok.line, format!(".{t}() can panic at runtime; return RunError/SimError instead"));
                 }
             }
@@ -168,8 +252,8 @@ fn push(findings: &mut Vec<Finding>, rule: &'static str, file: &str, line: u32, 
 /// Drop findings vetted by `simlint: allow(...)` markers. A line marker
 /// suppresses matches on its own line and the next (so it can sit above
 /// the offending statement); `allow-file` suppresses the rule everywhere
-/// in the file.
-fn apply_allows(findings: Vec<Finding>, allows: &[AllowMarker]) -> Vec<Finding> {
+/// in the file. Shared by the token rules and the AST rules (R7/R8).
+pub fn apply_allows(findings: Vec<Finding>, allows: &[AllowMarker]) -> Vec<Finding> {
     findings
         .into_iter()
         .filter(|f| {
@@ -279,7 +363,7 @@ mod tests {
     use crate::lexer::lex;
 
     fn findings(src: &str) -> Vec<Finding> {
-        check_file("crates/demo/src/lib.rs", &lex(src, false))
+        check_file("crates/demo/src/lib.rs", &lex(src, false), &Suppressions::default())
     }
 
     fn rules_of(src: &str) -> Vec<&'static str> {
@@ -310,7 +394,7 @@ mod tests {
         let src = "fn f() { let r = SmallRng::seed_from_u64(1); }";
         let hits = rules_of(src);
         assert_eq!(hits, vec!["R2", "R2"], "SmallRng and seed_from_u64 each flag: {hits:?}");
-        assert!(check_file("crates/simcore/src/rng.rs", &lex(src, false)).is_empty());
+        assert!(check_file("crates/simcore/src/rng.rs", &lex(src, false), &Suppressions::default()).is_empty());
         // R2 applies inside test code too
         assert!(!findings("#[cfg(test)]\nmod tests { fn f() { let r = StdRng::from_entropy(); } }").is_empty());
     }

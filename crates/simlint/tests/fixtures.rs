@@ -5,6 +5,7 @@
 //! All rule-triggering tokens live inside string literals so that
 //! simlint's own scan of this file stays clean.
 
+use edison_simlint::index::Suppressions;
 use edison_simlint::lexer::lex;
 use edison_simlint::rules::check_file;
 use edison_simlint::{baseline, check, update_baseline};
@@ -14,7 +15,7 @@ use std::path::PathBuf;
 const LIB: &str = "crates/demo/src/lib.rs";
 
 fn rules_of(src: &str) -> Vec<&'static str> {
-    check_file(LIB, &lex(src, false)).into_iter().map(|f| f.rule).collect()
+    check_file(LIB, &lex(src, false), &Suppressions::default()).into_iter().map(|f| f.rule).collect()
 }
 
 // ---- R1: nondeterminism sources ------------------------------------------
@@ -54,7 +55,7 @@ fn r2_positive_rng_construction_even_in_tests() {
 #[test]
 fn r2_negative_inside_rng_home_and_via_simrng() {
     let src = "fn mk() { let r = SmallRng::seed_from_u64(7); }";
-    assert!(check_file("crates/simcore/src/rng.rs", &lex(src, false)).is_empty());
+    assert!(check_file("crates/simcore/src/rng.rs", &lex(src, false), &Suppressions::default()).is_empty());
     assert!(rules_of("fn f(rng: &mut SimRng) { let sub = rng.split(\"net\"); }").is_empty());
 }
 
@@ -165,6 +166,40 @@ fn ratchet_cycle_on_disk() {
     assert!(report.passed());
     let committed = fs::read_to_string(root.join(edison_simlint::BASELINE_FILE)).expect("read");
     assert_eq!(committed, baseline::to_json(&report.scan.counts));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+/// A baseline entry naming a file that no longer exists is rot: the gate
+/// must fail until `--update-baseline` drops it, so dead debt cannot be
+/// silently inherited by a future file of the same name.
+#[test]
+fn rotten_baseline_entries_fail_the_gate() {
+    let root = PathBuf::from(std::env::temp_dir())
+        .join(format!("simlint-rot-{}", std::process::id()));
+    fs::remove_dir_all(&root).ok();
+    let src_dir = root.join("crates/demo/src");
+    fs::create_dir_all(&src_dir).expect("mkdir");
+    fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n").expect("manifest");
+    fs::write(src_dir.join("lib.rs"), "pub fn f() -> u8 { 0 }\n").expect("lib");
+    fs::write(
+        root.join(edison_simlint::BASELINE_FILE),
+        "{\n  \"R6\": {\n    \"crates/demo/src/deleted.rs\": 3\n  }\n}\n",
+    )
+    .expect("baseline");
+
+    let report = check(&root).expect("scan");
+    assert!(!report.passed(), "rot must fail the gate");
+    assert!(report.regressions.is_empty(), "rot is not a regression: {:?}", report.regressions);
+    assert_eq!(
+        report.rot,
+        vec![("R6".to_string(), "crates/demo/src/deleted.rs".to_string())]
+    );
+
+    // `--update-baseline` clears the rot and the tree passes again.
+    update_baseline(&root).expect("update");
+    let report = check(&root).expect("scan");
+    assert!(report.passed(), "rot should be gone after update: {:?}", report.rot);
 
     fs::remove_dir_all(&root).ok();
 }

@@ -45,14 +45,27 @@ fn committed_baseline_matches_fresh_scan() {
     );
 }
 
+/// The committed baseline may not carry debt for files that no longer
+/// exist: a deleted file's entries are rot, not budget, and hiding them
+/// would let a future file reuse the name with free violations.
+#[test]
+fn baseline_entries_name_only_live_files() {
+    let report = check(&workspace_root()).expect("scan");
+    assert!(
+        report.rot.is_empty(),
+        "baseline entries for deleted files (run --update-baseline): {:?}",
+        report.rot
+    );
+}
+
 /// Policy floor: only lossy casts (R3), panic macros (R4) and
 /// unwrap/expect debt (R6) are grandfathered. Nondeterminism (R1), stray
-/// RNG construction (R2) and unit-mixing (R5) start — and must stay — at
-/// zero.
+/// RNG construction (R2), unit-mixing (R5), determinism taint (R7) and
+/// dimensional errors (R8) start — and must stay — at zero.
 #[test]
 fn determinism_rules_have_zero_budget() {
     let report = check(&workspace_root()).expect("scan");
-    for rule in ["R1", "R2", "R5"] {
+    for rule in ["R1", "R2", "R5", "R7", "R8"] {
         let n: usize = report.scan.counts.get(rule).map(|m| m.values().sum()).unwrap_or(0);
         assert_eq!(n, 0, "{rule} findings present; these may never be grandfathered");
     }

@@ -1,0 +1,71 @@
+//! `cargo lint-gate -- --json` contract tests: the machine-readable
+//! report has a stable schema and is byte-identical across repeated runs
+//! of the same tree, so CI tooling can diff and parse it without a JSON
+//! library on the other end having to tolerate drift.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("simlint-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&root).ok();
+    fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir");
+    fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n").expect("manifest");
+    fs::write(
+        root.join("crates/demo/src/lib.rs"),
+        "pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+    )
+    .expect("lib");
+    root
+}
+
+/// Golden output: one R6 finding against an empty baseline. Any schema
+/// change — field rename, reordering, formatting — must update this
+/// string deliberately.
+#[test]
+fn json_report_matches_golden() {
+    let root = fixture("json-golden");
+    let report = edison_simlint::check(&root).expect("scan");
+    let json = edison_simlint::report_to_json(&report);
+    let golden = r#"{
+  "schema": "edison-simlint/2",
+  "files_scanned": 1,
+  "passed": false,
+  "findings": [
+    {"rule": "R6", "file": "crates/demo/src/lib.rs", "line": 1, "msg": ".unwrap() can panic at runtime; return RunError/SimError instead"}
+  ],
+  "deltas": [
+    {"rule": "R6", "file": "crates/demo/src/lib.rs", "baseline": 0, "current": 1}
+  ],
+  "rot": []
+}
+"#;
+    assert_eq!(json, golden);
+    fs::remove_dir_all(&root).ok();
+}
+
+/// Two independent scans of the same tree render byte-identical JSON —
+/// the report must not depend on walk order, map iteration, or any other
+/// ambient state.
+#[test]
+fn json_report_is_deterministic_across_runs() {
+    let root = fixture("json-stable");
+    let a = edison_simlint::report_to_json(&edison_simlint::check(&root).expect("scan"));
+    let b = edison_simlint::report_to_json(&edison_simlint::check(&root).expect("scan"));
+    assert_eq!(a, b);
+    fs::remove_dir_all(&root).ok();
+}
+
+/// The full-workspace report (the one CI actually consumes) carries every
+/// schema key, whatever the current findings happen to be.
+#[test]
+fn workspace_json_report_has_stable_schema_keys() {
+    let root = edison_simlint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let json = edison_simlint::report_to_json(&edison_simlint::check(&root).expect("scan"));
+    for key in
+        ["\"schema\": \"edison-simlint/2\"", "\"files_scanned\":", "\"passed\":", "\"findings\":", "\"deltas\":", "\"rot\":"]
+    {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
