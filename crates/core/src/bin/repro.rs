@@ -15,6 +15,10 @@
 //! `--metrics FILE` writes Prometheus text exposition, `--telemetry-csv
 //! FILE` writes the flat CSV form. Any of these flags enables the
 //! telemetry sink; experiments record a representative traced run into it.
+//! `--profile` additionally turns on engine self-profiling (simprof):
+//! traced runs record the `profile_*` breakdown (per-event-kind dispatch
+//! counts, sim-time attribution, heap totals, depth high-water counter
+//! track) into the same artefacts.
 //!
 //! `--jobs N` bounds the sweep executor's worker pool (default: the
 //! `EDISON_REPRO_JOBS` environment variable, else available cores). The
@@ -67,6 +71,7 @@ fn main() {
     let mut metrics_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut profile = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -96,8 +101,9 @@ fn main() {
             "--trace" => trace_path = Some(PathBuf::from(flag_value(&args, &mut i, "--trace"))),
             "--metrics" => metrics_path = Some(PathBuf::from(flag_value(&args, &mut i, "--metrics"))),
             "--telemetry-csv" => csv_path = Some(PathBuf::from(flag_value(&args, &mut i, "--telemetry-csv"))),
+            "--profile" => profile = true,
             "--help" | "-h" => {
-                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [IDS...]");
+                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [--profile] [IDS...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -138,8 +144,11 @@ fn main() {
             die(format!("create output directory {}: {e}", dir.display()));
         }
     }
-    let mut tel = if trace_path.is_some() || metrics_path.is_some() || csv_path.is_some() {
-        Telemetry::on()
+    // --profile implies an enabled sink: a profile with nowhere to land
+    // would be silently dropped otherwise.
+    let mut tel = if trace_path.is_some() || metrics_path.is_some() || csv_path.is_some() || profile
+    {
+        Telemetry::on().with_profiling(profile)
     } else {
         Telemetry::off()
     };

@@ -62,7 +62,7 @@ pub fn ext_hybrid(budget: &RunBudget, exec: &Executor, tel: &mut Telemetry) -> R
     hybrid_cfg.hybrid_web = 1;
     let hybrid = if tel.is_on() {
         // trace the hybrid run itself — it is the novel configuration here
-        let mut world = run_traced(hybrid_cfg, Telemetry::on());
+        let mut world = run_traced(hybrid_cfg, tel.child());
         let t = world.take_telemetry();
         tel.merge(t);
         world.metrics

@@ -149,7 +149,7 @@ pub fn fault_sweep(
             derive_seed_at(ROOT_SEED, "fault_sweep", idx),
         )?;
         cfg.fault_plan = point_plan(1, budget);
-        let mut world = run_traced(cfg, Telemetry::on());
+        let mut world = run_traced(cfg, tel.child());
         tel.merge(world.take_telemetry());
     }
 

@@ -83,7 +83,7 @@ fn trace_representative(tel: &mut Telemetry, job: &str, base: &ClusterSetup) -> 
     let mut setup = setup_for(job, base);
     setup.seed = derive_seed(ROOT_SEED, &format!("trace:mr:{job}"), 0);
     let profile = profile_for(job, &setup)?;
-    let (_, t) = run_job_traced(&profile, &setup, Telemetry::on());
+    let (_, t) = run_job_traced(&profile, &setup, tel.child());
     tel.merge(t);
     Ok(())
 }

@@ -9,11 +9,14 @@
 //!   telemetry demo / CI smoke target.
 //! * [`faults`] — the deliberate-failure demo exercising the simrun
 //!   layer's panic isolation end-to-end.
+//! * [`profile`] — the simprof probe: observer-equivalence check plus the
+//!   per-kind/per-phase engine breakdown.
 
 pub mod extensions;
 pub mod faults;
 pub mod individual;
 pub mod mapred;
+pub mod profile;
 pub mod smoke;
 pub mod tco_exp;
 pub mod webservice;

@@ -19,8 +19,10 @@ use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 /// order, on the caller's thread (no executor fan-out — two points are
 /// not worth a pool, and serial runs keep the traced output canonical).
 pub fn smoke(budget: &RunBudget, _exec: &Executor, tel: &mut Telemetry) -> Result<Report, RunError> {
-    let tracing = tel.is_on();
-    let sink = move || if tracing { Telemetry::on() } else { Telemetry::off() };
+    // child sinks inherit the enabled + profiling flags, so `--profile`
+    // reaches the smoke runs themselves
+    let proto = tel.child();
+    let sink = || proto.child();
 
     // web: eighth-scale Edison tier at a mid-curve load
     let scenario = WebScenario::table6_or_err(Platform::Edison, ClusterScale::Eighth)?;

@@ -31,7 +31,7 @@ fn trace_representative(
         return;
     }
     let seed = derive_seed_at(ROOT_SEED, &format!("trace:{}", stream_id(scenario, mix)), 0);
-    let (_, t) = httperf::run_point_traced(scenario, mix, concurrency, opts(budget, seed), Telemetry::on());
+    let (_, t) = httperf::run_point_traced(scenario, mix, concurrency, opts(budget, seed), tel.child());
     tel.merge(t);
 }
 

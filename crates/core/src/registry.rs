@@ -5,7 +5,7 @@
 //! by id ([`find`]) are allocation-free and iteration ([`all`]) hands out
 //! `&'static dyn Experiment` borrows.
 
-use crate::experiments::{extensions, faults, individual, mapred, smoke, tco_exp, webservice};
+use crate::experiments::{extensions, faults, individual, mapred, profile, smoke, tco_exp, webservice};
 use crate::report::Report;
 use edison_simfault::FaultPlan;
 use edison_simrun::{Executor, RunError};
@@ -147,6 +147,12 @@ fn index() -> &'static [FnExperiment] {
             entry("ext_platforms", "EXT: related-work platform what-if", extensions::ext_platforms),
             entry("ext_dvfs", "EXT: DVFS vs substitution (§1)", extensions::ext_dvfs),
             entry("smoke", "End-to-end smoke run (web + MapReduce, telemetry-ready)", smoke::smoke),
+            FnExperiment {
+                id: "profile_probe",
+                title: "PROBE: engine self-profile (per-kind/per-phase breakdown)",
+                in_all: false,
+                run: profile::profile_probe,
+            },
             FnExperiment {
                 id: "fault_demo",
                 title: "DEMO: fault-isolation showcase (one point panics by design)",

@@ -26,11 +26,11 @@ use edison_net::{HostId, LinkGauge, Topology};
 use edison_simcore::rng::SimRng;
 use edison_simcore::stats::TimeSeries;
 use edison_simcore::time::{SimDuration, SimTime};
-use edison_simcore::{Ctx, Model, Simulation};
+use edison_simcore::{Ctx, EngineProfile, KindProfiler, Model, Simulation};
 use edison_simfault::metrics as fault_metrics;
 use edison_simfault::{Fault, FaultKind, FaultPlan};
 use edison_simrun::SimError;
-use edison_simtel::{labels, EventCounter, Telemetry};
+use edison_simtel::{labels, record_engine_profile, EventCounter, Telemetry};
 use std::collections::VecDeque;
 
 const MIB: u64 = 1024 * 1024;
@@ -366,6 +366,10 @@ struct MrWorld {
     /// Telemetry sink; [`Telemetry::off`] unless the run came through
     /// [`run_job_traced`].
     tel: Telemetry,
+    /// Interned span track id per slave (`("mapreduce", "slave-{i}")`),
+    /// filled once at trace setup — per-event span recording is then
+    /// id-indexed, no string formatting on the hot path.
+    slave_tracks: Vec<usize>,
 }
 
 impl MrWorld {
@@ -475,6 +479,16 @@ impl MrWorld {
             recovery_s: Vec::new(),
             last_progress: SimTime::ZERO,
             tel: Telemetry::off(),
+            slave_tracks: Vec::new(),
+        }
+    }
+
+    /// Span track id for slave `node` — cached at trace setup; the fallback
+    /// interns on demand for worlds driven without the prefill.
+    fn slave_track(&mut self, node: usize) -> usize {
+        match self.slave_tracks.get(node) {
+            Some(&t) => t,
+            None => self.tel.track_id("mapreduce", &format!("slave-{node}")),
         }
     }
 
@@ -487,10 +501,11 @@ impl MrWorld {
         if self.tel.is_on() {
             let t = &self.tasks[task];
             if t.node != usize::MAX && !matches!(t.phase, Phase::Pending | Phase::Done) {
-                let thread = format!("slave-{}", t.node);
+                let (node, since, from) = (t.node, t.phase_since, t.phase);
                 let cat = if t.is_map { "map" } else { "reduce" };
                 let args = vec![("task", format!("{task}"))];
-                self.tel.span("mapreduce", &thread, cat, phase_name(t.phase), t.phase_since, now, args);
+                let track = self.slave_track(node);
+                self.tel.span_on(track, cat, phase_name(from), since, now, args);
             }
         }
         let t = &mut self.tasks[task];
@@ -835,9 +850,10 @@ impl MrWorld {
         self.set_phase(task, Phase::Done, now);
         if self.tel.is_on() {
             let t = &self.tasks[task];
-            let thread = format!("slave-{node}");
             let args = vec![("task", format!("{task}")), ("local", format!("{}", t.local))];
-            self.tel.span("mapreduce", &thread, "container", "map_task", t.started, now, args);
+            let started = t.started;
+            let track = self.slave_track(node);
+            self.tel.span_on(track, "container", "map_task", started, now, args);
         }
         self.nodes.node_mut(NodeId(node)).free_mem(self.profile.map_container);
         self.running_containers[node] -= 1;
@@ -1035,10 +1051,10 @@ impl MrWorld {
         let node = self.tasks[task].node;
         self.set_phase(task, Phase::Done, now);
         if self.tel.is_on() {
-            let t = &self.tasks[task];
-            let thread = format!("slave-{node}");
             let args = vec![("task", format!("{task}"))];
-            self.tel.span("mapreduce", &thread, "container", "reduce_task", t.started, now, args);
+            let started = self.tasks[task].started;
+            let track = self.slave_track(node);
+            self.tel.span_on(track, "container", "reduce_task", started, now, args);
         }
         self.nodes.node_mut(NodeId(node)).free_mem(self.profile.reduce_container);
         self.running_containers[node] -= 1;
@@ -1478,13 +1494,47 @@ pub fn run_job_traced(
     run_job_traced_checked(profile, setup, tel).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Coarse phase bucket for each [`Ev::kind`] name — the per-phase rollup
+/// simprof exports as `profile_phase_*` metrics.
+pub fn phase_of(kind: &'static str) -> &'static str {
+    match kind {
+        "heartbeat" | "am_ready" | "sample" => "control",
+        "fault" => "fault",
+        _ => "task-exec",
+    }
+}
+
 /// The full-fidelity entry point: tracing like [`run_job_traced`], typed
-/// fault errors like [`run_job_checked`].
+/// fault errors like [`run_job_checked`]. A sink carrying the profiling
+/// flag ([`Telemetry::profiled`]) additionally self-profiles the engine.
 pub fn run_job_traced_checked(
     profile: &JobProfile,
     setup: &ClusterSetup,
     tel: Telemetry,
 ) -> Result<(JobOutcome, Telemetry), SimError> {
+    let profiling = tel.profiling();
+    run_job_inner(profile, setup, tel, profiling).map(|(o, t, _)| (o, t))
+}
+
+/// Like [`run_job_traced_checked`] with an enabled sink, but always
+/// self-profiles the engine, returning the deterministic
+/// [`EngineProfile`] alongside the outcome. [`JobOutcome`] is identical to
+/// an unprofiled run.
+pub fn run_job_profiled_checked(
+    profile: &JobProfile,
+    setup: &ClusterSetup,
+    tel: Telemetry,
+) -> Result<(JobOutcome, Telemetry, EngineProfile), SimError> {
+    run_job_inner(profile, setup, tel, true)
+        .map(|(o, t, p)| (o, t, p.unwrap_or_default()))
+}
+
+fn run_job_inner(
+    profile: &JobProfile,
+    setup: &ClusterSetup,
+    tel: Telemetry,
+    profiling: bool,
+) -> Result<(JobOutcome, Telemetry, Option<EngineProfile>), SimError> {
     let tracing = tel.is_on();
     let mut world = MrWorld::new(profile.clone(), setup.clone());
     world.tel = tel;
@@ -1497,6 +1547,11 @@ pub fn run_job_traced_checked(
         world.tel.help("mr_map_progress_pct", "Completed maps / total, 1 s samples");
         world.tel.help("mr_reduce_progress_pct", "Completed reduces / total, 1 s samples");
         fault_metrics::register_help(&mut world.tel);
+        // intern one span track per slave up front: per-event span
+        // recording is then id-indexed, no string work on the hot path
+        world.slave_tracks = (0..world.setup.workers)
+            .map(|i| world.tel.track_id("mapreduce", &format!("slave-{i}")))
+            .collect();
     }
     let fault_times: Vec<SimTime> = world.fplan.faults().iter().map(|f| f.at).collect();
     let mut sim = Simulation::new(world);
@@ -1505,7 +1560,18 @@ pub fn run_job_traced_checked(
     for (idx, at) in fault_times.into_iter().enumerate() {
         sim.schedule_at(at, Ev::Fault { idx });
     }
-    if tracing {
+    let mut engine_profile = None;
+    if tracing && profiling {
+        let mut obs = EventCounter::new(Ev::kind);
+        let mut prof = KindProfiler::new(Ev::kind);
+        sim.run_profiled(&mut obs, &mut prof);
+        let p = prof.finish(&sim);
+        let w = sim.world_mut();
+        obs.record_into(&mut w.tel, "mapreduce");
+        record_engine_profile(&mut w.tel, "mapreduce", &p, phase_of);
+        w.harvest_power_series();
+        engine_profile = Some(p);
+    } else if tracing {
         let mut obs = EventCounter::new(Ev::kind);
         sim.run_observed(&mut obs);
         let w = sim.world_mut();
@@ -1547,7 +1613,7 @@ pub fn run_job_traced_checked(
         mean_recovery_s,
     };
     let tel = std::mem::take(&mut sim.world_mut().tel);
-    Ok((outcome, tel))
+    Ok((outcome, tel, engine_profile))
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //!    never removes events from the heap; this keeps the hot path a plain
 //!    binary-heap push/pop.
 
+use crate::profile::{NoopProfiler, Profiler};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -226,6 +227,14 @@ impl<M: Model> Simulation<M> {
         self.budgeted
     }
 
+    /// Total events ever scheduled (heap pushes), external and follow-up
+    /// alike. Every schedule consumes one sequence number, so this is the
+    /// push half of the heap push/pop balance a profiler reports;
+    /// [`processed`](Self::processed) is the pop half.
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+
     /// Shared access to the world.
     pub fn world(&self) -> &M {
         &self.world
@@ -273,6 +282,25 @@ impl<M: Model> Simulation<M> {
     /// [`step`](Self::step), reporting to `obs`. With [`NoopObserver`] this
     /// compiles to the same code as the unobserved step.
     pub fn step_observed<O: Observer<M::Event>>(&mut self, obs: &mut O) -> bool {
+        self.step_inner(obs, &mut NoopProfiler)
+    }
+
+    /// [`step`](Self::step), reporting to both `obs` (world-level metrics)
+    /// and `prof` (engine self-measurement). With [`NoopProfiler`] this
+    /// compiles to the same code as [`step_observed`](Self::step_observed).
+    pub fn step_profiled<O: Observer<M::Event>, P: Profiler<M::Event>>(
+        &mut self,
+        obs: &mut O,
+        prof: &mut P,
+    ) -> bool {
+        self.step_inner(obs, prof)
+    }
+
+    fn step_inner<O: Observer<M::Event>, P: Profiler<M::Event>>(
+        &mut self,
+        obs: &mut O,
+        prof: &mut P,
+    ) -> bool {
         if self.stopped {
             return false;
         }
@@ -281,6 +309,7 @@ impl<M: Model> Simulation<M> {
                 self.stopped = true;
                 self.watchdog_tripped = true;
                 obs.on_watchdog(self.now, self.processed);
+                prof.on_watchdog(self.now);
                 return false;
             }
         }
@@ -289,12 +318,14 @@ impl<M: Model> Simulation<M> {
             return false;
         };
         debug_assert!(next.at >= self.now, "heap produced an out-of-order event");
+        let advanced = next.at - self.now;
         self.now = next.at;
         self.processed += 1;
         if !next.idle {
             self.budgeted += 1;
         }
         obs.pre_event(self.now, &next.event, self.heap.len());
+        prof.on_dispatch(self.now, &next.event, advanced);
         let mut ctx = Ctx {
             now: self.now,
             seq: self.seq,
@@ -311,6 +342,7 @@ impl<M: Model> Simulation<M> {
             self.stopped = true;
         }
         obs.post_event(self.now, newly_scheduled, self.processed);
+        prof.on_handled(self.now, newly_scheduled, self.heap.len());
         true
     }
 
@@ -324,6 +356,22 @@ impl<M: Model> Simulation<M> {
     pub fn run_observed<O: Observer<M::Event>>(&mut self, obs: &mut O) -> u64 {
         let before = self.processed;
         while self.step_observed(obs) {}
+        self.processed - before
+    }
+
+    /// [`run`](Self::run), reporting every event to `obs` and `prof`.
+    ///
+    /// The profiler sees the same stream the observer does; with
+    /// [`NoopProfiler`] this monomorphizes to
+    /// [`run_observed`](Self::run_observed) exactly, so profiling is
+    /// zero-cost when disabled.
+    pub fn run_profiled<O: Observer<M::Event>, P: Profiler<M::Event>>(
+        &mut self,
+        obs: &mut O,
+        prof: &mut P,
+    ) -> u64 {
+        let before = self.processed;
+        while self.step_inner(obs, prof) {}
         self.processed - before
     }
 
@@ -594,10 +642,16 @@ mod tests {
         };
         let plain = min_time(|| chain().run());
         let observed = min_time(|| chain().run_observed(&mut NoopObserver));
+        let profiled =
+            min_time(|| chain().run_profiled(&mut NoopObserver, &mut NoopProfiler));
         // Identical monomorphized code; 4x headroom absorbs scheduler noise.
         assert!(
             observed <= plain * 4 + std::time::Duration::from_millis(5),
             "NoopObserver run regressed: {observed:?} vs {plain:?}"
+        );
+        assert!(
+            profiled <= plain * 4 + std::time::Duration::from_millis(5),
+            "NoopProfiler run regressed: {profiled:?} vs {plain:?}"
         );
     }
 

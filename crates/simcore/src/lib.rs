@@ -28,10 +28,12 @@
 pub mod energy;
 pub mod engine;
 pub mod fluid;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Ctx, Model, NoopObserver, Observer, Simulation};
+pub use profile::{EngineProfile, KindProfiler, KindStats, NoopProfiler, Profiler};
 pub use time::{SimDuration, SimTime};

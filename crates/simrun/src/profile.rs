@@ -1,0 +1,70 @@
+//! Input-ordered merging of per-point engine profiles.
+//!
+//! A sweep produces one [`EngineProfile`] per point; the experiment wants
+//! one per-sweep breakdown. [`merge_profiles`] folds them **in input
+//! order** — the same order [`Executor::run`](crate::Executor::run)
+//! returns results regardless of worker count — so the merged profile is
+//! bit-identical for `--jobs 1` and `--jobs 8`, the same determinism
+//! contract the rest of the run layer keeps.
+
+use edison_simcore::EngineProfile;
+
+/// Fold per-point profiles into one, in iteration order. Counts add,
+/// high-water marks take the max, heap-depth step tracks interleave by
+/// time (stable on ties, so the fold order — input order — decides).
+pub fn merge_profiles<I>(profiles: I) -> EngineProfile
+where
+    I: IntoIterator<Item = EngineProfile>,
+{
+    let mut merged = EngineProfile::default();
+    for p in profiles {
+        merged.merge(&p);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+    use edison_simcore::{Ctx, KindProfiler, Model, NoopObserver, SimDuration, SimTime, Simulation};
+
+    struct Chain {
+        left: u32,
+    }
+    impl Model for Chain {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), ctx: &mut Ctx<()>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.schedule_in(SimDuration::from_millis(1), ());
+            }
+        }
+    }
+
+    fn point_profile(len: u32) -> EngineProfile {
+        let mut sim = Simulation::new(Chain { left: len });
+        sim.schedule_at(SimTime::ZERO, ());
+        let mut prof = KindProfiler::new(|_: &()| "tick");
+        sim.run_profiled(&mut NoopObserver, &mut prof);
+        prof.finish(&sim)
+    }
+
+    #[test]
+    fn merged_profile_is_identical_across_worker_counts() {
+        let points: Vec<u32> = (1..40).collect();
+        let merge_at = |jobs: usize| {
+            let results = Executor::new(jobs).run(&points, |_, &len| point_profile(len));
+            merge_profiles(results.into_iter().map(|r| r.expect("no panics")))
+        };
+        let serial = merge_at(1);
+        let wide = merge_at(8);
+        assert_eq!(serial, wide);
+        assert_eq!(serial.events(), (1..40u64).map(|n| n + 1).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_merge_is_default() {
+        assert_eq!(merge_profiles(std::iter::empty()), EngineProfile::default());
+    }
+}

@@ -99,10 +99,10 @@ pub fn chrome_trace_json(tel: &Telemetry) -> String {
     let mut thread_counts: Vec<usize> = Vec::new();
     let mut track_ids: Vec<(usize, usize)> = Vec::with_capacity(tracks.len());
     for (p, _) in tracks {
-        let pi = match procs.iter().position(|q| q == p) {
+        let pi = match procs.iter().position(|q| *q == p.as_ref()) {
             Some(i) => i,
             None => {
-                procs.push(p.as_str());
+                procs.push(p.as_ref());
                 thread_counts.push(0);
                 procs.len() - 1
             }

@@ -36,10 +36,12 @@
 pub mod export;
 pub mod metrics;
 pub mod observe;
+pub mod profile;
 pub mod span;
 
 pub use metrics::{labels, Histogram, Labels, Registry};
 pub use observe::EventCounter;
+pub use profile::record_engine_profile;
 pub use span::{Span, Tracer};
 
 use edison_simcore::time::SimTime;
@@ -52,6 +54,11 @@ use edison_simcore::time::SimTime;
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     enabled: bool,
+    /// Engine self-profiling requested (see [`Telemetry::profiled`]). Worlds
+    /// that support it run the event loop through a
+    /// [`edison_simcore::Profiler`] and record the resulting
+    /// [`edison_simcore::EngineProfile`] as `profile_*` metrics.
+    profiling: bool,
     /// Counters, gauges, histograms and timeseries.
     pub registry: Registry,
     /// Span-style traces.
@@ -69,10 +76,42 @@ impl Telemetry {
         Telemetry { enabled: true, ..Telemetry::default() }
     }
 
+    /// An enabled sink that also requests engine self-profiling.
+    pub fn profiled() -> Self {
+        Telemetry { enabled: true, profiling: true, ..Telemetry::default() }
+    }
+
+    /// Set the profiling request on an existing sink (builder-style).
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
     /// Whether recording is active. Worlds may use this to skip building
     /// expensive label values, but plain recording calls are already gated.
     pub fn is_on(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether engine self-profiling was requested. Only meaningful when
+    /// [`is_on`](Self::is_on); worlds check this to decide between
+    /// `run_observed` and `run_profiled`.
+    pub fn profiling(&self) -> bool {
+        self.enabled && self.profiling
+    }
+
+    /// An empty sink with the same enablement and profiling flags as `self`.
+    ///
+    /// Sweeps hand one of these to each side-run and [`merge`](Self::merge)
+    /// the results back, so per-run sinks inherit the parent's configuration
+    /// instead of reconstructing it (which used to silently drop flags like
+    /// the profiling request).
+    pub fn child(&self) -> Telemetry {
+        Telemetry {
+            enabled: self.enabled,
+            profiling: self.profiling,
+            ..Telemetry::default()
+        }
     }
 
     /// Register one-line help text for a metric (shown as `# HELP` in the
@@ -137,12 +176,42 @@ impl Telemetry {
         }
     }
 
+    /// Intern the `(process, thread)` track and return its id for use with
+    /// [`span_on`](Self::span_on). Hot paths call this once per track (e.g.
+    /// per node at world construction) and record every subsequent span by
+    /// id, with no per-event string formatting or comparison. Returns 0 on a
+    /// disabled sink (where [`span_on`](Self::span_on) is a no-op anyway).
+    pub fn track_id(&mut self, process: &str, thread: &str) -> usize {
+        if self.enabled {
+            self.tracer.track(process, thread)
+        } else {
+            0
+        }
+    }
+
+    /// Record a complete span on a previously interned track id (see
+    /// [`track_id`](Self::track_id)).
+    pub fn span_on(
+        &mut self,
+        track: usize,
+        cat: &'static str,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+        args: Vec<(&'static str, String)>,
+    ) {
+        if self.enabled {
+            self.tracer.span(track, cat, name, start, end, args);
+        }
+    }
+
     /// Fold `other` into `self`: counters add, gauges take `other`'s value,
     /// histograms with equal bounds merge, timeseries concatenate in time
     /// order, spans append with tracks re-interned. Deterministic given
     /// deterministic inputs and a fixed merge order.
     pub fn merge(&mut self, other: Telemetry) {
         self.enabled = self.enabled || other.enabled;
+        self.profiling = self.profiling || other.profiling;
         self.registry.merge(other.registry);
         self.tracer.merge(other.tracer);
     }

@@ -5,8 +5,19 @@
 //! every track a stable small id and makes the exported pid/tid assignment a
 //! pure function of the event sequence (byte-identical across same-seed
 //! runs).
+//!
+//! Name strings are interned as `Arc<str>`: each distinct process or thread
+//! name is allocated **once** and shared by every track that uses it, and a
+//! repeat [`Tracer::track`] lookup with already-known names allocates
+//! nothing. Hot paths should go one step further and cache the returned
+//! track id (worlds hold a `Vec<usize>` of per-node ids), so per-event span
+//! recording does no string work at all — previously every span re-built its
+//! thread name with `format!` and the tracer compared `String`s linearly,
+//! which was the profiler's largest self-induced distortion.
 
 use edison_simcore::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One completed span on a track.
 #[derive(Debug, Clone)]
@@ -28,7 +39,12 @@ pub struct Span {
 /// Collects spans and interns tracks.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    tracks: Vec<(String, String)>,
+    /// Every distinct name, allocated exactly once.
+    names: BTreeSet<Arc<str>>,
+    /// `(process, thread)` → track id, for O(log n) repeat lookup.
+    by_name: BTreeMap<(Arc<str>, Arc<str>), usize>,
+    /// Track names in first-use order (the id space).
+    tracks: Vec<(Arc<str>, Arc<str>)>,
     spans: Vec<Span>,
 }
 
@@ -38,18 +54,33 @@ impl Tracer {
         Tracer::default()
     }
 
-    /// Intern the `(process, thread)` track, returning its id. Linear scan:
-    /// real traces have tens of tracks, not thousands.
-    pub fn track(&mut self, process: &str, thread: &str) -> usize {
-        if let Some(i) = self
-            .tracks
-            .iter()
-            .position(|(p, t)| p == process && t == thread)
-        {
-            return i;
+    /// Intern one name: clone the shared `Arc` if seen before, allocate once
+    /// if not. (`BTreeSet<Arc<str>>` can be probed with a plain `&str`
+    /// because `Arc<str>: Borrow<str>`.)
+    fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(a) = self.names.get(name) {
+            return Arc::clone(a);
         }
-        self.tracks.push((process.to_string(), thread.to_string()));
-        self.tracks.len() - 1
+        let a: Arc<str> = Arc::from(name);
+        self.names.insert(Arc::clone(&a));
+        a
+    }
+
+    /// Intern the `(process, thread)` track, returning its id. Repeat calls
+    /// with known names are two map probes and zero allocations.
+    pub fn track(&mut self, process: &str, thread: &str) -> usize {
+        if let (Some(p), Some(t)) = (self.names.get(process), self.names.get(thread)) {
+            let key = (Arc::clone(p), Arc::clone(t));
+            if let Some(&i) = self.by_name.get(&key) {
+                return i;
+            }
+        }
+        let p = self.intern(process);
+        let t = self.intern(thread);
+        let i = self.tracks.len();
+        self.by_name.insert((Arc::clone(&p), Arc::clone(&t)), i);
+        self.tracks.push((p, t));
+        i
     }
 
     /// Record a complete span `[start, end)` on `track`. A backwards span is
@@ -75,8 +106,14 @@ impl Tracer {
     }
 
     /// The interned `(process, thread)` track names, in first-use order.
-    pub fn tracks(&self) -> &[(String, String)] {
+    pub fn tracks(&self) -> &[(Arc<str>, Arc<str>)] {
         &self.tracks
+    }
+
+    /// Number of distinct interned name strings (diagnostic; each was
+    /// allocated exactly once).
+    pub fn interned_names(&self) -> usize {
+        self.names.len()
     }
 
     /// All recorded spans, in recording order.
@@ -109,6 +146,20 @@ mod tests {
         assert_eq!(tr.track("web", "node-0"), 1);
         assert_eq!(tr.track("web", "client"), 0);
         assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn names_are_shared_not_cloned() {
+        let mut tr = Tracer::new();
+        tr.track("web", "node-0");
+        tr.track("web", "node-1");
+        tr.track("mr", "node-0");
+        // 4 distinct strings across 3 tracks (6 slots): "web", "mr",
+        // "node-0", "node-1" — each allocated once and Arc-shared.
+        assert_eq!(tr.interned_names(), 4);
+        let tracks = tr.tracks();
+        assert!(Arc::ptr_eq(&tracks[0].0, &tracks[1].0), "process name shared");
+        assert!(Arc::ptr_eq(&tracks[0].1, &tracks[2].1), "thread name shared");
     }
 
     #[test]

@@ -36,10 +36,10 @@ use edison_net::{HostId, LinkGauge, Topology};
 use edison_simcore::rng::SimRng;
 use edison_simcore::stats::{Histogram, SampleSet, TimeSeries};
 use edison_simcore::time::{SimDuration, SimTime};
-use edison_simcore::{Ctx, Model, Simulation};
+use edison_simcore::{Ctx, EngineProfile, KindProfiler, Model, Simulation};
 use edison_simfault::metrics as fault_metrics;
 use edison_simfault::{Fault, FaultKind, FaultPlan};
-use edison_simtel::{labels, EventCounter, Telemetry};
+use edison_simtel::{labels, record_engine_profile, EventCounter, Telemetry};
 use std::collections::{HashMap, VecDeque};
 
 /// Histogram bounds for request-delay telemetry, seconds (log-ish spacing
@@ -400,6 +400,10 @@ pub struct WebWorld {
     /// Telemetry sink; [`Telemetry::off`] unless the run came through
     /// [`run_traced`].
     tel: Telemetry,
+    /// Interned span track id per web node (`("web", "web-{i}")`), filled
+    /// once by [`run_traced`] when tracing — per-event span recording then
+    /// does no string formatting or comparison.
+    web_tracks: Vec<usize>,
 }
 
 /// Fraction of the per-request web CPU spent before the cache RPC (parse +
@@ -618,6 +622,7 @@ impl WebWorld {
             measure_end,
             metrics: Metrics::default(),
             tel: Telemetry::off(),
+            web_tracks: Vec::new(),
         }
     }
 
@@ -650,6 +655,16 @@ impl WebWorld {
     /// (`ok`, `server_error`, `client_error`).
     fn tel_outcome(&mut self, outcome: &'static str) {
         self.tel.counter_inc("web_requests_total", labels(&[("outcome", outcome)]));
+    }
+
+    /// Span track id for web node `web` — cached by [`run_traced`]; the
+    /// fallback interns on demand for worlds driven without the prefill
+    /// (manual [`Simulation`] drivers).
+    fn web_track(&mut self, web: usize) -> usize {
+        match self.web_tracks.get(web) {
+            Some(&t) => t,
+            None => self.tel.track_id("web", &format!("web-{web}")),
+        }
     }
 
     // ---- node CPU plumbing ------------------------------------------------
@@ -864,8 +879,8 @@ impl WebWorld {
         if self.tel.is_on() {
             if let Some(tq) = queued_at {
                 // time spent waiting for a free PHP worker
-                let thread = format!("web-{web}");
-                self.tel.span("web", &thread, "queue", "php_backlog", tq, now, vec![]);
+                let track = self.web_track(web);
+                self.tel.span_on(track, "queue", "php_backlog", tq, now, vec![]);
             }
         }
         self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
@@ -948,8 +963,8 @@ impl WebWorld {
                 // Table 7 bookkeeping: cache delay includes this CPU slice
                 // (PHP unserialize); db delay was closed at reply arrival.
                 if self.tel.is_on() && !went_to_db {
-                    let thread = format!("web-{web}");
-                    self.tel.span("web", &thread, "rpc", "memcached_get", t_cache_sent, now, vec![]);
+                    let track = self.web_track(web);
+                    self.tel.span_on(track, "rpc", "memcached_get", t_cache_sent, now, vec![]);
                 }
                 if self.in_window(now) {
                     if went_to_db {
@@ -1413,9 +1428,9 @@ impl Model for WebWorld {
                     }
                 }
                 if self.tel.is_on() {
-                    let thread = format!("web-{web}");
+                    let track = self.web_track(web);
                     let args = vec![("db_node", format!("{db_node}"))];
-                    self.tel.span("web", &thread, "rpc", "mysql_query", t_db_sent, now, args);
+                    self.tel.span_on(track, "rpc", "mysql_query", t_db_sent, now, args);
                 }
                 self.reqs.get_mut(&req).expect("req exists").db_delay =
                     Some(now.since(t_db_sent).as_millis_f64());
@@ -1438,12 +1453,12 @@ impl Model for WebWorld {
                 let start = if r.first_call { t_first_syn } else { r.t_sent };
                 self.metrics.completed_total += 1;
                 if self.tel.is_on() {
-                    let thread = format!("web-{web}");
+                    let track = self.web_track(web);
                     let args = vec![(
                         "path",
                         if r.went_to_db { "php/memcached-miss/mysql".to_string() } else { "php/memcached-hit".to_string() },
                     )];
-                    self.tel.span("web", &thread, "request", "http_request", start, now, args);
+                    self.tel.span_on(track, "request", "http_request", start, now, args);
                     self.tel_outcome("ok");
                     self.tel.observe(
                         "web_request_delay_seconds",
@@ -1511,6 +1526,17 @@ impl Model for WebWorld {
     }
 }
 
+/// Coarse phase bucket for each [`Ev::kind`] name — the per-phase rollup
+/// simprof exports as `profile_phase_*` metrics.
+pub fn phase_of(kind: &'static str) -> &'static str {
+    match kind {
+        "gen_conn" | "syn_retry" | "retry_conn" => "load-gen",
+        "fault" | "health_check" => "fault",
+        "sample" | "measure_start" | "stop" => "control",
+        _ => "request-path",
+    }
+}
+
 /// Build, seed and run one configuration to completion; returns the world
 /// with populated [`Metrics`].
 pub fn run(cfg: StackConfig) -> WebWorld {
@@ -1520,8 +1546,27 @@ pub fn run(cfg: StackConfig) -> WebWorld {
 /// Like [`run`], but records into `tel` when it is enabled: engine event
 /// counts, request-lifecycle spans, request counters/histograms and
 /// per-node power timelines. With `Telemetry::off()` this is exactly
-/// [`run`] — the unobserved fast path, no tracing hooks.
+/// [`run`] — the unobserved fast path, no tracing hooks. A sink carrying
+/// the profiling flag ([`Telemetry::profiled`]) additionally self-profiles
+/// the engine and records the `profile_*` vocabulary.
 pub fn run_traced(cfg: StackConfig, tel: Telemetry) -> WebWorld {
+    if tel.profiling() {
+        return run_profiled(cfg, tel).0;
+    }
+    run_inner(cfg, tel, false).0
+}
+
+/// Like [`run_traced`] with an enabled sink, but always self-profiles the
+/// engine: returns the world plus the deterministic [`EngineProfile`]
+/// (per-kind dispatch/advance, heap push/pop totals, depth high-water
+/// mark). The profile is also recorded into the world's telemetry as
+/// `profile_*` metrics; [`Metrics`] are identical to an unprofiled run.
+pub fn run_profiled(cfg: StackConfig, tel: Telemetry) -> (WebWorld, EngineProfile) {
+    let (world, profile) = run_inner(cfg, tel, true);
+    (world, profile.unwrap_or_default())
+}
+
+fn run_inner(cfg: StackConfig, tel: Telemetry, profile: bool) -> (WebWorld, Option<EngineProfile>) {
     let warmup = cfg.warmup;
     let measure = cfg.measure;
     let tracing = tel.is_on();
@@ -1539,6 +1584,11 @@ pub fn run_traced(cfg: StackConfig, tel: Telemetry) -> WebWorld {
         // byte-identical across fault-free and faulted configurations
         edison_simfault::metrics::register_help(&mut world.tel);
         world.tel.help("web_client_retries_total", "Connections re-dispatched through the LB after failover timeouts");
+        // intern one span track per web node up front: per-event span
+        // recording is then id-indexed, no string work on the hot path
+        world.web_tracks = (0..world.n_web())
+            .map(|i| world.tel.track_id("web", &format!("web-{i}")))
+            .collect();
     }
     let fault_times: Vec<SimTime> = world.fplan.faults().iter().map(|f| f.at).collect();
     let mut sim = Simulation::new(world);
@@ -1556,16 +1606,26 @@ pub fn run_traced(cfg: StackConfig, tel: Telemetry) -> WebWorld {
     }
     sim.schedule_at(SimTime::ZERO + warmup, Ev::MeasureStart);
     sim.schedule_at(SimTime::ZERO + warmup + measure, Ev::Stop);
-    if tracing {
+    if tracing && profile {
+        let mut obs = EventCounter::new(Ev::kind);
+        let mut prof = KindProfiler::new(Ev::kind);
+        sim.run_profiled(&mut obs, &mut prof);
+        let engine_profile = prof.finish(&sim);
+        let mut world = sim.into_world();
+        obs.record_into(&mut world.tel, "web");
+        record_engine_profile(&mut world.tel, "web", &engine_profile, phase_of);
+        world.harvest_power_series();
+        (world, Some(engine_profile))
+    } else if tracing {
         let mut obs = EventCounter::new(Ev::kind);
         sim.run_observed(&mut obs);
         let mut world = sim.into_world();
         obs.record_into(&mut world.tel, "web");
         world.harvest_power_series();
-        world
+        (world, None)
     } else {
         sim.run();
-        sim.into_world()
+        (sim.into_world(), None)
     }
 }
 
