@@ -1,10 +1,12 @@
 //! The tracked benchmark workloads.
 //!
-//! Three fixed-seed, fixed-scale simulations whose engine profiles are
+//! Four fixed-seed, fixed-scale simulations whose engine profiles are
 //! the benchmark trajectory's deterministic inputs: a three-point web
 //! concurrency sweep, a scaled-down MapReduce wordcount (the Figure
-//! 12–17 family), and the web point again under a crash/restart fault
-//! plan. Everything here is a pure function of the constants below — no
+//! 12–17 family), the web point again under a crash/restart fault
+//! plan, and a small simexplore candidate neighbourhood run end to end
+//! (the explore experiment's hot path). Everything here is a pure
+//! function of the constants below — no
 //! wall clock, no ambient RNG — so two runs on any machine produce
 //! bit-identical [`EngineProfile`]s. Wall-clock rates are measured by the
 //! harness *around* these calls, never inside them.
@@ -13,7 +15,8 @@ use edison_mapreduce::engine::{run_job_profiled_checked, ClusterSetup};
 use edison_mapreduce::jobs;
 use edison_simcore::time::SimDuration;
 use edison_simcore::EngineProfile;
-use edison_simfault::FaultPlan;
+use edison_simexplore::{candidates, ExploreBudget, PerturbSpace};
+use edison_simfault::{FaultPlan, RecoveryWindow};
 use edison_simrun::error::SimError;
 use edison_simrun::{derive_seed, merge_profiles, ROOT_SEED};
 use edison_simtel::Telemetry;
@@ -23,7 +26,8 @@ use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 /// The tracked workload names, in the (sorted) order they appear in the
 /// trajectory file.
-pub const TRACKED: [&str; 3] = ["fault_sweep", "mapreduce_wordcount", "web_sweep"];
+pub const TRACKED: [&str; 4] =
+    ["explore_worst", "fault_sweep", "mapreduce_wordcount", "web_sweep"];
 
 /// Concurrency points of the web sweep.
 const WEB_POINTS: [f64; 3] = [32.0, 64.0, 96.0];
@@ -85,9 +89,41 @@ pub fn fault_sweep() -> Result<EngineProfile, SimError> {
     Ok(p)
 }
 
+/// A small simexplore neighbourhood, run end to end: enumerate the
+/// candidate schedules around the `fault_sweep` plan (window probe on
+/// the sibling node, pairwise reorders, start jitter — the explore
+/// experiment's hot path), play every candidate at the mid-curve web
+/// point, and fold the profiles in input order. The window is pinned
+/// rather than observed so the workload stays a pure function of the
+/// constants here.
+pub fn explore_worst() -> Result<EngineProfile, SimError> {
+    let base = FaultPlan::new().crash_restart(
+        0,
+        edison_simcore::time::SimTime::from_secs(4),
+        SimDuration::from_secs(2),
+    );
+    let window = RecoveryWindow {
+        node: 0,
+        start: edison_simcore::time::SimTime::from_secs(6),
+        end: edison_simcore::time::SimTime::from_secs(7),
+    };
+    let space =
+        PerturbSpace::full(SimDuration::from_secs(1), vec![window], vec![1], SimDuration::from_secs(2));
+    let budget = ExploreBudget::new(4, ROOT_SEED);
+    let mut profiles = Vec::new();
+    for (i, cand) in (0u64..).zip(candidates(&base, &space, &budget)) {
+        let mut cfg = web_cfg("bench:explore", i, 64.0, cand.plan)?;
+        cfg.retry_budget = 1;
+        let (_, p) = stack::run_profiled(cfg, Telemetry::profiled());
+        profiles.push(p);
+    }
+    Ok(merge_profiles(profiles))
+}
+
 /// Run one tracked workload by trajectory name.
 pub fn run_tracked(name: &str) -> Result<EngineProfile, SimError> {
     match name {
+        "explore_worst" => explore_worst(),
         "fault_sweep" => fault_sweep(),
         "mapreduce_wordcount" => mapreduce_wordcount(),
         "web_sweep" => web_sweep(),

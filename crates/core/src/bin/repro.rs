@@ -27,8 +27,14 @@
 //!
 //! `--fault-plan FILE` loads a simfault text spec (see
 //! `crates/simfault/src/spec.rs` for the grammar) and hands it to
-//! fault-aware experiments (`fault_sweep`), replacing their built-in
-//! intensity ladder. Parse errors are CLI errors (exit 2).
+//! fault-aware experiments (`fault_sweep`, `explore`), replacing their
+//! built-in schedules. Parse errors are CLI errors (exit 2).
+//!
+//! `--explore-budget N` caps the candidate fault schedules the `explore`
+//! experiment evaluates (and the worst-case candidates per `fault_sweep`
+//! row). Same seed + budget ⇒ byte-identical exploration at any `--jobs`
+//! width; `repro explore` prints the worst schedule and, when it finds
+//! an availability cliff, a minimal reproducer as a `--fault-plan` spec.
 //!
 //! Exit codes: `0` success, `2` CLI error / unknown experiment / bad
 //! fault-plan file, `3` a sweep point panicked
@@ -71,6 +77,7 @@ fn main() {
     let mut metrics_path: Option<PathBuf> = None;
     let mut csv_path: Option<PathBuf> = None;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut explore_budget: Option<usize> = None;
     let mut profile = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -97,13 +104,20 @@ fn main() {
                     _ => die(format!("--jobs needs a positive integer, got '{v}'")),
                 }
             }
+            "--explore-budget" => {
+                let v = flag_value(&args, &mut i, "--explore-budget");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => explore_budget = Some(n),
+                    _ => die(format!("--explore-budget needs a positive integer, got '{v}'")),
+                }
+            }
             "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
             "--trace" => trace_path = Some(PathBuf::from(flag_value(&args, &mut i, "--trace"))),
             "--metrics" => metrics_path = Some(PathBuf::from(flag_value(&args, &mut i, "--metrics"))),
             "--telemetry-csv" => csv_path = Some(PathBuf::from(flag_value(&args, &mut i, "--telemetry-csv"))),
             "--profile" => profile = true,
             "--help" | "-h" => {
-                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [--profile] [IDS...]");
+                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--explore-budget N] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [--profile] [IDS...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -125,6 +139,9 @@ fn main() {
 
     let mut budget = if full { RunBudget::full() } else { RunBudget::quick() };
     budget.fault_plan = fault_plan;
+    if let Some(n) = explore_budget {
+        budget.explore_budget = n;
+    }
     let exec = match jobs {
         Some(n) => Executor::new(n),
         None => Executor::from_env(),

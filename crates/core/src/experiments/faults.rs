@@ -20,6 +20,7 @@
 use crate::registry::RunBudget;
 use crate::report::{table, Comparison, Report};
 use edison_simcore::time::{SimDuration, SimTime};
+use edison_simexplore::{candidates, ExploreBudget, PerturbSpace};
 use edison_simfault::FaultPlan;
 use edison_simrun::{derive_seed_at, Executor, RunError, SimError, ROOT_SEED};
 use edison_simtel::Telemetry;
@@ -97,7 +98,7 @@ fn point_plan(k: u32, budget: &RunBudget) -> FaultPlan {
 
 /// Availability: completed requests over every request the window asked
 /// for (completions + server-side 5xx + client-side abandons).
-fn availability(m: &Metrics) -> f64 {
+pub(crate) fn availability(m: &Metrics) -> f64 {
     let asked = m.completed + m.server_errors + m.client_errors;
     if asked == 0 {
         return 1.0;
@@ -110,6 +111,15 @@ fn availability(m: &Metrics) -> f64 {
 /// work-done-per-joule. The paper's §1 claim in numbers: one crashed node
 /// costs the wimpy cluster a sliver of capacity and the brawny cluster a
 /// large bite.
+///
+/// Every faulted row additionally reports *worst-case* availability and
+/// recovery next to the mean: a timing-only simexplore neighbourhood
+/// (start jitter around each fault, capped at the `--explore-budget`
+/// schedule count) runs through the same sweep, and the row-worst is
+/// taken over the hand-written schedule plus its perturbations. The
+/// flattened (row, candidate) list goes through a single `exec.sweep`
+/// call, so the whole thing stays input-ordered and byte-identical at
+/// any `--jobs` width.
 pub fn fault_sweep(
     budget: &RunBudget,
     exec: &Executor,
@@ -124,18 +134,43 @@ pub fn fault_sweep(
         points.push((Platform::Dell, k));
     }
     let window = budget.web_measure_s as f64;
-    let results = exec.sweep(
+    // flatten (row, candidate): candidate 0 is always the row's own plan,
+    // so the mean columns are untouched by the worst-case machinery
+    let space = PerturbSpace::timing_only(SimDuration::from_secs(1), 1);
+    let xbudget = ExploreBudget::new(budget.explore_budget, ROOT_SEED);
+    let mut flat: Vec<(usize, usize, FaultPlan)> = Vec::new();
+    for (i, &(_p, k)) in points.iter().enumerate() {
+        let plan = point_plan(k, budget);
+        if k == 0 {
+            flat.push((i, 0, plan.normalized()));
+        } else {
+            for (ci, c) in candidates(&plan, &space, &xbudget).into_iter().enumerate() {
+                flat.push((i, ci, c.plan));
+            }
+        }
+    }
+    let flat_results = exec.sweep(
         "fault_sweep",
-        &points,
+        &flat,
         tel,
-        |_, (p, k)| format!("{p:?}x{k}"),
-        |i, &(p, k)| -> Result<Metrics, SimError> {
-            let seed = derive_seed_at(ROOT_SEED, "fault_sweep", i);
-            let mut cfg = sweep_cfg(p, budget, seed)?;
-            cfg.fault_plan = point_plan(k, budget);
+        |_, (pi, ci, _)| {
+            let (p, k) = points[*pi];
+            format!("{p:?}x{k}c{ci}")
+        },
+        |_, (pi, _ci, plan)| -> Result<Metrics, SimError> {
+            // the workload seed is per-row: candidates of a row differ
+            // only in their fault schedule, never in offered load
+            let seed = derive_seed_at(ROOT_SEED, "fault_sweep", *pi);
+            let mut cfg = sweep_cfg(points[*pi].0, budget, seed)?;
+            cfg.fault_plan = plan.clone();
             Ok(run(cfg).metrics)
         },
     )?;
+    // regroup by row, preserving candidate order (flat is row-major)
+    let mut results: Vec<Vec<Metrics>> = (0..points.len()).map(|_| Vec::new()).collect();
+    for ((pi, _, _), r) in flat.iter().zip(flat_results) {
+        results[*pi].push(r?);
+    }
     if tel.is_on() {
         // trace the Edison single-crash run — the row the recovery
         // histogram and failover counters in the export come from
@@ -156,8 +191,19 @@ pub fn fault_sweep(
     let mut rows = Vec::new();
     let mut healthy_rps = [0.0f64; 2]; // [Edison, Dell]
     let mut one_crash_rps = [0.0f64; 2];
-    for (&(platform, k), result) in points.iter().zip(results) {
-        let mut m = result?;
+    for (&(platform, k), mut cand_metrics) in points.iter().zip(results) {
+        // row-worst across the schedule and its timing perturbations:
+        // lowest availability, longest single recovery
+        let wc_avail = cand_metrics
+            .iter()
+            .map(availability)
+            .fold(f64::INFINITY, |a, b| if b.total_cmp(&a).is_lt() { b } else { a });
+        let wc_recovery = cand_metrics
+            .iter()
+            .filter(|c| c.recovery_s.len() > 0)
+            .map(|c| c.recovery_s.max())
+            .fold(f64::NEG_INFINITY, |a, b| if b.total_cmp(&a).is_gt() { b } else { a });
+        let m = &mut cand_metrics[0]; // the row's own (unperturbed) schedule
         let rps = m.completed as f64 / window;
         let pi = usize::from(platform == Platform::Dell);
         if k == 0 {
@@ -174,15 +220,28 @@ pub fn fault_sweep(
             format!("{platform:?}"),
             label,
             format!("{rps:.0}"),
-            format!("{:.2}%", availability(&m) * 100.0),
+            format!("{:.2}%", availability(m) * 100.0),
+            format!("{:.2}%", wc_avail * 100.0),
             format!("{:.1}", m.delays_ms.percentile(99.0)),
             format!("{}", m.failovers),
             if m.recovery_s.len() == 0 { "-".into() } else { format!("{:.2}", m.recovery_s.mean()) },
+            if wc_recovery.is_finite() { format!("{wc_recovery:.2}") } else { "-".into() },
             format!("{:.1}", m.completed as f64 / m.energy_j.max(1e-9)),
         ]);
     }
     let body = table(
-        &["platform", "faults", "req/s", "avail", "p99 ms", "failovers", "recovery s", "req/J"],
+        &[
+            "platform",
+            "faults",
+            "req/s",
+            "avail",
+            "wc avail",
+            "p99 ms",
+            "failovers",
+            "recovery s",
+            "wc rec s",
+            "req/J",
+        ],
         &rows,
     );
     let edison_retention = one_crash_rps[0] / healthy_rps[0].max(1e-9);

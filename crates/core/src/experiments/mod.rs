@@ -12,6 +12,7 @@
 //! * [`profile`] — the simprof probe: observer-equivalence check plus the
 //!   per-kind/per-phase engine breakdown.
 
+pub mod explore;
 pub mod extensions;
 pub mod faults;
 pub mod individual;

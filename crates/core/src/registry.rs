@@ -5,7 +5,7 @@
 //! by id ([`find`]) are allocation-free and iteration ([`all`]) hands out
 //! `&'static dyn Experiment` borrows.
 
-use crate::experiments::{extensions, faults, individual, mapred, profile, smoke, tco_exp, webservice};
+use crate::experiments::{explore, extensions, faults, individual, mapred, profile, smoke, tco_exp, webservice};
 use crate::report::Report;
 use edison_simfault::FaultPlan;
 use edison_simrun::{Executor, RunError};
@@ -24,20 +24,36 @@ pub struct RunBudget {
     /// Run all six Table 8 cluster sizes (vs a reduced column set).
     pub full_scalability: bool,
     /// Override fault schedule (`repro --fault-plan <file>`): fault-aware
-    /// experiments (`fault_sweep`) play this plan instead of their built-in
-    /// intensity ladder. `None` everywhere else.
+    /// experiments (`fault_sweep`, `explore`) play this plan instead of
+    /// their built-in schedules. `None` everywhere else.
     pub fault_plan: Option<FaultPlan>,
+    /// Candidate fault schedules the `explore` experiment evaluates, and
+    /// the per-row cap on `fault_sweep`'s worst-case candidates
+    /// (`repro --explore-budget N`).
+    pub explore_budget: usize,
 }
 
 impl RunBudget {
     /// CI-friendly budget.
     pub fn quick() -> Self {
-        RunBudget { web_warmup_s: 2, web_measure_s: 6, full_scalability: false, fault_plan: None }
+        RunBudget {
+            web_warmup_s: 2,
+            web_measure_s: 6,
+            full_scalability: false,
+            fault_plan: None,
+            explore_budget: 4,
+        }
     }
 
     /// Paper-scale budget (minutes of wall time in release builds).
     pub fn full() -> Self {
-        RunBudget { web_warmup_s: 5, web_measure_s: 20, full_scalability: true, fault_plan: None }
+        RunBudget {
+            web_warmup_s: 5,
+            web_measure_s: 20,
+            full_scalability: true,
+            fault_plan: None,
+            explore_budget: 16,
+        }
     }
 
     /// This budget with a custom fault schedule attached.
@@ -141,6 +157,11 @@ fn index() -> &'static [FnExperiment] {
                 "fault_sweep",
                 "Availability & efficiency under fault intensity × platform",
                 faults::fault_sweep,
+            ),
+            entry(
+                "explore",
+                "Worst-case fault-schedule exploration with shrunk reproducers",
+                explore::explore_experiment,
             ),
             entry("ext_hybrid", "EXT: hybrid web tier (§7 vision)", extensions::ext_hybrid),
             entry("ext_failure", "EXT: node-failure impact", extensions::ext_failure),

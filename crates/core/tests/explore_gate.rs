@@ -1,0 +1,77 @@
+//! Tier-1 gate for the `explore` experiment (`cargo explore-gate`).
+//!
+//! Pins the two load-bearing claims of the simexplore tentpole:
+//!
+//! 1. **The cliff is found.** The hand-written base plan (one polite
+//!    crash/restart of node 0) keeps availability at ~100% — a
+//!    `fault_sweep`-style schedule never sees trouble. Within the
+//!    *default* quick budget the explorer finds a schedule that crashes
+//!    the healthy sibling inside node 0's observed RISE window, drops
+//!    availability past the cliff threshold, and delta-debugs it to a
+//!    reproducer of at most 3 faults.
+//! 2. **Exploration is deterministic in `--jobs`.** Same seed + budget
+//!    must produce a byte-identical worst-case schedule, spec, and
+//!    metrics whether candidates run on 1 worker or 8.
+
+use edison_core::experiments::explore::run_explore;
+use edison_core::registry::RunBudget;
+use edison_simexplore::crashes_inside;
+use edison_simfault::{FaultKind, FaultPlan};
+use edison_simrun::Executor;
+use edison_simtel::Telemetry;
+
+#[test]
+fn default_budget_finds_the_recovery_window_cliff_and_shrinks_it() {
+    let budget = RunBudget::quick();
+    let exec = Executor::new(1);
+    let mut tel = Telemetry::off();
+    let (outcome, windows) =
+        run_explore(&budget, &exec, &mut tel).expect("exploration should complete");
+
+    // the observation run must have reported where recovery actually lay
+    assert!(!windows.is_empty(), "base run observed no recovery window");
+
+    // the base plan itself is polite: no fault of its own lands inside
+    // the window it creates (that is exactly what hand plans miss)
+    assert!(
+        !windows.iter().any(|w| crashes_inside(&outcome.base_plan, w)),
+        "fixture broken: the base plan already hits the window"
+    );
+
+    // the worst schedule is strictly worse than base, found by the
+    // window-probe phase, and crashes inside an observed window
+    assert!(
+        outcome.worst.availability < outcome.base.availability,
+        "no schedule worse than base found within the default budget"
+    );
+    assert_eq!(outcome.worst_phase, "window");
+    assert!(
+        windows.iter().any(|w| crashes_inside(&outcome.worst_plan, w)),
+        "worst schedule does not crash inside an observed recovery window"
+    );
+
+    // the cliff fired and shrank to a small reproducer
+    let cliff = outcome.cliff.as_ref().expect("availability cliff not detected");
+    assert!(cliff.reproducer.len() <= 3, "reproducer has {} faults", cliff.reproducer.len());
+    assert!(
+        windows.iter().any(|w| crashes_inside(&cliff.reproducer, w)),
+        "shrunk reproducer lost the in-window crash"
+    );
+    // ... and the reproducer still names at least one crash, round-trips
+    // through the spec grammar, and reproduces via --fault-plan
+    assert!(cliff.reproducer.faults().iter().any(|f| f.kind == FaultKind::NodeCrash));
+    let reparsed = FaultPlan::parse(&cliff.spec).expect("reproducer spec must parse");
+    assert_eq!(reparsed.normalized(), cliff.reproducer.normalized());
+}
+
+#[test]
+fn exploration_is_byte_identical_across_jobs_widths() {
+    let budget = RunBudget::quick();
+    let mut tel1 = Telemetry::off();
+    let mut tel8 = Telemetry::off();
+    let (o1, w1) = run_explore(&budget, &Executor::new(1), &mut tel1).expect("jobs=1 run");
+    let (o8, w8) = run_explore(&budget, &Executor::new(8), &mut tel8).expect("jobs=8 run");
+    assert_eq!(w1, w8, "observed recovery windows differ across jobs widths");
+    assert_eq!(o1.worst_spec, o8.worst_spec, "worst-case spec differs across jobs widths");
+    assert_eq!(o1, o8, "exploration outcome differs across jobs widths");
+}

@@ -28,8 +28,8 @@ use edison_simcore::stats::TimeSeries;
 use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, EngineProfile, KindProfiler, Model, Simulation};
 use edison_simfault::metrics as fault_metrics;
-use edison_simfault::{Fault, FaultKind, FaultPlan};
-use edison_simrun::SimError;
+use edison_simfault::{Fault, FaultKind, FaultPlan, RecoveryWindow};
+use edison_simrun::{derive_seed, SimError};
 use edison_simtel::{labels, record_engine_profile, EventCounter, Telemetry};
 use std::collections::VecDeque;
 
@@ -47,6 +47,13 @@ const REDUCE_SLOWSTART: f64 = 0.05;
 /// A run with no task-phase transition for this long is declared stuck
 /// (an unrecovered fault), not left looping on idle ticks forever.
 const STALL_TIMEOUT: SimDuration = SimDuration::from_secs(3600);
+/// Exponent cap on the re-registration backoff of a repeatedly restarting
+/// nodemanager: delays double per restart up to `base << REREG_BACKOFF_CAP`.
+const REREG_BACKOFF_CAP: u32 = 2;
+/// Jitter spread (± fraction) around the re-registration backoff, seeded
+/// per (node, restart), so simultaneously restarted nodes never hammer
+/// the RM in lockstep.
+const REREG_JITTER: f64 = 0.25;
 
 /// Apply a fault multiplier without perturbing fault-free arithmetic: the
 /// common `m == 1.0` case returns `d` bit-exactly.
@@ -236,6 +243,9 @@ pub enum Ev {
     DiskDone { node: usize, job: u64 },
     FlowEnd { task: usize, attempt: u32 },
     Fault { idx: usize },
+    /// A restarted nodemanager's backed-off re-registration firing: the
+    /// node begins re-localising job artifacts.
+    ReRegister { node: usize },
     Sample,
 }
 
@@ -250,6 +260,7 @@ impl Ev {
             Ev::DiskDone { .. } => "disk_done",
             Ev::FlowEnd { .. } => "flow_end",
             Ev::Fault { .. } => "fault",
+            Ev::ReRegister { .. } => "re_register",
             Ev::Sample => "sample",
         }
     }
@@ -295,6 +306,10 @@ pub struct JobOutcome {
     /// Mean seconds from node crash to the node schedulable again
     /// (restarted + re-localised); 0.0 when no node recovered in-run.
     pub mean_recovery_s: f64,
+    /// Observed recovery windows (restart applied → re-localised), in
+    /// completion order. The simexplore perturbation space targets
+    /// follow-up faults inside these.
+    pub recovery_windows: Vec<RecoveryWindow>,
 }
 
 impl JobOutcome {
@@ -343,6 +358,11 @@ struct MrWorld {
     needs_reap: Vec<bool>,
     /// Crash instants, taken when the node becomes schedulable again.
     crash_time: Vec<Option<SimTime>>,
+    /// Restart instants, taken when re-localisation completes (the
+    /// recovery-window sample: re-registered but not yet schedulable).
+    restart_time: Vec<Option<SimTime>>,
+    /// Restarts seen per node (drives the re-registration backoff).
+    restart_count: Vec<u32>,
     /// CPU-work multiplier per node (CpuThrottle faults; 1.0 = healthy).
     cpu_factor: Vec<f64>,
     /// Flow-duration multiplier per node (NicDegrade: latency × loss
@@ -361,6 +381,9 @@ struct MrWorld {
     nodes_lost: u32,
     /// Crash → schedulable-again durations, seconds.
     recovery_s: Vec<f64>,
+    /// Observed recovery windows: restart applied → re-localised (the
+    /// interval simexplore probes with follow-up faults).
+    recovery_windows: Vec<RecoveryWindow>,
     /// Last task-phase transition (stall detection).
     last_progress: SimTime,
     /// Telemetry sink; [`Telemetry::off`] unless the run came through
@@ -468,6 +491,8 @@ impl MrWorld {
             node_down: vec![false; workers],
             needs_reap: vec![false; workers],
             crash_time: vec![None; workers],
+            restart_time: vec![None; workers],
+            restart_count: vec![0; workers],
             cpu_factor: vec![1.0; workers],
             net_factor: vec![1.0; workers],
             disk_factor: vec![1.0; workers],
@@ -477,6 +502,7 @@ impl MrWorld {
             task_reexecs: 0,
             nodes_lost: 0,
             recovery_s: Vec::new(),
+            recovery_windows: Vec::new(),
             last_progress: SimTime::ZERO,
             tel: Telemetry::off(),
             slave_tracks: Vec::new(),
@@ -1153,6 +1179,7 @@ impl MrWorld {
         }
         self.node_down[node] = true;
         self.needs_reap[node] = true;
+        self.restart_time[node] = None;
         self.node_ready[node] = false; // job artifacts die with the node
         self.crash_time[node] = Some(now);
         for t in 0..self.tasks.len() {
@@ -1219,14 +1246,25 @@ impl MrWorld {
             return false;
         }
         self.node_down[node] = false;
+        self.restart_time[node] = Some(now);
+        self.restart_count[node] += 1;
         // a restarting nodemanager reports lost containers itself, even
         // when the blip was shorter than the liveness timeout
         self.reap_node(node, now, ctx);
         self.liveness.revive(node, now);
         if self.am_ready {
-            let service =
-                self.nodes.node(NodeId(node)).disk_write_time(calib::JOB_LOCALIZATION_BYTES, false);
-            self.submit_disk(node, LOCALIZE_BASE + node as u64, service, now, ctx);
+            // deterministic capped jittered exponential backoff before the
+            // RM accepts the re-registration, seeded per (node, restart):
+            // a flapping node backs off harder, and nodes restarted by the
+            // same fault spread out instead of re-registering in lockstep
+            let attempt = self.restart_count[node];
+            let exp = (attempt - 1).min(REREG_BACKOFF_CAP);
+            let stream_idx = u64::try_from(node).unwrap_or(u64::MAX) | (u64::from(attempt) << 56);
+            let mut rng =
+                SimRng::new(derive_seed(self.setup.seed, "mr:rereg-backoff", stream_idx));
+            let delay = SimDuration::from_secs_f64(calib::CONTAINER_GRANT_DELAY_S)
+                .mul_f64(f64::from(1u32 << exp) * rng.jitter(REREG_JITTER));
+            ctx.schedule_at(now + delay, Ev::ReRegister { node });
         }
         true
     }
@@ -1428,6 +1466,12 @@ impl Model for MrWorld {
                                 rec,
                             );
                         }
+                        if let Some(up) = self.restart_time[n].take() {
+                            // restarted-but-not-schedulable: the window
+                            // simexplore probes with follow-up faults
+                            self.recovery_windows
+                                .push(RecoveryWindow { node: n, start: up, end: now });
+                        }
                     }
                 } else {
                     let (attempt, task) = decode_job(job);
@@ -1438,6 +1482,17 @@ impl Model for MrWorld {
                 }
             }
             Ev::FlowEnd { task, attempt } => self.flow_end(task, attempt, now, ctx),
+            Ev::ReRegister { node } => {
+                if self.node_down[node] || !self.am_ready {
+                    return; // crashed again while backing off
+                }
+                let service = self
+                    .nodes
+                    .node(NodeId(node))
+                    .disk_write_time(calib::JOB_LOCALIZATION_BYTES, false);
+                let job = LOCALIZE_BASE + u64::try_from(node).unwrap_or(u64::MAX / 2);
+                self.submit_disk(node, job, service, now, ctx);
+            }
             Ev::Fault { idx } => self.apply_fault(idx, now, ctx),
             Ev::Sample => {
                 self.sample(now);
@@ -1611,6 +1666,7 @@ fn run_job_inner(
         task_reexecs: w.task_reexecs,
         nodes_lost: w.nodes_lost,
         mean_recovery_s,
+        recovery_windows: w.recovery_windows.clone(),
     };
     let tel = std::mem::take(&mut sim.world_mut().tel);
     Ok((outcome, tel, engine_profile))

@@ -1,0 +1,45 @@
+//! Systematic fault-interleaving exploration (`simexplore`).
+//!
+//! `simfault` answers *"what happens under this fault plan"*; this crate
+//! answers *"what is the worst schedule near this plan"*. A base
+//! [`FaultPlan`] plus a [`PerturbSpace`] define a neighbourhood of
+//! candidate schedules: per-fault start jitter, pairwise reorderings of
+//! adjacent faults, and follow-up crashes probed inside *observed*
+//! recovery windows (the interval where a node is back up but not yet
+//! usable — exactly where hand-written plans rarely aim). [`explore`]
+//! searches that neighbourhood — exhaustively within a schedule budget,
+//! with seed-derived randomized schedules beyond it — for the candidate
+//! minimizing availability (ties broken toward maximal recovery time),
+//! and delta-debugs any availability cliff down to a minimal reproducer
+//! emitted as a `--fault-plan` spec string.
+//!
+//! ## Determinism argument
+//!
+//! Every result is a pure function of `(base plan, space, budget)`:
+//!
+//! * **Candidate enumeration** is a fixed order — base, window probes,
+//!   pairwise reorders, start jitter, then randomized fill whose `i`-th
+//!   schedule derives from `derive_seed(budget.seed, "simexplore:rand",
+//!   i)` — never from map iteration, wall clock, or thread timing.
+//! * **Scoring** fans the candidates over the simrun [`Executor`], whose
+//!   results come back in input order at any `--jobs` width; the
+//!   worst-candidate scan walks that order and replaces only on a
+//!   *strictly* worse score (`total_cmp`, no NaN surprises), so ties
+//!   resolve to the lowest index.
+//! * **Shrinking** probes removals one fault at a time in a fixed
+//!   (descending-index) order until a fixpoint, re-running the same
+//!   deterministic runner.
+//!
+//! Hence the same seed and budget produce byte-identical worst-case
+//! schedules, spec strings, and metrics at `--jobs 1` and `--jobs 8` —
+//! pinned by `crates/core/tests/explore_gate.rs`.
+
+pub mod metrics;
+mod search;
+mod space;
+
+pub use search::{explore, Cliff, ExploreBudget, ExploreOutcome, ScheduleScore};
+pub use space::{candidates, crashes_inside, Candidate, PerturbSpace};
+
+// Re-exported so downstream callers name one crate for the vocabulary.
+pub use edison_simfault::{FaultPlan, RecoveryWindow};

@@ -1,0 +1,29 @@
+//! Metric vocabulary recorded by [`explore`](crate::explore).
+//!
+//! Names are `&'static str` constants so worlds and tests reference one
+//! spelling, and `register_help` seeds the export HELP lines.
+
+use edison_simtel::Telemetry;
+
+/// Counter: candidate schedules evaluated, by `phase`
+/// (`base`/`window`/`reorder`/`jitter`/`random`/`shrink`) and `outcome`
+/// (`ok`/`error`).
+pub const SCHEDULES_TOTAL: &str = "explore_schedules_total";
+
+/// Gauge: availability drop of the worst schedule below the base
+/// schedule (0 when no candidate did worse than the base).
+pub const CLIFF_DEPTH: &str = "explore_cliff_depth";
+
+/// Gauge: availability of the worst schedule found.
+pub const WORST_AVAILABILITY: &str = "explore_worst_availability";
+
+/// Gauge: worst single recovery time (seconds) under the worst schedule.
+pub const WORST_RECOVERY_SECONDS: &str = "explore_worst_recovery_seconds";
+
+/// Register HELP text for the explore metric vocabulary.
+pub fn register_help(tel: &mut Telemetry) {
+    tel.help(SCHEDULES_TOTAL, "Candidate fault schedules evaluated, by phase and outcome");
+    tel.help(CLIFF_DEPTH, "Availability drop of the worst schedule below the base schedule");
+    tel.help(WORST_AVAILABILITY, "Availability of the worst schedule found");
+    tel.help(WORST_RECOVERY_SECONDS, "Worst single recovery time under the worst schedule (s)");
+}

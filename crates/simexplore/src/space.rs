@@ -1,0 +1,285 @@
+//! The perturbation space and its deterministic candidate enumeration.
+
+use edison_simcore::rng::SimRng;
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simfault::{FaultKind, FaultPlan, RecoveryWindow};
+use edison_simrun::derive_seed;
+
+use crate::search::ExploreBudget;
+
+/// The neighbourhood explored around a base plan. Every field is plain
+/// data: two spaces compare equal exactly when they enumerate the same
+/// candidates for the same base plan and budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbSpace {
+    /// Maximum ± shift applied to a fault's start time. Shifts clamp at
+    /// `t = 0` rather than wrapping.
+    pub start_jitter: SimDuration,
+    /// Grid points per side in the exhaustive jitter phase (`1` probes
+    /// `±start_jitter`, `2` adds `±start_jitter/2`, …).
+    pub jitter_steps: u32,
+    /// Swap the start times of each adjacent pair of the normalized plan
+    /// (the pairwise-reorder phase).
+    pub reorder_pairs: bool,
+    /// Observed recovery windows to probe with follow-up crashes (from
+    /// `Metrics::recovery_windows` / `JobOutcome::recovery_windows` of a
+    /// base run). Empty when no base observation is available.
+    pub windows: Vec<RecoveryWindow>,
+    /// Nodes eligible for window probes. The nastiest interleaving is
+    /// usually a crash of a *different* node while the window's node is
+    /// restarted-but-not-usable (on a 2-node tier that takes the whole
+    /// tier out), so callers pass the full tier here. Empty = probe only
+    /// each window's own node.
+    pub probe_nodes: Vec<usize>,
+    /// Probe points per recovery window, evenly spaced in its interior.
+    pub window_steps: u32,
+    /// Outage length of each injected probe (`crash_restart` pair).
+    pub probe_outage: SimDuration,
+}
+
+impl PerturbSpace {
+    /// Timing-only neighbourhood: start jitter, no reorders, no window
+    /// probes. What `fault_sweep` uses for its worst-case columns, where
+    /// no base-run observation is in scope.
+    pub fn timing_only(start_jitter: SimDuration, jitter_steps: u32) -> Self {
+        PerturbSpace {
+            start_jitter,
+            jitter_steps,
+            reorder_pairs: false,
+            windows: Vec::new(),
+            probe_nodes: Vec::new(),
+            window_steps: 0,
+            probe_outage: SimDuration::ZERO,
+        }
+    }
+
+    /// The full neighbourhood: window probes (2 per window per eligible
+    /// node), pairwise reorders, and ±`start_jitter` at one grid step
+    /// per side.
+    pub fn full(
+        start_jitter: SimDuration,
+        windows: Vec<RecoveryWindow>,
+        probe_nodes: Vec<usize>,
+        probe_outage: SimDuration,
+    ) -> Self {
+        PerturbSpace {
+            start_jitter,
+            jitter_steps: 1,
+            reorder_pairs: true,
+            windows,
+            probe_nodes,
+            window_steps: 2,
+            probe_outage,
+        }
+    }
+
+    /// The probe-node set for window `w`: the configured tier, or just
+    /// the window's own node when none was given.
+    fn probe_nodes_for(&self, w: &RecoveryWindow) -> Vec<usize> {
+        if self.probe_nodes.is_empty() {
+            vec![w.node]
+        } else {
+            self.probe_nodes.clone()
+        }
+    }
+}
+
+/// One enumerated schedule: the plan, the phase that produced it, and a
+/// short human label for sweep-point naming.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The candidate schedule (normalized base with one perturbation).
+    pub plan: FaultPlan,
+    /// Which enumeration phase produced it: `base`, `window`, `reorder`,
+    /// `jitter`, or `random`.
+    pub phase: &'static str,
+    /// Human-readable description of the perturbation.
+    pub label: String,
+}
+
+impl Candidate {
+    fn new(plan: FaultPlan, phase: &'static str, label: String) -> Self {
+        Candidate { plan, phase, label }
+    }
+}
+
+/// Shift `at` by `delta_s` seconds (either sign), clamping at `t = 0`.
+fn shifted(at: SimTime, delta_s: f64) -> SimTime {
+    if delta_s >= 0.0 {
+        at + SimDuration::from_secs_f64(delta_s)
+    } else {
+        at - SimDuration::from_secs_f64(-delta_s).min(SimDuration(at.0))
+    }
+}
+
+/// Enumerate the candidate schedules for `base` in the deterministic
+/// order [`explore`](crate::explore) scores them:
+///
+/// 1. the normalized base itself (always index 0);
+/// 2. recovery-window probes — a `crash_restart` of the window's node at
+///    each interior grid point (the highest-value candidates, so a small
+///    budget still reaches them);
+/// 3. pairwise reorders of adjacent normalized faults;
+/// 4. the start-jitter grid, fault-major then step then `-`/`+` sign;
+/// 5. seed-derived randomized schedules filling the remaining budget —
+///    every fault jittered uniformly in `±start_jitter`, plus (when
+///    windows were observed) a coin-flipped probe at a uniform point of
+///    a uniformly chosen window.
+///
+/// The list is truncated to `budget.schedules` (minimum 1: the base is
+/// never dropped). Purely a function of its arguments.
+pub fn candidates(base: &FaultPlan, space: &PerturbSpace, budget: &ExploreBudget) -> Vec<Candidate> {
+    let norm = base.normalized();
+    let cap = budget.schedules.max(1);
+    let mut out = vec![Candidate::new(norm.clone(), "base", "base".to_string())];
+
+    // 2. recovery-window probes
+    for (wi, w) in space.windows.iter().enumerate() {
+        let width_s = w.end.saturating_since(w.start).as_secs_f64();
+        for node in space.probe_nodes_for(w) {
+            for k in 1..=space.window_steps {
+                let frac = f64::from(k) / f64::from(space.window_steps + 1);
+                let at = w.start + SimDuration::from_secs_f64(width_s * frac);
+                let plan = norm.clone().crash_restart(node, at, space.probe_outage);
+                out.push(Candidate::new(
+                    plan,
+                    "window",
+                    format!("w{wi}+crash{node}@{:.2}s", at.as_secs_f64()),
+                ));
+            }
+        }
+    }
+
+    // 3. pairwise reorders of adjacent normalized faults
+    if space.reorder_pairs {
+        for i in 0..norm.len().saturating_sub(1) {
+            let (a, b) = (norm.faults()[i], norm.faults()[i + 1]);
+            if a.at == b.at {
+                continue;
+            }
+            let plan = norm.with_fault_at(i, b.at).with_fault_at(i + 1, a.at);
+            out.push(Candidate::new(plan, "reorder", format!("swap{i}<>{}", i + 1)));
+        }
+    }
+
+    // 4. the start-jitter grid
+    let jitter_s = space.start_jitter.as_secs_f64();
+    if jitter_s > 0.0 {
+        for i in 0..norm.len() {
+            for step in (1..=space.jitter_steps).rev() {
+                let mag = jitter_s * f64::from(step) / f64::from(space.jitter_steps.max(1));
+                for sign in [-1.0, 1.0] {
+                    let at = shifted(norm.faults()[i].at, sign * mag);
+                    out.push(Candidate::new(
+                        norm.with_fault_at(i, at),
+                        "jitter",
+                        format!("f{i}{}{mag:.2}s", if sign < 0.0 { '-' } else { '+' }),
+                    ));
+                }
+            }
+        }
+    }
+
+    out.truncate(cap);
+
+    // 5. seed-derived randomized fill
+    let mut ri: u64 = 0;
+    while out.len() < cap {
+        let mut rng = SimRng::new(derive_seed(budget.seed, "simexplore:rand", ri));
+        let mut plan = norm.clone();
+        if jitter_s > 0.0 {
+            for i in 0..plan.len() {
+                let delta = rng.range_f64(-jitter_s, jitter_s);
+                let at = shifted(norm.faults()[i].at, delta);
+                plan = plan.with_fault_at(i, at);
+            }
+        }
+        if !space.windows.is_empty() && rng.chance(0.5) {
+            let wi = usize::try_from(rng.below(space.windows.len() as u64)).unwrap_or(0);
+            let w = space.windows[wi];
+            let nodes = space.probe_nodes_for(&w);
+            let node = nodes[usize::try_from(rng.below(nodes.len() as u64)).unwrap_or(0)];
+            let width_s = w.end.saturating_since(w.start).as_secs_f64();
+            let at = w.start + SimDuration::from_secs_f64(width_s * rng.uniform());
+            plan = plan.crash_restart(node, at, space.probe_outage);
+        }
+        out.push(Candidate::new(plan, "random", format!("r{ri}")));
+        ri += 1;
+    }
+    out
+}
+
+/// True when `plan` schedules a [`FaultKind::NodeCrash`] strictly inside
+/// `(w.start, w.end)` — a crash landing while the window's node is
+/// restarted but not yet usable, the interleaving the explorer exists to
+/// find (on any node: crashing a *healthy* sibling during the window is
+/// usually the worst case). Used by tests and the fixture gate.
+pub fn crashes_inside(plan: &FaultPlan, w: &RecoveryWindow) -> bool {
+    plan.faults()
+        .iter()
+        .any(|f| matches!(f.kind, FaultKind::NodeCrash) && f.at > w.start && f.at < w.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> FaultPlan {
+        FaultPlan::new().crash_restart(0, SimTime::from_secs(4), SimDuration::from_secs(2))
+    }
+
+    fn window() -> RecoveryWindow {
+        RecoveryWindow { node: 0, start: SimTime::from_secs(6), end: SimTime::from_secs(8) }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_base_first_budget_bounded() {
+        let space =
+            PerturbSpace::full(SimDuration::from_secs(1), vec![window()], vec![], SimDuration::from_secs(2));
+        let budget = ExploreBudget::new(8, 42);
+        let a = candidates(&base(), &space, &budget);
+        let b = candidates(&base(), &space, &budget);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0].phase, "base");
+        assert_eq!(a[0].plan, base().normalized());
+        // window probes come right after the base so small budgets reach them
+        assert_eq!(a[1].phase, "window");
+        assert!(crashes_inside(&a[1].plan, &window()), "{:?}", a[1].plan);
+    }
+
+    #[test]
+    fn random_fill_extends_past_the_exhaustive_phase() {
+        let space = PerturbSpace::timing_only(SimDuration::from_secs(1), 1);
+        // 1 base + 4 jitter candidates exhaust the space; the rest is random
+        let cands = candidates(&base(), &space, &ExploreBudget::new(9, 7));
+        assert_eq!(cands.len(), 9);
+        assert_eq!(cands[5].phase, "random");
+        // a different seed changes the random tail but not the grid
+        let other = candidates(&base(), &space, &ExploreBudget::new(9, 8));
+        assert_eq!(cands[..5], other[..5]);
+        assert_ne!(cands[5..], other[5..]);
+    }
+
+    #[test]
+    fn jitter_clamps_at_time_zero() {
+        let early = FaultPlan::new().crash(0, SimTime::from_millis(100));
+        let space = PerturbSpace::timing_only(SimDuration::from_secs(1), 1);
+        let cands = candidates(&early, &space, &ExploreBudget::new(4, 0));
+        assert!(cands.iter().all(|c| c.plan.faults().iter().all(|f| f.at.0 < u64::MAX / 2)));
+        assert!(cands.iter().any(|c| c.plan.faults()[0].at == SimTime::ZERO));
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_start_times() {
+        let mut space = PerturbSpace::timing_only(SimDuration::ZERO, 0);
+        space.reorder_pairs = true;
+        let cands = candidates(&base(), &space, &ExploreBudget::new(2, 0));
+        assert_eq!(cands[1].phase, "reorder");
+        // the crash and restart trade places: restart at 4 s, crash at 6 s
+        let swapped = cands[1].plan.normalized();
+        assert_eq!(swapped.faults()[0].kind, FaultKind::NodeRestart);
+        assert_eq!(swapped.faults()[0].at, SimTime::from_secs(4));
+        assert_eq!(swapped.faults()[1].kind, FaultKind::NodeCrash);
+    }
+}

@@ -41,4 +41,4 @@ pub mod metrics;
 mod plan;
 mod spec;
 
-pub use plan::{Fault, FaultKind, FaultPlan, FaultPlanError};
+pub use plan::{Fault, FaultKind, FaultPlan, FaultPlanError, RecoveryWindow};

@@ -68,6 +68,53 @@ impl FaultKind {
                 | (FaultKind::CpuThrottle { .. }, FaultKind::CpuRestore)
         )
     }
+
+    /// Canonical tie-break rank among kinds landing on the same node at the
+    /// same instant. Break kinds sort before their restores so zero-width
+    /// pairs are adjacent regardless of insertion order.
+    fn rank(&self) -> u8 {
+        match self {
+            FaultKind::NodeCrash => 0,
+            FaultKind::NodeRestart => 1,
+            FaultKind::NicDegrade { .. } => 2,
+            FaultKind::NicRestore => 3,
+            FaultKind::DiskSlow { .. } => 4,
+            FaultKind::DiskRestore => 5,
+            FaultKind::CpuThrottle { .. } => 6,
+            FaultKind::CpuRestore => 7,
+            FaultKind::CacheColdRestart => 8,
+        }
+    }
+
+    /// Parameter pair for the canonical order (zeros for parameterless
+    /// kinds). Compared with `total_cmp`, so the order is total even for
+    /// not-yet-validated plans carrying non-finite values.
+    fn params(&self) -> (f64, f64) {
+        match *self {
+            FaultKind::NicDegrade { loss, latency_mult } => (loss, latency_mult),
+            FaultKind::DiskSlow { factor } | FaultKind::CpuThrottle { factor } => (factor, 0.0),
+            _ => (0.0, 0.0),
+        }
+    }
+}
+
+/// One observed crash-recovery interval, reported by the worlds so the
+/// schedule explorer (`crates/simexplore`) can aim follow-up faults at it.
+///
+/// `start` is the instant the node came back up (web: `restart` applied;
+/// MapReduce: nodemanager re-registered) and `end` the instant it was
+/// usable again (web: back in LB rotation after RISE health checks;
+/// MapReduce: job artifacts re-localised). Faults injected inside this
+/// window land on a node the control plane already believes is returning —
+/// exactly where hand-written plans rarely look.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryWindow {
+    /// Tier-local node index the window belongs to.
+    pub node: usize,
+    /// Node back up (restart applied / re-registered).
+    pub start: SimTime,
+    /// Node usable again (in rotation / re-localised).
+    pub end: SimTime,
 }
 
 /// One scheduled fault: a kind, a target node, and an injection time.
@@ -85,10 +132,16 @@ pub struct Fault {
 /// Error raised when parsing or validating a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultPlanError {
-    /// The text spec could not be parsed (1-based line number).
+    /// The text spec could not be parsed (1-based line and column).
     Parse {
         /// 1-based line number of the offending line.
         line: usize,
+        /// 1-based character column of the offending token (column of the
+        /// directive for structural errors like a missing operand).
+        col: usize,
+        /// The offending token itself (the directive for structural
+        /// errors; empty only for an empty line that somehow errored).
+        token: String,
         /// What was wrong.
         msg: String,
     },
@@ -105,7 +158,13 @@ pub enum FaultPlanError {
 impl fmt::Display for FaultPlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FaultPlanError::Parse { line, msg } => write!(f, "fault plan line {line}: {msg}"),
+            FaultPlanError::Parse { line, col, token, msg } => {
+                write!(f, "fault plan line {line}, col {col}: {msg}")?;
+                if !token.is_empty() {
+                    write!(f, " (at '{token}')")?;
+                }
+                Ok(())
+            }
             FaultPlanError::Invalid { index, msg } => write!(f, "fault plan entry {index}: {msg}"),
         }
     }
@@ -213,6 +272,27 @@ impl FaultPlan {
         self.faults.len()
     }
 
+    /// This plan with the `index`-th fault (plan order) moved to `at`.
+    /// Out-of-range indices return the plan unchanged. The explorer's
+    /// start-jitter and pairwise-reorder moves are built from this.
+    pub fn with_fault_at(&self, index: usize, at: SimTime) -> FaultPlan {
+        let mut p = self.clone();
+        if let Some(f) = p.faults.get_mut(index) {
+            f.at = at;
+        }
+        p
+    }
+
+    /// This plan without the `index`-th fault (plan order). Out-of-range
+    /// indices return the plan unchanged. The shrinker's removal probe.
+    pub fn without_fault(&self, index: usize) -> FaultPlan {
+        let mut p = self.clone();
+        if index < p.faults.len() {
+            p.faults.remove(index);
+        }
+        p
+    }
+
     /// The deterministic seed for per-fault randomness of the `index`-th
     /// fault (plan order), derived from the seed root via simrun's
     /// `derive_seed` so it is independent of sibling faults.
@@ -220,13 +300,30 @@ impl FaultPlan {
         derive_seed(self.seed_root, "simfault:fault", u64::try_from(index).unwrap_or(u64::MAX))
     }
 
-    /// The injection schedule: faults sorted by time (stable in plan order
-    /// for ties) with zero-width pairs cancelled — a crash and a restart
-    /// (or a degrade and its restore) on the same node at the same instant
-    /// annihilate, making a zero-width fault observationally a no-op.
+    /// The injection schedule: faults in the *canonical order* — sorted by
+    /// `(time, node, kind rank, parameters)` — with zero-width pairs
+    /// cancelled: a crash and a restart (or a degrade and its restore) on
+    /// the same node at the same instant annihilate, making a zero-width
+    /// fault observationally a no-op.
+    ///
+    /// The sort key deliberately ignores insertion order, so any
+    /// permutation of the same fault set normalizes to the same plan (and
+    /// the same `to_spec()` bytes) — the property the schedule explorer's
+    /// dedup and the `--jobs`-width determinism argument both lean on.
+    /// Same-instant ties across nodes inject in node order; a break kind
+    /// sorts before its restore on the same node.
     pub fn normalized(&self) -> FaultPlan {
         let mut order: Vec<usize> = (0..self.faults.len()).collect();
-        order.sort_by_key(|&i| (self.faults[i].at, i));
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (&self.faults[a], &self.faults[b]);
+            let (pa, pb) = (fa.kind.params(), fb.kind.params());
+            fa.at
+                .cmp(&fb.at)
+                .then(fa.node.cmp(&fb.node))
+                .then(fa.kind.rank().cmp(&fb.kind.rank()))
+                .then(pa.0.total_cmp(&pb.0))
+                .then(pa.1.total_cmp(&pb.1))
+        });
         let mut dropped = vec![false; self.faults.len()];
         for a in 0..order.len() {
             let ia = order[a];
@@ -312,12 +409,29 @@ mod tests {
     }
 
     #[test]
-    fn normalized_sorts_by_time_stable() {
+    fn normalized_sorts_into_canonical_order() {
         let p = FaultPlan::new().crash(1, t(20)).crash(0, t(10)).cache_cold_restart(2, t(20));
         let n = p.normalized();
         assert_eq!(n.faults()[0].node, 0);
-        assert_eq!(n.faults()[1].node, 1); // inserted before the t=20 cache fault
+        assert_eq!(n.faults()[1].node, 1); // same-instant ties inject in node order
         assert_eq!(n.faults()[2].node, 2);
+        // insertion order is not part of the canonical key: the reversed
+        // plan normalizes to byte-identical spec text
+        let rev = FaultPlan::new().cache_cold_restart(2, t(20)).crash(0, t(10)).crash(1, t(20));
+        assert_eq!(rev.normalized().to_spec(), n.to_spec());
+    }
+
+    #[test]
+    fn perturbation_helpers_move_and_remove() {
+        let p = FaultPlan::new().crash(0, t(10)).restart(0, t(15));
+        let moved = p.with_fault_at(1, t(20));
+        assert_eq!(moved.faults()[1].at, t(20));
+        assert_eq!(moved.faults()[0], p.faults()[0]);
+        assert_eq!(p.with_fault_at(9, t(1)), p, "out of range is a no-op");
+        let removed = p.without_fault(0);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed.faults()[0].kind, FaultKind::NodeRestart);
+        assert_eq!(p.without_fault(9), p, "out of range is a no-op");
     }
 
     #[test]
@@ -359,6 +473,69 @@ mod tests {
         assert_ne!(p.fault_seed(0), p.fault_seed(1));
         let q = FaultPlan::new().with_seed(43).crash(0, t(1));
         assert_ne!(p.fault_seed(0), q.fault_seed(0));
+    }
+
+    /// Decode one sampled tuple into a pushable fault (mirrors the helper
+    /// in `spec.rs` tests; duplicated so each file reads standalone).
+    fn fault_from(raw: (u64, usize, u8, f64)) -> (SimTime, usize, FaultKind) {
+        let (ns, node, sel, p) = raw;
+        let kind = match sel % 9 {
+            0 => FaultKind::NodeCrash,
+            1 => FaultKind::NodeRestart,
+            2 => FaultKind::NicDegrade { loss: p / 10.0, latency_mult: p },
+            3 => FaultKind::NicRestore,
+            4 => FaultKind::DiskSlow { factor: p },
+            5 => FaultKind::DiskRestore,
+            6 => FaultKind::CpuThrottle { factor: p },
+            7 => FaultKind::CpuRestore,
+            _ => FaultKind::CacheColdRestart,
+        };
+        (SimTime(ns), node, kind)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// Order-normalisation is idempotent and permutation-invariant:
+        /// any insertion order of the same fault set normalizes to the
+        /// same plan and byte-identical spec text. Times are drawn from a
+        /// small grid so same-instant ties (the interesting case for the
+        /// canonical tie-break and zero-width cancellation) are common.
+        #[test]
+        fn normalization_idempotent_and_permutation_invariant(
+            seed in proptest::any::<u64>(),
+            perm_seed in proptest::any::<u64>(),
+            raws in proptest::collection::vec(
+                (0u64..8_000_000_000, 0usize..4, 0u8..9, 1.0f64..4.0),
+                0..10,
+            ),
+        ) {
+            use edison_simcore::rng::SimRng;
+            // snap times onto a 1 s grid: collisions exercise the ties
+            let snap = |ns: u64| (ns / 1_000_000_000) * 1_000_000_000;
+            let mut plan = FaultPlan::new().with_seed(seed);
+            for &raw in &raws {
+                let (at, node, kind) = fault_from(raw);
+                plan = plan.push(SimTime(snap(at.0)), node, kind);
+            }
+            // the same set in a seed-derived shuffled order (Fisher-Yates)
+            let mut order: Vec<usize> = (0..raws.len()).collect();
+            let mut rng = SimRng::new(perm_seed);
+            for i in (1..order.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            let mut shuffled = FaultPlan::new().with_seed(seed);
+            for &i in &order {
+                let (at, node, kind) = fault_from(raws[i]);
+                shuffled = shuffled.push(SimTime(snap(at.0)), node, kind);
+            }
+            let n = plan.normalized();
+            proptest::prop_assert_eq!(&shuffled.normalized(), &n);
+            proptest::prop_assert_eq!(shuffled.normalized().to_spec(), n.to_spec());
+            proptest::prop_assert_eq!(&n.normalized(), &n);
+            proptest::prop_assert_eq!(n.normalized().to_spec(), n.to_spec());
+        }
     }
 
     #[test]

@@ -24,69 +24,105 @@ use crate::plan::{FaultKind, FaultPlan, FaultPlanError};
 use edison_simcore::time::SimTime;
 use std::fmt;
 
-fn parse_err(line: usize, msg: impl Into<String>) -> FaultPlanError {
-    FaultPlanError::Parse { line, msg: msg.into() }
+/// One whitespace-delimited token with its 1-based character column in
+/// the raw line — the context every parse error reports.
+#[derive(Debug, Clone, Copy)]
+struct Tok<'a> {
+    col: usize,
+    text: &'a str,
 }
 
-fn parse_time(tok: &str, line: usize) -> Result<SimTime, FaultPlanError> {
-    if let Some(secs) = tok.strip_suffix('s') {
+impl Tok<'_> {
+    /// A parse error anchored at this token.
+    fn err(&self, line: usize, msg: impl Into<String>) -> FaultPlanError {
+        FaultPlanError::Parse { line, col: self.col, token: self.text.to_string(), msg: msg.into() }
+    }
+}
+
+/// Split one raw line into tokens with columns, dropping `#` comments.
+/// Columns count characters (not bytes), 1-based, in the raw line.
+fn tokenize(raw: &str) -> Vec<Tok<'_>> {
+    let content = raw.split('#').next().unwrap_or("");
+    let mut toks = Vec::new();
+    let mut col = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (col, byte offset)
+    for (byte, ch) in content.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((c0, b0)) = start.take() {
+                toks.push(Tok { col: c0, text: &content[b0..byte] });
+            }
+        } else if start.is_none() {
+            start = Some((col, byte));
+        }
+    }
+    if let Some((c0, b0)) = start {
+        toks.push(Tok { col: c0, text: &content[b0..] });
+    }
+    toks
+}
+
+fn parse_time(tok: Tok<'_>, line: usize) -> Result<SimTime, FaultPlanError> {
+    let text = tok.text;
+    if let Some(secs) = text.strip_suffix('s') {
         let v: f64 = secs
             .parse()
-            .map_err(|_| parse_err(line, format!("bad time '{tok}' (want e.g. '10s' or '8.5s')")))?;
+            .map_err(|_| tok.err(line, format!("bad time '{text}' (want e.g. '10s' or '8.5s')")))?;
         if !v.is_finite() || v < 0.0 {
-            return Err(parse_err(line, format!("time '{tok}' must be finite and ≥ 0")));
+            return Err(tok.err(line, format!("time '{text}' must be finite and ≥ 0")));
         }
         Ok(SimTime::from_secs_f64(v))
     } else {
-        let ns: u64 = tok
+        let ns: u64 = text
             .parse()
-            .map_err(|_| parse_err(line, format!("bad time '{tok}' (bare values are integer nanoseconds)")))?;
+            .map_err(|_| tok.err(line, format!("bad time '{text}' (bare values are integer nanoseconds)")))?;
         Ok(SimTime(ns))
     }
 }
 
-fn parse_param(tok: &str, key: &str, line: usize) -> Result<f64, FaultPlanError> {
-    let Some(v) = tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')) else {
-        return Err(parse_err(line, format!("expected '{key}=<value>', got '{tok}'")));
+fn parse_param(tok: Tok<'_>, key: &str, line: usize) -> Result<f64, FaultPlanError> {
+    let Some(v) = tok.text.strip_prefix(key).and_then(|r| r.strip_prefix('=')) else {
+        return Err(tok.err(line, format!("expected '{key}=<value>', got '{}'", tok.text)));
     };
-    v.parse()
-        .map_err(|_| parse_err(line, format!("bad value in '{tok}'")))
+    v.parse().map_err(|_| tok.err(line, format!("bad value in '{}'", tok.text)))
 }
 
 impl FaultPlan {
-    /// Parse the text spec (see the module docs for the grammar).
+    /// Parse the text spec (see the module docs for the grammar). Errors
+    /// carry the 1-based line, column, and offending token.
     pub fn parse(text: &str) -> Result<FaultPlan, FaultPlanError> {
         let mut plan = FaultPlan::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
-            let content = raw.split('#').next().unwrap_or("").trim();
-            if content.is_empty() {
+            let toks = tokenize(raw);
+            let Some(&head) = toks.first() else {
                 continue;
-            }
-            let toks: Vec<&str> = content.split_whitespace().collect();
-            match toks[0] {
+            };
+            match head.text {
                 "seed" => {
                     let [_, v] = toks[..] else {
-                        return Err(parse_err(line, "usage: seed <u64>"));
+                        return Err(head.err(line, "usage: seed <u64>"));
                     };
                     let seed: u64 =
-                        v.parse().map_err(|_| parse_err(line, format!("bad seed '{v}'")))?;
+                        v.text.parse().map_err(|_| v.err(line, format!("bad seed '{}'", v.text)))?;
                     plan = plan.with_seed(seed);
                 }
                 "fault" => {
                     if toks.len() < 4 {
-                        return Err(parse_err(line, "usage: fault <time> <node> <kind> [k=v ...]"));
+                        return Err(head.err(line, "usage: fault <time> <node> <kind> [k=v ...]"));
                     }
                     let at = parse_time(toks[1], line)?;
                     let node: usize = toks[2]
+                        .text
                         .parse()
-                        .map_err(|_| parse_err(line, format!("bad node index '{}'", toks[2])))?;
-                    let kind = match toks[3] {
+                        .map_err(|_| toks[2].err(line, format!("bad node index '{}'", toks[2].text)))?;
+                    let kind_tok = toks[3];
+                    let kind = match kind_tok.text {
                         "crash" => FaultKind::NodeCrash,
                         "restart" => FaultKind::NodeRestart,
                         "nic" => {
                             if toks.len() != 6 {
-                                return Err(parse_err(line, "usage: fault <t> <n> nic loss=<p> lat=<m>"));
+                                return Err(kind_tok.err(line, "usage: fault <t> <n> nic loss=<p> lat=<m>"));
                             }
                             FaultKind::NicDegrade {
                                 loss: parse_param(toks[4], "loss", line)?,
@@ -96,21 +132,21 @@ impl FaultPlan {
                         "nic-restore" => FaultKind::NicRestore,
                         "disk-slow" => {
                             if toks.len() != 5 {
-                                return Err(parse_err(line, "usage: fault <t> <n> disk-slow factor=<f>"));
+                                return Err(kind_tok.err(line, "usage: fault <t> <n> disk-slow factor=<f>"));
                             }
                             FaultKind::DiskSlow { factor: parse_param(toks[4], "factor", line)? }
                         }
                         "disk-restore" => FaultKind::DiskRestore,
                         "cpu-throttle" => {
                             if toks.len() != 5 {
-                                return Err(parse_err(line, "usage: fault <t> <n> cpu-throttle factor=<f>"));
+                                return Err(kind_tok.err(line, "usage: fault <t> <n> cpu-throttle factor=<f>"));
                             }
                             FaultKind::CpuThrottle { factor: parse_param(toks[4], "factor", line)? }
                         }
                         "cpu-restore" => FaultKind::CpuRestore,
                         "cache-cold" => FaultKind::CacheColdRestart,
                         other => {
-                            return Err(parse_err(line, format!("unknown fault kind '{other}'")));
+                            return Err(kind_tok.err(line, format!("unknown fault kind '{other}'")));
                         }
                     };
                     let simple = matches!(
@@ -123,15 +159,12 @@ impl FaultPlan {
                             | FaultKind::CacheColdRestart
                     );
                     if simple && toks.len() != 4 {
-                        return Err(parse_err(
-                            line,
-                            format!("'{}' takes no parameters", toks[3]),
-                        ));
+                        return Err(toks[4].err(line, format!("'{}' takes no parameters", kind_tok.text)));
                     }
                     plan = plan.push(at, node, kind);
                 }
                 other => {
-                    return Err(parse_err(
+                    return Err(head.err(
                         line,
                         format!("unknown directive '{other}' (want 'seed' or 'fault')"),
                     ));
@@ -213,9 +246,17 @@ fault 12s    4  cache-cold   # trailing comment
     }
 
     #[test]
-    fn rejects_garbage_with_line_numbers() {
+    fn rejects_garbage_with_line_col_and_token() {
         let err = FaultPlan::parse("seed 1\nfault ten 0 crash\n").expect_err("bad time");
-        assert_eq!(err, FaultPlanError::Parse { line: 2, msg: "bad time 'ten' (bare values are integer nanoseconds)".into() });
+        assert_eq!(
+            err,
+            FaultPlanError::Parse {
+                line: 2,
+                col: 7,
+                token: "ten".into(),
+                msg: "bad time 'ten' (bare values are integer nanoseconds)".into(),
+            }
+        );
         assert!(FaultPlan::parse("bogus 1 2 3\n").is_err());
         assert!(FaultPlan::parse("fault 1s 0 melt\n").is_err());
         assert!(FaultPlan::parse("fault 1s 0 nic loss=0.1\n").is_err());
@@ -224,8 +265,72 @@ fault 12s    4  cache-cold   # trailing comment
     }
 
     #[test]
+    fn errors_point_at_the_offending_token() {
+        // the bad kind sits at col 10, after two-space separators
+        let err = FaultPlan::parse("fault 1s  0  melt\n").expect_err("bad kind");
+        let FaultPlanError::Parse { line, col, token, .. } = err else { panic!("wrong class") };
+        assert_eq!((line, col, token.as_str()), (1, 14, "melt"));
+        // structural errors anchor at the directive itself
+        let err = FaultPlan::parse("seed\n").expect_err("missing operand");
+        let FaultPlanError::Parse { col, token, .. } = err else { panic!("wrong class") };
+        assert_eq!((col, token.as_str()), (1, "seed"));
+        // surplus parameters anchor at the first surplus token
+        let err = FaultPlan::parse("fault 1s 0 crash extra\n").expect_err("surplus");
+        let FaultPlanError::Parse { col, token, .. } = err else { panic!("wrong class") };
+        assert_eq!((col, token.as_str()), (18, "extra"));
+        // the rendered form carries all three pieces of context
+        let text = format!("{}", FaultPlan::parse("fault 1s 0 melt\n").expect_err("bad kind"));
+        assert!(text.contains("line 1") && text.contains("col 12") && text.contains("'melt'"), "{text}");
+    }
+
+    #[test]
     fn empty_and_comment_only_specs_parse_to_empty_plan() {
         let plan = FaultPlan::parse("# nothing here\n\n").expect("parses");
         assert!(plan.is_empty());
+    }
+
+    /// Decode one sampled tuple into a pushable fault. Parameters are kept
+    /// in validated ranges so the sampled plans are realistic, but nothing
+    /// in the round trip depends on that.
+    fn fault_from(raw: (u64, usize, u8, f64)) -> (SimTime, usize, FaultKind) {
+        let (t, node, sel, p) = raw;
+        let kind = match sel % 9 {
+            0 => FaultKind::NodeCrash,
+            1 => FaultKind::NodeRestart,
+            2 => FaultKind::NicDegrade { loss: p / 10.0, latency_mult: p },
+            3 => FaultKind::NicRestore,
+            4 => FaultKind::DiskSlow { factor: p },
+            5 => FaultKind::DiskRestore,
+            6 => FaultKind::CpuThrottle { factor: p },
+            7 => FaultKind::CpuRestore,
+            _ => FaultKind::CacheColdRestart,
+        };
+        (SimTime(t), node, kind)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// `parse(emit(plan)) == plan` for arbitrary valid plans: the text
+        /// spec is a lossless encoding (nanosecond times, shortest-f64
+        /// parameters), byte-stable across a second emit.
+        #[test]
+        fn round_trip_parse_emit_is_identity(
+            seed in proptest::any::<u64>(),
+            raws in proptest::collection::vec(
+                (0u64..40_000_000_000, 0usize..8, 0u8..9, 1.0f64..8.0),
+                0..12,
+            ),
+        ) {
+            let mut plan = FaultPlan::new().with_seed(seed);
+            for &raw in &raws {
+                let (at, node, kind) = fault_from(raw);
+                plan = plan.push(at, node, kind);
+            }
+            let emitted = plan.to_spec();
+            let back = FaultPlan::parse(&emitted).expect("emitted spec parses");
+            proptest::prop_assert_eq!(&back, &plan);
+            proptest::prop_assert_eq!(back.to_spec(), emitted);
+        }
     }
 }

@@ -38,7 +38,8 @@ use edison_simcore::stats::{Histogram, SampleSet, TimeSeries};
 use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, EngineProfile, KindProfiler, Model, Simulation};
 use edison_simfault::metrics as fault_metrics;
-use edison_simfault::{Fault, FaultKind, FaultPlan};
+use edison_simfault::{Fault, FaultKind, FaultPlan, RecoveryWindow};
+use edison_simrun::derive_seed;
 use edison_simtel::{labels, record_engine_profile, EventCounter, Telemetry};
 use std::collections::{HashMap, VecDeque};
 
@@ -244,6 +245,10 @@ pub struct Metrics {
     /// Seconds from crash injection until the victim is back in LB
     /// rotation (one sample per completed recovery).
     pub recovery_s: SampleSet,
+    /// Observed recovery windows: restart applied → back in LB rotation
+    /// (the RISE interval). The simexplore perturbation space targets
+    /// follow-up faults inside these.
+    pub recovery_windows: Vec<RecoveryWindow>,
 }
 
 impl Default for Metrics {
@@ -271,6 +276,7 @@ impl Default for Metrics {
             failovers: 0,
             retries: 0,
             recovery_s: SampleSet::new(),
+            recovery_windows: Vec::new(),
         }
     }
 }
@@ -369,6 +375,9 @@ pub struct WebWorld {
     /// When each web node crashed (cleared once it is back in rotation —
     /// the recovery-time sample).
     crash_time: Vec<Option<SimTime>>,
+    /// When each web node's restart was applied (cleared at RISE — the
+    /// recovery-window sample: restarted but not yet in rotation).
+    restart_time: Vec<Option<SimTime>>,
     /// Accept-gate rate per web node, kept for post-restart re-init.
     accept_rate_of: Vec<f64>,
     /// Cache store capacity per cache node, kept for cold restarts.
@@ -430,6 +439,11 @@ const HC_RISE: u8 = 2;
 /// Client-side connect/read timeout before a retry re-dispatches through
 /// the load balancer.
 const FAILOVER_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+/// Exponent cap on the client re-dispatch backoff: delays double per
+/// attempt up to `FAILOVER_TIMEOUT << RETRY_BACKOFF_CAP`.
+const RETRY_BACKOFF_CAP: u32 = 2;
+/// Jitter spread (± fraction) around the backed-off re-dispatch delay.
+const RETRY_JITTER: f64 = 0.25;
 
 /// Scale a duration by a fault multiplier (identity fast path keeps
 /// fault-free runs bit-exact with the pre-fault arithmetic).
@@ -609,6 +623,7 @@ impl WebWorld {
             hc_fail: vec![0; n_web],
             hc_ok: vec![0; n_web],
             crash_time: vec![None; n_web],
+            restart_time: vec![None; n_web],
             accept_rate_of,
             cache_cap_of,
             nic_loss: vec![0.0; n_tier],
@@ -753,8 +768,12 @@ impl WebWorld {
     }
 
     /// Consume one unit of the client retry budget and schedule a
-    /// re-dispatch after the failover timeout. `false` when the budget is
-    /// disabled or exhausted (the caller then accounts the failure).
+    /// re-dispatch after a jittered, exponentially backed-off failover
+    /// timeout. `false` when the budget is disabled or exhausted (the
+    /// caller then accounts the failure). The delay is seeded per
+    /// (connection, attempt), so clients caught by the same failover
+    /// spread out instead of re-dispatching in lockstep, and a given
+    /// retry's delay never depends on event-arrival order.
     fn conn_retry(&mut self, conn_id: u64, now: SimTime, ctx: &mut Ctx<Ev>) -> bool {
         if self.cfg.retry_budget == 0 {
             return false;
@@ -764,9 +783,16 @@ impl WebWorld {
             return false;
         }
         conn.retries += 1;
+        let attempt = conn.retries;
         self.metrics.retries += 1;
         self.tel.counter_inc("web_client_retries_total", labels(&[]));
-        ctx.schedule_at(now + FAILOVER_TIMEOUT, Ev::RetryConn { conn: conn_id });
+        // connection ids count up from 0 and never reach 2^56, so packing
+        // the attempt into the top byte keeps the stream index unique
+        let stream_idx = conn_id | (u64::from(attempt) << 56);
+        let mut rng = SimRng::new(derive_seed(self.cfg.seed, "web:retry-backoff", stream_idx));
+        let exp = (attempt - 1).min(RETRY_BACKOFF_CAP);
+        let delay = FAILOVER_TIMEOUT.mul_f64(f64::from(1u32 << exp) * rng.jitter(RETRY_JITTER));
+        ctx.schedule_at(now + delay, Ev::RetryConn { conn: conn_id });
         true
     }
 
@@ -1082,7 +1108,7 @@ impl WebWorld {
         let Fault { node, kind, .. } = self.fplan.faults()[idx];
         let applied = match kind {
             FaultKind::NodeCrash => self.apply_crash(node, now, ctx),
-            FaultKind::NodeRestart => self.apply_restart(node),
+            FaultKind::NodeRestart => self.apply_restart(node, now),
             FaultKind::NicDegrade { loss, latency_mult } => {
                 if node < self.n_tier() {
                     self.nic_loss[node] = loss;
@@ -1181,11 +1207,12 @@ impl WebWorld {
 
     /// Bring a crashed web server back: empty pools, fresh accept gate,
     /// zero connections. It only rejoins the LB after RISE health checks.
-    fn apply_restart(&mut self, node: usize) -> bool {
+    fn apply_restart(&mut self, node: usize, now: SimTime) -> bool {
         if node >= self.n_web() || !self.dead[node] {
             return false;
         }
         self.dead[node] = false;
+        self.restart_time[node] = Some(now);
         self.syn_gates[node] = SynGate::new(self.accept_rate_of[node]);
         self.workers[node].busy = 0;
         self.workers[node].backlog.clear();
@@ -1238,6 +1265,13 @@ impl WebWorld {
                                 fault_metrics::RECOVERY_BOUNDS_S,
                                 rec,
                             );
+                        }
+                        if let Some(up) = self.restart_time[i].take() {
+                            // restarted-but-not-in-rotation: the window
+                            // simexplore probes with follow-up faults
+                            self.metrics
+                                .recovery_windows
+                                .push(RecoveryWindow { node: i, start: up, end: now });
                         }
                     }
                 }
