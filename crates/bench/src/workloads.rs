@@ -1,11 +1,12 @@
 //! The tracked benchmark workloads.
 //!
-//! Four fixed-seed, fixed-scale simulations whose engine profiles are
+//! Five fixed-seed, fixed-scale simulations whose engine profiles are
 //! the benchmark trajectory's deterministic inputs: a three-point web
-//! concurrency sweep, a scaled-down MapReduce wordcount (the Figure
-//! 12–17 family), the web point again under a crash/restart fault
-//! plan, and a small simexplore candidate neighbourhood run end to end
-//! (the explore experiment's hot path). Everything here is a pure
+//! concurrency sweep, the same sweep through the `simasync` lifecycle
+//! port, a scaled-down MapReduce wordcount (the Figure 12–17 family),
+//! the web point again under a crash/restart fault plan, and a small
+//! simexplore candidate neighbourhood run end to end (the explore
+//! experiment's hot path). Everything here is a pure
 //! function of the constants below — no
 //! wall clock, no ambient RNG — so two runs on any machine produce
 //! bit-identical [`EngineProfile`]s. Wall-clock rates are measured by the
@@ -21,13 +22,14 @@ use edison_simrun::error::SimError;
 use edison_simrun::{derive_seed, merge_profiles, ROOT_SEED};
 use edison_simtel::Telemetry;
 use edison_web::httperf::CALLS_PER_CONN;
+use edison_web::lifecycle;
 use edison_web::stack::{self, GenMode, StackConfig};
 use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 /// The tracked workload names, in the (sorted) order they appear in the
 /// trajectory file.
-pub const TRACKED: [&str; 4] =
-    ["explore_worst", "fault_sweep", "mapreduce_wordcount", "web_sweep"];
+pub const TRACKED: [&str; 5] =
+    ["async_web", "explore_worst", "fault_sweep", "mapreduce_wordcount", "web_sweep"];
 
 /// Concurrency points of the web sweep.
 const WEB_POINTS: [f64; 3] = [32.0, 64.0, 96.0];
@@ -58,6 +60,22 @@ pub fn web_sweep() -> Result<EngineProfile, SimError> {
     for (i, &conc) in (0u64..).zip(WEB_POINTS.iter()) {
         let cfg = web_cfg("bench:web", i, conc, FaultPlan::new())?;
         let (_, p) = stack::run_profiled(cfg, Telemetry::profiled());
+        profiles.push(p);
+    }
+    Ok(merge_profiles(profiles))
+}
+
+/// The same three web points driven through the `simasync` lifecycle
+/// port instead of the legacy state machine. Its deterministic profile
+/// is *identical* to [`web_sweep`]'s by the equivalence invariant (same
+/// seed ⇒ same event stream), so the trajectory pins the ported path to
+/// the legacy one; the advisory wall rates are where the two drivers'
+/// relative cost shows up.
+pub fn async_web() -> Result<EngineProfile, SimError> {
+    let mut profiles = Vec::with_capacity(WEB_POINTS.len());
+    for (i, &conc) in (0u64..).zip(WEB_POINTS.iter()) {
+        let cfg = web_cfg("bench:web", i, conc, FaultPlan::new())?;
+        let (_, p) = lifecycle::run_async_profiled(cfg, Telemetry::profiled());
         profiles.push(p);
     }
     Ok(merge_profiles(profiles))
@@ -123,6 +141,7 @@ pub fn explore_worst() -> Result<EngineProfile, SimError> {
 /// Run one tracked workload by trajectory name.
 pub fn run_tracked(name: &str) -> Result<EngineProfile, SimError> {
     match name {
+        "async_web" => async_web(),
         "explore_worst" => explore_worst(),
         "fault_sweep" => fault_sweep(),
         "mapreduce_wordcount" => mapreduce_wordcount(),
@@ -150,6 +169,13 @@ mod tests {
     fn workloads_are_deterministic() {
         // the trajectory's whole premise: same constants, same profile
         assert_eq!(fault_sweep(), fault_sweep());
+    }
+
+    #[test]
+    fn async_web_profile_equals_legacy_web_sweep() {
+        // same seeds, same event stream: the ported driver must not add,
+        // drop or reorder a single engine event relative to the legacy one
+        assert_eq!(async_web(), web_sweep());
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Deterministic single-threaded channels.
+//!
+//! Both flavours are plain `Rc<RefCell<…>>` mailboxes: a send enqueues the
+//! value and wakes the receiver; the receiver drains values in send order.
+//! Nothing here depends on wake *order* — the sequence of received values
+//! is exactly the sequence of sends, however the executor interleaves the
+//! polls in between — which is the property the workload layer relies on
+//! (and the proptests pin).
+//!
+//! `try_recv` is the deliberate exception: its result depends on whether
+//! the sender has run yet, i.e. on scheduling. simlint's R7 determinism
+//! taint treats it (and select winners) as a nondeterminism source for
+//! exactly that reason.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when the counterpart endpoint is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+// ---- one-shot ---------------------------------------------------------
+
+#[derive(Debug)]
+struct OneShared<T> {
+    value: Option<T>,
+    sender_gone: bool,
+    receiver_gone: bool,
+    waker: Option<Waker>,
+}
+
+/// Sending half of a one-shot channel; consumed by [`OneSender::send`].
+#[derive(Debug)]
+pub struct OneSender<T> {
+    shared: Rc<RefCell<OneShared<T>>>,
+    sent: bool,
+}
+
+/// Receiving half of a one-shot channel; a future resolving to the sent
+/// value, or `Err(Closed)` if the sender dropped without sending.
+#[derive(Debug)]
+pub struct OneReceiver<T> {
+    shared: Rc<RefCell<OneShared<T>>>,
+}
+
+/// A deterministic one-shot channel.
+pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
+    let shared = Rc::new(RefCell::new(OneShared {
+        value: None,
+        sender_gone: false,
+        receiver_gone: false,
+        waker: None,
+    }));
+    (OneSender { shared: Rc::clone(&shared), sent: false }, OneReceiver { shared })
+}
+
+impl<T> OneSender<T> {
+    /// Deliver the value, waking the receiver. `Err(value)` if the
+    /// receiver is already gone.
+    pub fn send(mut self, value: T) -> Result<(), T> {
+        let mut s = self.shared.borrow_mut();
+        if s.receiver_gone {
+            return Err(value);
+        }
+        s.value = Some(value);
+        self.sent = true;
+        let waker = s.waker.take();
+        drop(s);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        if self.sent {
+            // the value sits in the slot; this is not a close
+            return;
+        }
+        let mut s = self.shared.borrow_mut();
+        s.sender_gone = true;
+        let waker = s.waker.take();
+        drop(s);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for OneReceiver<T> {
+    type Output = Result<T, Closed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.shared.borrow_mut();
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if s.sender_gone {
+            return Poll::Ready(Err(Closed));
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for OneReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_gone = true;
+    }
+}
+
+// ---- mpsc -------------------------------------------------------------
+
+#[derive(Debug)]
+struct MpscShared<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_gone: bool,
+    waker: Option<Waker>,
+}
+
+/// Cloneable sending half of an unbounded mpsc channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Rc<RefCell<MpscShared<T>>>,
+}
+
+/// Receiving half of an unbounded mpsc channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Rc<RefCell<MpscShared<T>>>,
+}
+
+/// A deterministic unbounded multi-producer single-consumer channel.
+pub fn mpsc<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(MpscShared {
+        queue: VecDeque::new(),
+        senders: 1,
+        receiver_gone: false,
+        waker: None,
+    }));
+    (Sender { shared: Rc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.borrow_mut().senders += 1;
+        Sender { shared: Rc::clone(&self.shared) }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value in send order, waking the receiver. `Err(value)`
+    /// if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut s = self.shared.borrow_mut();
+        if s.receiver_gone {
+            return Err(value);
+        }
+        s.queue.push_back(value);
+        let waker = s.waker.take();
+        drop(s);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.shared.borrow_mut();
+        s.senders -= 1;
+        let waker = if s.senders == 0 { s.waker.take() } else { None };
+        drop(s);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Await the next value in send order; `None` once every sender is
+    /// gone and the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking poll of the queue head. **Scheduling-sensitive**: the
+    /// answer depends on whether senders have run yet — a determinism
+    /// taint source under simlint R7.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.shared.borrow_mut().queue.pop_front()
+    }
+
+    /// Values currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.borrow().queue.len()
+    }
+
+    /// True when nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.shared.borrow().queue.is_empty()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_gone = true;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+#[derive(Debug)]
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.receiver.shared.borrow_mut();
+        if let Some(v) = s.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if s.senders == 0 {
+            return Poll::Ready(None);
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+
+    #[test]
+    fn oneshot_delivers_once() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut exec = Executor::new();
+        let (tx, rx) = oneshot::<u32>();
+        let l = Rc::clone(&log);
+        exec.spawn(async move {
+            l.borrow_mut().push(rx.await);
+        });
+        exec.drain();
+        tx.send(42).expect("receiver alive");
+        exec.drain();
+        assert_eq!(*log.borrow(), vec![Ok(42)]);
+    }
+
+    #[test]
+    fn dropped_oneshot_sender_closes() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut exec = Executor::new();
+        let (tx, rx) = oneshot::<u32>();
+        let l = Rc::clone(&log);
+        exec.spawn(async move {
+            l.borrow_mut().push(rx.await);
+        });
+        exec.drain();
+        drop(tx);
+        exec.drain();
+        assert_eq!(*log.borrow(), vec![Err(Closed)]);
+    }
+
+    #[test]
+    fn oneshot_send_to_dropped_receiver_fails() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn mpsc_preserves_send_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut exec = Executor::new();
+        let (tx, mut rx) = mpsc::<u32>();
+        let l = Rc::clone(&log);
+        exec.spawn(async move {
+            while let Some(v) = rx.recv().await {
+                l.borrow_mut().push(v);
+            }
+            l.borrow_mut().push(999);
+        });
+        exec.drain();
+        let tx2 = tx.clone();
+        tx.send(1).expect("alive");
+        tx2.send(2).expect("alive");
+        exec.drain();
+        tx.send(3).expect("alive");
+        drop(tx);
+        drop(tx2);
+        exec.drain();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 999]);
+    }
+
+    #[test]
+    fn try_recv_sees_only_what_already_ran() {
+        let (tx, mut rx) = mpsc::<u32>();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(5).expect("alive");
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.try_recv(), Some(5));
+        assert!(rx.is_empty());
+    }
+}

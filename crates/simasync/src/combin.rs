@@ -1,0 +1,201 @@
+//! Deterministic `join` / `select` combinators.
+//!
+//! Both poll their branches in a *fixed* order — branch 0 (`a`) first,
+//! then branch 1 (`b`) — every time. The branch index is the stable id
+//! that breaks ties: when both futures complete in the same poll,
+//! [`select2`] always yields the left branch, so a run's outcome can
+//! never depend on wake-arrival order, host speed, or `--jobs` width.
+//! The losing branch of a `select2` is dropped (destructors run) before
+//! the winner's value is returned.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Which branch of a [`select2`] won.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first (left) future completed first — including on ties.
+    Left(A),
+    /// The second (right) future completed first.
+    Right(B),
+}
+
+/// Future of [`join2`].
+#[derive(Debug)]
+pub struct Join2<FA: Future, FB: Future> {
+    a: Pin<Box<FA>>,
+    b: Pin<Box<FB>>,
+    got_a: Option<FA::Output>,
+    got_b: Option<FB::Output>,
+}
+
+/// Run two futures concurrently; resolves with both outputs once both
+/// are done. Branches are polled left-then-right, deterministically.
+pub fn join2<FA: Future, FB: Future>(a: FA, b: FB) -> Join2<FA, FB> {
+    Join2 { a: Box::pin(a), b: Box::pin(b), got_a: None, got_b: None }
+}
+
+// Sound: the inner futures are heap-pinned (`Pin<Box<_>>`); moving the
+// combinator moves only handles and by-value outputs.
+impl<FA: Future, FB: Future> Unpin for Join2<FA, FB> {}
+
+impl<FA: Future, FB: Future> Future for Join2<FA, FB> {
+    type Output = (FA::Output, FB::Output);
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = Pin::into_inner(self);
+        if this.got_a.is_none() {
+            if let Poll::Ready(v) = this.a.as_mut().poll(cx) {
+                this.got_a = Some(v);
+            }
+        }
+        if this.got_b.is_none() {
+            if let Poll::Ready(v) = this.b.as_mut().poll(cx) {
+                this.got_b = Some(v);
+            }
+        }
+        match (this.got_a.take(), this.got_b.take()) {
+            (Some(a), Some(b)) => Poll::Ready((a, b)),
+            (a, b) => {
+                this.got_a = a;
+                this.got_b = b;
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future of [`select2`].
+#[derive(Debug)]
+pub struct Select2<FA: Future, FB: Future> {
+    a: Option<Pin<Box<FA>>>,
+    b: Option<Pin<Box<FB>>>,
+}
+
+/// Race two futures; resolves with the first to complete, dropping the
+/// loser. Ties go to the left branch (the stable branch-id order), so
+/// the winner is a pure function of simulation state.
+pub fn select2<FA: Future, FB: Future>(a: FA, b: FB) -> Select2<FA, FB> {
+    Select2 { a: Some(Box::pin(a)), b: Some(Box::pin(b)) }
+}
+
+// Sound for the same reason as `Join2`: only `Pin<Box<_>>` handles move.
+impl<FA: Future, FB: Future> Unpin for Select2<FA, FB> {}
+
+impl<FA: Future, FB: Future> Future for Select2<FA, FB> {
+    type Output = Either<FA::Output, FB::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = Pin::into_inner(self);
+        if let Some(fa) = this.a.as_mut() {
+            if let Poll::Ready(v) = fa.as_mut().poll(cx) {
+                this.a = None;
+                this.b = None; // drop the loser before returning
+                return Poll::Ready(Either::Left(v));
+            }
+        }
+        if let Some(fb) = this.b.as_mut() {
+            if let Poll::Ready(v) = fb.as_mut().poll(cx) {
+                this.b = None;
+                this.a = None;
+                return Poll::Ready(Either::Right(v));
+            }
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timer::AsyncSim;
+    use edison_simcore::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn join_waits_for_both() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let t = world.timers();
+        let l = Rc::clone(&log);
+        world.spawn(async move {
+            let (a, b) = join2(
+                async {
+                    t.sleep(SimDuration::from_millis(20)).await;
+                    1u32
+                },
+                async {
+                    t.sleep(SimDuration::from_millis(10)).await;
+                    2u32
+                },
+            )
+            .await;
+            l.borrow_mut().push((a, b, t.now()));
+        });
+        world.run();
+        let got = log.borrow()[0];
+        assert_eq!((got.0, got.1), (1, 2));
+        assert_eq!(got.2, edison_simcore::SimTime::ZERO + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn select_takes_the_earlier_branch() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let t = world.timers();
+        let l = Rc::clone(&log);
+        world.spawn(async move {
+            let won = select2(
+                async {
+                    t.sleep(SimDuration::from_millis(30)).await;
+                    "slow"
+                },
+                async {
+                    t.sleep(SimDuration::from_millis(5)).await;
+                    "fast"
+                },
+            )
+            .await;
+            l.borrow_mut().push(won);
+        });
+        world.run();
+        assert_eq!(*log.borrow(), vec![Either::Right("fast")]);
+    }
+
+    #[test]
+    fn select_tie_goes_left_and_drops_the_loser() {
+        struct Guard(Rc<RefCell<u32>>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let drops = Rc::new(RefCell::new(0u32));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let t = world.timers();
+        let (l, d) = (Rc::clone(&log), Rc::clone(&drops));
+        let t2 = t.clone();
+        world.spawn(async move {
+            let g = Guard(d);
+            let won = select2(
+                async {
+                    t.sleep(SimDuration::from_millis(10)).await;
+                    "left"
+                },
+                async move {
+                    let _held = g;
+                    t2.sleep(SimDuration::from_millis(10)).await;
+                    "right"
+                },
+            )
+            .await;
+            l.borrow_mut().push(won);
+        });
+        world.run();
+        assert_eq!(*log.borrow(), vec![Either::Left("left")], "equal deadlines: left wins");
+        assert_eq!(*drops.borrow(), 1, "losing branch dropped exactly once");
+    }
+}

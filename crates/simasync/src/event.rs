@@ -1,0 +1,218 @@
+//! Futures that wait for a named simulation event.
+//!
+//! The bridge between a straight-line `async fn` and the event heap: the
+//! world dispatches an engine event and calls [`EventSlots::fire`] with a
+//! key; the task `await`ing [`EventSlots::wait`] on that key resumes with
+//! [`Delivery::Event`]. A fault layer can instead [`EventSlots::cancel`]
+//! the key, resuming the waiter with [`Delivery::Cancelled`] so it can
+//! unwind (or the whole task can be dropped through
+//! [`crate::Executor::cancel`]).
+//!
+//! Semantics chosen to mirror hand-rolled state machines exactly:
+//!
+//! * **fire with no waiter is a no-op** (returns `false`) — the analogue
+//!   of the classic `let Some(req) = reqs.get(&id) else { return }` guard
+//!   on a stale event.
+//! * **one waiter per key** — keys embed unique request/connection ids,
+//!   so two live waits on one key is a bug (debug-asserted).
+//! * dropping an [`EventWait`] deregisters it, so a cancelled task leaves
+//!   no dangling waker behind.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// How a wait on an event key resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The event arrived.
+    Event,
+    /// The wait was cancelled (e.g. the node serving it crashed).
+    Cancelled,
+}
+
+#[derive(Debug)]
+struct Slot {
+    result: Option<Delivery>,
+    waker: Option<Waker>,
+}
+
+/// A shared waiter table keyed by an ordered event-key type. Cheap to
+/// clone (a shared handle); all clones see the same table.
+#[derive(Debug)]
+pub struct EventSlots<K: Ord + Copy> {
+    inner: Rc<RefCell<BTreeMap<K, Slot>>>,
+}
+
+impl<K: Ord + Copy> Clone for EventSlots<K> {
+    fn clone(&self) -> Self {
+        EventSlots { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<K: Ord + Copy> Default for EventSlots<K> {
+    fn default() -> Self {
+        EventSlots { inner: Rc::new(RefCell::new(BTreeMap::new())) }
+    }
+}
+
+impl<K: Ord + Copy> EventSlots<K> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register interest in `key` and return the future that resolves
+    /// when it is fired or cancelled. One live waiter per key.
+    pub fn wait(&self, key: K) -> EventWait<K> {
+        let prev = self.inner.borrow_mut().insert(key, Slot { result: None, waker: None });
+        debug_assert!(prev.is_none(), "two live waits on one event key");
+        EventWait { slots: self.clone(), key, done: false }
+    }
+
+    /// Deliver `key` to its waiter. `false` (a no-op) when nobody waits —
+    /// the stale-event guard of the state-machine world.
+    pub fn fire(&self, key: K) -> bool {
+        self.resolve(key, Delivery::Event)
+    }
+
+    /// Cancel the wait on `key`, resuming the waiter with
+    /// [`Delivery::Cancelled`]. `false` when nobody waits.
+    pub fn cancel(&self, key: K) -> bool {
+        self.resolve(key, Delivery::Cancelled)
+    }
+
+    /// Is someone currently waiting on `key`?
+    pub fn has_waiter(&self, key: K) -> bool {
+        self.inner.borrow().contains_key(&key)
+    }
+
+    /// Live waiters across all keys.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True when no waiter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    fn resolve(&self, key: K, result: Delivery) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let Some(slot) = inner.get_mut(&key) else { return false };
+        if slot.result.is_some() {
+            // already resolved, waiter not yet polled: keep the first
+            return false;
+        }
+        slot.result = Some(result);
+        let waker = slot.waker.take();
+        drop(inner);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        true
+    }
+}
+
+/// Future returned by [`EventSlots::wait`].
+#[derive(Debug)]
+pub struct EventWait<K: Ord + Copy> {
+    slots: EventSlots<K>,
+    key: K,
+    done: bool,
+}
+
+// Sound: `EventWait` holds only an `Rc` handle, a `Copy` key, and a flag.
+impl<K: Ord + Copy> Unpin for EventWait<K> {}
+
+impl<K: Ord + Copy> Future for EventWait<K> {
+    type Output = Delivery;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Delivery> {
+        let mut inner = self.slots.inner.borrow_mut();
+        let Some(slot) = inner.get_mut(&self.key) else {
+            debug_assert!(self.done, "event slot vanished under a live wait");
+            return Poll::Pending;
+        };
+        match slot.result {
+            Some(d) => {
+                inner.remove(&self.key);
+                drop(inner);
+                self.done = true;
+                Poll::Ready(d)
+            }
+            None => {
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<K: Ord + Copy> Drop for EventWait<K> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.slots.inner.borrow_mut().remove(&self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use std::rc::Rc;
+
+    #[test]
+    fn fire_resumes_the_waiter() {
+        let slots: EventSlots<u32> = EventSlots::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut exec = Executor::new();
+        let (s, l) = (slots.clone(), Rc::clone(&log));
+        exec.spawn(async move {
+            let d = s.wait(7).await;
+            l.borrow_mut().push(d);
+        });
+        exec.drain();
+        assert!(slots.has_waiter(7));
+        assert!(!slots.fire(99), "no waiter on 99");
+        assert!(slots.fire(7));
+        exec.drain();
+        assert_eq!(*log.borrow(), vec![Delivery::Event]);
+        assert!(slots.is_empty());
+        assert!(!slots.fire(7), "slot consumed");
+    }
+
+    #[test]
+    fn cancel_resumes_with_cancelled() {
+        let slots: EventSlots<u32> = EventSlots::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut exec = Executor::new();
+        let (s, l) = (slots.clone(), Rc::clone(&log));
+        exec.spawn(async move {
+            l.borrow_mut().push(s.wait(1).await);
+        });
+        exec.drain();
+        assert!(slots.cancel(1));
+        exec.drain();
+        assert_eq!(*log.borrow(), vec![Delivery::Cancelled]);
+    }
+
+    #[test]
+    fn dropping_a_cancelled_task_deregisters_its_wait() {
+        let slots: EventSlots<u32> = EventSlots::new();
+        let mut exec = Executor::new();
+        let s = slots.clone();
+        let id = exec.spawn(async move {
+            let _ = s.wait(5).await;
+        });
+        exec.drain();
+        assert_eq!(slots.len(), 1);
+        exec.cancel(id);
+        assert!(slots.is_empty(), "EventWait::drop removed the registration");
+        assert!(!slots.fire(5));
+    }
+}

@@ -1,0 +1,47 @@
+//! # simasync — deterministic async/await over the simulation kernel
+//!
+//! Workload logic in this workspace has so far been written as explicit
+//! state machines: an event enum, a `match` in [`Model::handle`], and
+//! request structs that carry their own "where was I" fields. This crate
+//! lets the same logic be written as straight-line `async fn`s while
+//! keeping the property the whole repo is built on: **same seed, same
+//! `--jobs` width, byte-identical results**.
+//!
+//! The pieces:
+//!
+//! * [`Executor`] — a single-threaded task arena. Wakes go through a FIFO
+//!   ready queue with per-task dedup; ids are handed out in spawn order
+//!   and never reused. No `unsafe`: wakers are [`std::task::Wake`] over
+//!   `Arc`.
+//! * [`EventSlots`] — the bridge from engine events to futures. A world
+//!   `fire`s a key when it dispatches the matching event; the `await`ing
+//!   task resumes. `cancel` resumes the waiter with
+//!   [`Delivery::Cancelled`] instead (fault injection), and dropping a
+//!   task mid-wait deregisters cleanly.
+//! * [`channel`] — deterministic one-shot and mpsc channels; receive
+//!   order is send order, independent of wake interleaving.
+//! * [`Timers`] / [`AsyncSim`] — `sleep(sim_duration)` backed by engine
+//!   events of kind `task_wake`, profiler-visible like any other kind.
+//! * [`join2`] / [`select2`] — combinators whose tie-breaks are the
+//!   stable branch order, never host scheduling.
+//!
+//! Determinism argument, in one paragraph: every wake is issued by
+//! deterministic simulation code (an event handler, a send, a timer
+//! fire), the ready queue orders polls by first-wake order with FIFO
+//! tie-breaking on stable task ids, and polls themselves only touch
+//! sim-state. Therefore the complete poll/side-effect sequence is a pure
+//! function of (seed, spawned futures) — there is no thread pool, no
+//! clock, and no map-iteration-order anywhere in the loop. See
+//! `DESIGN.md` §"Deterministic async" for the long form.
+
+pub mod channel;
+pub mod combin;
+pub mod event;
+pub mod executor;
+pub mod timer;
+
+pub use channel::{mpsc, oneshot, Closed, OneReceiver, OneSender, Receiver, Sender};
+pub use combin::{join2, select2, Either, Join2, Select2};
+pub use event::{Delivery, EventSlots, EventWait};
+pub use executor::{Executor, TaskId};
+pub use timer::{AsyncSim, Sleep, Timers, WakeEv};

@@ -1,0 +1,339 @@
+//! Sim-time timers and the ready-made task-driving world.
+//!
+//! [`Timers::sleep`] registers a deadline; a driving [`crate::Model`]
+//! world converts fresh deadlines into engine events (kind `task_wake`,
+//! visible to the [`KindProfiler`] like every other event kind) and calls
+//! [`Timers::fire`] when the kernel dispatches them. [`AsyncSim`] is that
+//! driving world, packaged: spawn futures, call [`AsyncSim::run`], and
+//! the executor + timer plumbing rides the deterministic event heap.
+//!
+//! Determinism: timer ids increase in creation (sleep-call) order, the
+//! kernel orders equal deadlines by schedule order, and each fired timer
+//! wakes exactly one task — so the full poll sequence is a pure function
+//! of the spawned futures, independent of host scheduling.
+
+use crate::executor::{Executor, TaskId};
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simcore::{Ctx, KindProfiler, Model, Simulation};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Debug)]
+enum TimerState {
+    Pending(Option<Waker>),
+    Fired,
+}
+
+#[derive(Debug, Default)]
+struct TimerInner {
+    now: SimTime,
+    next_id: u64,
+    /// Deadlines requested since the last [`Timers::take_requests`].
+    fresh: Vec<(u64, SimTime)>,
+    waiting: BTreeMap<u64, TimerState>,
+}
+
+/// Shared timer registry handle. Clone freely; all clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct Timers {
+    inner: Rc<RefCell<TimerInner>>,
+}
+
+impl Timers {
+    /// An empty registry at t = 0.
+    pub fn new() -> Self {
+        Timers::default()
+    }
+
+    /// Advance the registry's notion of now (called by the driving world
+    /// at each event dispatch).
+    pub fn advance_to(&self, t: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        debug_assert!(t >= inner.now, "sim time went backwards");
+        inner.now = t;
+    }
+
+    /// The registry's current sim time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Sleep for `d` of sim time. Resolves when the driving world fires
+    /// the timer's wake event.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let at = inner.now + d;
+        inner.fresh.push((id, at));
+        inner.waiting.insert(id, TimerState::Pending(None));
+        Sleep { timers: self.clone(), id, done: false }
+    }
+
+    /// Drain deadline requests registered since the last call, in
+    /// creation order. The driving world schedules one wake event per
+    /// entry.
+    pub fn take_requests(&self) -> Vec<(u64, SimTime)> {
+        std::mem::take(&mut self.inner.borrow_mut().fresh)
+    }
+
+    /// Fire timer `id`, waking its sleeper. `false` when the sleeper is
+    /// gone (its task completed or was cancelled) — a stale wake event is
+    /// a no-op.
+    pub fn fire(&self, id: u64) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let Some(state) = inner.waiting.get_mut(&id) else { return false };
+        let waker = match std::mem::replace(state, TimerState::Fired) {
+            TimerState::Pending(w) => w,
+            TimerState::Fired => None,
+        };
+        drop(inner);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        true
+    }
+
+    /// Sleepers not yet fired-and-consumed.
+    pub fn pending(&self) -> usize {
+        self.inner.borrow().waiting.len()
+    }
+}
+
+/// Future returned by [`Timers::sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    timers: Timers,
+    id: u64,
+    done: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.timers.inner.borrow_mut();
+        match inner.waiting.get_mut(&self.id) {
+            Some(TimerState::Fired) => {
+                inner.waiting.remove(&self.id);
+                drop(inner);
+                self.done = true;
+                Poll::Ready(())
+            }
+            Some(TimerState::Pending(w)) => {
+                *w = Some(cx.waker().clone());
+                Poll::Pending
+            }
+            None => {
+                debug_assert!(self.done, "timer slot vanished under a live sleep");
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if !self.done {
+            self.timers.inner.borrow_mut().waiting.remove(&self.id);
+        }
+    }
+}
+
+/// The wake event of the task-driving world: one per fired timer.
+#[derive(Debug)]
+pub enum WakeEv {
+    /// Timer `timer` reached its deadline; fire it and drain the executor.
+    TaskWake {
+        /// The timer id handed out by [`Timers::sleep`].
+        timer: u64,
+    },
+}
+
+impl WakeEv {
+    /// Static event-kind name for engine-level telemetry and profiling.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WakeEv::TaskWake { .. } => "task_wake",
+        }
+    }
+}
+
+/// A packaged [`Model`] that runs spawned futures over the event kernel,
+/// with [`Timers::sleep`] as the only blocking primitive. The executor
+/// for richer worlds (the web lifecycle port) is driven by those worlds'
+/// own event enums instead; this world is the minimal, reusable core —
+/// and the unit under test for the timer/executor proptests.
+#[derive(Debug, Default)]
+pub struct AsyncSim {
+    exec: Executor,
+    timers: Timers,
+}
+
+impl AsyncSim {
+    /// An empty world.
+    pub fn new() -> Self {
+        AsyncSim::default()
+    }
+
+    /// The shared timer handle (clone it into spawned futures).
+    pub fn timers(&self) -> Timers {
+        self.timers.clone()
+    }
+
+    /// Spawn a future; it first runs when [`AsyncSim::run`] starts.
+    pub fn spawn(&mut self, future: impl Future<Output = ()> + 'static) -> TaskId {
+        self.exec.spawn(future)
+    }
+
+    /// Direct access to the executor (cancellation, liveness checks).
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.exec
+    }
+
+    /// Run every spawned task to completion (or quiescence: tasks blocked
+    /// forever on never-fired waits simply stop the clock). Returns the
+    /// finished world.
+    pub fn run(self) -> AsyncSim {
+        Self::drive(self, |sim| {
+            sim.run();
+        })
+    }
+
+    /// Like [`AsyncSim::run`], but profiled: returns the world plus the
+    /// deterministic engine profile, whose `task_wake` entry makes waker
+    /// wakeups first-class in the `profile_*` vocabulary.
+    pub fn run_profiled(self) -> (AsyncSim, edison_simcore::EngineProfile) {
+        let mut prof = KindProfiler::new(WakeEv::kind);
+        let mut obs = edison_simcore::NoopObserver;
+        let mut profile = None;
+        let world = Self::drive(self, |sim| {
+            sim.run_profiled(&mut obs, &mut prof);
+            profile = Some(prof.finish(sim));
+        });
+        (world, profile.unwrap_or_default())
+    }
+
+    fn drive(mut self, run: impl FnOnce(&mut Simulation<AsyncSim>)) -> AsyncSim {
+        // run every task to its first await before the kernel starts, so
+        // the initial sleep set exists as events
+        self.exec.drain();
+        let initial = self.timers.take_requests();
+        let mut sim = Simulation::new(self);
+        for (id, at) in initial {
+            sim.schedule_at(at, WakeEv::TaskWake { timer: id });
+        }
+        run(&mut sim);
+        sim.into_world()
+    }
+
+    /// Total polls the executor performed.
+    pub fn polls_total(&self) -> u64 {
+        self.exec.polls_total()
+    }
+}
+
+impl Model for AsyncSim {
+    type Event = WakeEv;
+
+    fn handle(&mut self, now: SimTime, event: WakeEv, ctx: &mut Ctx<WakeEv>) {
+        let WakeEv::TaskWake { timer } = event;
+        self.timers.advance_to(now);
+        self.timers.fire(timer);
+        self.exec.drain();
+        for (id, at) in self.timers.take_requests() {
+            ctx.schedule_at(at, WakeEv::TaskWake { timer: id });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleeps_resolve_in_deadline_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        // spawn in an order unrelated to the deadlines
+        for (label, ms) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let (t, l) = (timers.clone(), Rc::clone(&log));
+            world.spawn(async move {
+                t.sleep(SimDuration::from_millis(ms)).await;
+                l.borrow_mut().push((label, t.now()));
+            });
+        }
+        let done = world.run();
+        let got: Vec<u32> = log.borrow().iter().map(|&(l, _)| l).collect();
+        assert_eq!(got, vec![1, 2, 0], "wakes follow deadlines, not spawn order");
+        assert_eq!(done.timers.pending(), 0);
+    }
+
+    #[test]
+    fn equal_deadlines_resolve_in_sleep_creation_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        for label in 0..5u32 {
+            let (t, l) = (timers.clone(), Rc::clone(&log));
+            world.spawn(async move {
+                t.sleep(SimDuration::from_millis(10)).await;
+                l.borrow_mut().push(label);
+            });
+        }
+        world.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate_sim_time() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        let l = Rc::clone(&log);
+        world.spawn(async move {
+            for _ in 0..3 {
+                timers.sleep(SimDuration::from_secs(2)).await;
+                l.borrow_mut().push(timers.now());
+            }
+        });
+        world.run();
+        let want: Vec<SimTime> =
+            (1..=3).map(|i| SimTime::ZERO + SimDuration::from_secs(2 * i)).collect();
+        assert_eq!(*log.borrow(), want);
+    }
+
+    #[test]
+    fn profiled_run_sees_task_wake_kind() {
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        world.spawn(async move {
+            timers.sleep(SimDuration::from_millis(5)).await;
+            timers.sleep(SimDuration::from_millis(5)).await;
+        });
+        let (_, profile) = world.run_profiled();
+        let wake = profile.kinds.get("task_wake").expect("task_wake profiled");
+        assert_eq!(wake.dispatched, 2, "one dispatch per fired timer");
+    }
+
+    #[test]
+    fn cancelled_sleeper_ignores_its_wake_event() {
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        let id = world.spawn(async move {
+            timers.sleep(SimDuration::from_secs(1)).await;
+            unreachable!("cancelled before the deadline");
+        });
+        // run the task to its first await, then cancel it; the wake event
+        // still fires in the kernel and must be a clean no-op
+        world.exec.drain();
+        assert!(world.exec.cancel(id));
+        let done = world.run();
+        assert_eq!(done.timers.pending(), 0, "Sleep::drop deregistered");
+    }
+}

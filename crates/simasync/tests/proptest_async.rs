@@ -1,0 +1,122 @@
+//! Property tests for the simasync primitives: the determinism contracts
+//! the workload ports lean on, sampled across random schedules.
+
+use edison_simasync::{mpsc, AsyncSim, Executor};
+use edison_simcore::time::SimDuration;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Timer completion order is a total order on deadlines, stable under
+    /// arbitrary permutations of spawn order: with distinct deadlines the
+    /// wake sequence is exactly deadline-sorted no matter which task was
+    /// spawned first.
+    #[test]
+    fn timer_order_is_deadline_order_whatever_the_spawn_order(
+        n in 2usize..12,
+        keys in proptest::collection::vec(0u64..1_000_000, 12..24),
+    ) {
+        // a permutation of 0..n from the random keys (stable sort keeps
+        // this well-defined even on key collisions)
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_by_key(|&i| keys[i]);
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        for &label in &perm {
+            let (t, l) = (timers.clone(), Rc::clone(&log));
+            // distinct deadlines: 10ms, 20ms, ... keyed by label, not
+            // spawn position
+            let d = SimDuration::from_millis(10 * (label as u64 + 1));
+            world.spawn(async move {
+                t.sleep(d).await;
+                l.borrow_mut().push(label);
+            });
+        }
+        world.run();
+        let want: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(&*log.borrow(), &want, "spawn perm {:?}", perm);
+    }
+
+    /// mpsc receive order is send order, regardless of how executor
+    /// drains interleave with the sends and which cloned sender is used.
+    #[test]
+    fn mpsc_recv_order_is_send_order_under_any_interleaving(
+        plan in proptest::collection::vec((0u64..1_000, 0u8..4), 1..30),
+    ) {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut exec = Executor::new();
+        let (tx, mut rx) = mpsc::<u64>();
+        let g = Rc::clone(&got);
+        exec.spawn(async move {
+            while let Some(v) = rx.recv().await {
+                g.borrow_mut().push(v);
+            }
+        });
+        let tx2 = tx.clone();
+        let mut sent = Vec::new();
+        for &(value, schedule) in &plan {
+            // schedule bits pick the sender and whether to drain now —
+            // the interleaving the property must be blind to
+            let sender = if schedule % 2 == 0 { &tx } else { &tx2 };
+            sender.send(value).expect("receiver alive");
+            sent.push(value);
+            if schedule >= 2 {
+                exec.drain();
+            }
+        }
+        drop(tx);
+        drop(tx2);
+        exec.drain();
+        prop_assert_eq!(&*got.borrow(), &sent);
+        prop_assert_eq!(exec.live_tasks(), 0, "recv loop saw the close");
+    }
+
+    /// Every task's destructors run exactly once, whether it completes or
+    /// is cancelled mid-await — and a cancel drops synchronously.
+    #[test]
+    fn destructors_run_exactly_once_completed_or_cancelled(
+        n in 1usize..10,
+        cancel_mask in 0u32..1024,
+    ) {
+        struct Guard(Rc<RefCell<u32>>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+
+        let counters: Vec<Rc<RefCell<u32>>> =
+            (0..n).map(|_| Rc::new(RefCell::new(0))).collect();
+        let mut world = AsyncSim::new();
+        let timers = world.timers();
+        let ids: Vec<_> = counters
+            .iter()
+            .map(|c| {
+                let (t, g) = (timers.clone(), Guard(Rc::clone(c)));
+                world.spawn(async move {
+                    let _held = g;
+                    t.sleep(SimDuration::from_secs(1)).await;
+                })
+            })
+            .collect();
+
+        // park every task at its first await, then cancel the masked set
+        world.executor_mut().drain();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask & (1 << i) != 0 {
+                prop_assert!(world.executor_mut().cancel(*id));
+                prop_assert_eq!(*counters[i].borrow(), 1, "cancel drops synchronously");
+            }
+        }
+        let done = world.run();
+        for (i, c) in counters.iter().enumerate() {
+            prop_assert_eq!(*c.borrow(), 1, "task {} dropped exactly once", i);
+        }
+        prop_assert_eq!(done.polls_total() > 0, true);
+    }
+}

@@ -35,10 +35,25 @@
 //! addition is non-associative, so summing a hash iteration is exactly
 //! the bug class R7 exists for.
 //!
+//! ### simasync sources
+//!
+//! The deterministic async layer introduces values that encode *scheduler
+//! state* rather than model state: a [`TaskId`] from `spawn` counts how
+//! many tasks were spawned before this one, a `select2` winner records
+//! which future won a race, and `try_recv` reports whether a message had
+//! arrived *at poll time*. All three are stable for a fixed seed but
+//! shift under any refactor that reorders spawns or wakes — exactly the
+//! silent-export-drift R7 exists to catch — so they are sources here.
+//! Channels must not launder taint either: on `let (tx, rx) = mpsc()`
+//! (or `oneshot`/`channel`) the pair is remembered, and a tainted
+//! `tx.send(v)` re-emerges tainted from the matching `rx.recv()`.
+//!
 //! Known blind spots (documented, not bugs): taint through struct-field
 //! writes, through `if`/`match` *values* (their bodies are still
 //! scanned), and through macro invocations (`write!`-family formatting is
 //! invisible; raw sources inside macros are still caught by R1).
+//!
+//! [`TaskId`]: ../../edison_simasync/struct.TaskId.html
 
 use crate::index::{blocks, children, FileUnit, Index};
 use crate::parse::{self, Block, ExprId, ExprKind, FnDef, Stmt};
@@ -60,6 +75,21 @@ const SANITIZERS: [&str; 9] =
 /// `simtel`, plus the shared `record` verb.)
 const SINK_METHODS: [&str; 8] =
     ["counter_add", "counter_inc", "gauge_set", "observe", "series_push", "record", "record_into", "write_record"];
+
+/// simasync method results whose value encodes scheduler state (stable
+/// per seed, but silently shifted by any spawn/wake reordering): the
+/// `TaskId` from a spawn counts prior spawns; `try_recv` snapshots
+/// whether a message had arrived at poll time.
+const ASYNC_SOURCE_METHODS: [(&str, &str); 3] = [
+    ("spawn", "task spawn order (TaskId)"),
+    ("spawn_and_drain", "task spawn order (TaskId)"),
+    ("try_recv", "try_recv poll-time arrival state"),
+];
+
+/// Channel constructors returning a `(sender, receiver)` pair; a
+/// tuple-destructuring `let` on one links the two bindings so `send`
+/// taint re-emerges from `recv`.
+const CHANNEL_CTORS: [&str; 3] = ["mpsc", "oneshot", "channel"];
 
 /// Free/assoc functions that render report artefacts.
 const SINK_FNS: [&str; 3] = ["table", "series_table", "trim_float"];
@@ -160,6 +190,7 @@ fn eval_fn(
         summaries,
         taints: BTreeMap::new(),
         hashy: BTreeMap::new(),
+        chan_peer: BTreeMap::new(),
         self_ty,
         ret: Taint::clean(),
         sinks_params: false,
@@ -211,6 +242,9 @@ struct Cx<'a> {
     taints: BTreeMap<String, Taint>,
     /// binding name → is a hash collection.
     hashy: BTreeMap<String, bool>,
+    /// channel-pair bindings: each side of a `let (tx, rx) = mpsc()`
+    /// destructure maps to the other, so `send` taints the receiver.
+    chan_peer: BTreeMap<String, String>,
     self_ty: Option<&'a str>,
     /// union of `return`-ed taints.
     ret: Taint,
@@ -262,6 +296,12 @@ impl<'a> Cx<'a> {
                         self.taints.insert(name.clone(), t);
                         self.hashy.insert(name.clone(), hashy);
                     }
+                    // `let (tx, rx) = mpsc()` — link the pair so a
+                    // tainted send re-emerges from the matching recv
+                    if names.len() == 2 && init.is_some_and(|e| self.is_channel_ctor(e)) {
+                        self.chan_peer.insert(names[0].clone(), names[1].clone());
+                        self.chan_peer.insert(names[1].clone(), names[0].clone());
+                    }
                 }
                 Stmt::Expr { expr, semi } => {
                     let t = self.eval(*expr);
@@ -273,6 +313,20 @@ impl<'a> Cx<'a> {
             }
         }
         tail
+    }
+
+    /// Is this expression a call to a channel constructor returning a
+    /// `(sender, receiver)` pair?
+    fn is_channel_ctor(&self, id: ExprId) -> bool {
+        let expr = self.unit.ast.expr(id);
+        if let ExprKind::Call { callee, .. } = &expr.kind {
+            if let ExprKind::Path(segs) = &self.unit.ast.expr(*callee).kind {
+                return segs
+                    .last()
+                    .is_some_and(|s| CHANNEL_CTORS.contains(&s.as_str()));
+            }
+        }
+        false
     }
 
     /// Is this expression a hash collection (so its iteration methods are
@@ -368,12 +422,30 @@ impl<'a> Cx<'a> {
                 if SINK_METHODS.contains(&name.as_str()) {
                     self.sink_hit(arg_taint, *name_line, &format!("telemetry/report sink `.{name}()`"));
                 }
+                // `tx.send(v)` on a linked channel pair: the payload's
+                // taint crosses to the receiver binding, so it is still
+                // there when `rx.recv()` hands the value back
+                if name == "send" {
+                    if let ExprKind::Path(segs) = &self.unit.ast.expr(*recv).kind {
+                        if let [one] = segs.as_slice() {
+                            if let Some(peer) = self.chan_peer.get(one).cloned() {
+                                let prev = self.taints.get(&peer).copied().unwrap_or_default();
+                                self.taints.insert(peer, prev.or(arg_taint));
+                            }
+                        }
+                    }
+                }
                 if SANITIZERS.contains(&name.as_str()) {
                     return Taint { source: None, param: recv_taint.param || arg_taint.param };
                 }
                 let mut t = recv_taint.or(arg_taint);
                 if ITER_SOURCES.contains(&name.as_str()) && self.is_hash(*recv) {
                     t = t.or(Taint { source: Some("HashMap/HashSet iteration order"), param: false });
+                }
+                if let Some((_, src)) =
+                    ASYNC_SOURCE_METHODS.iter().find(|(m, _)| *m == name.as_str())
+                {
+                    t = t.or(Taint { source: Some(src), param: false });
                 }
                 // crate-local callee summaries (methods resolved by name)
                 if let Some(s) = self.summaries.get(name.as_str()) {
@@ -417,6 +489,8 @@ impl<'a> Cx<'a> {
                     [.., "thread", "current"] | [.., "current"] if segs.len() >= 2 && segs[segs.len() - 2] == "thread" => {
                         Some("a thread id")
                     }
+                    // the winner of a select race encodes wake order
+                    [.., "select2"] => Some("a select2 winner (wake order)"),
                     _ => None,
                 };
                 if let Some(src) = source {
@@ -654,6 +728,67 @@ mod tests {
                    } }";
         let f = findings(src);
         assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn spawn_task_id_into_report_is_flagged() {
+        let src = "fn f(exec: &mut Executor) -> Comparison {\n\
+                   \x20   let tid = exec.spawn(fut());\n\
+                   \x20   Comparison::new(\"winner\", 1.0, tid)\n\
+                   }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("spawn order"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn select2_winner_into_telemetry_is_flagged() {
+        let src = "fn f(tel: &mut Telemetry, a: Sleep, b: Sleep) {\n\
+                   \x20   let won = select2(a, b);\n\
+                   \x20   tel.gauge_set(\"won\", Labels::none(), won);\n\
+                   }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("select2 winner"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn try_recv_arrival_state_into_telemetry_is_flagged() {
+        let src = "fn f(tel: &mut Telemetry, rx: &mut Receiver<f64>) {\n\
+                   \x20   if let Some(v) = rx.try_recv() {\n\
+                   \x20       tel.gauge_set(\"v\", Labels::none(), v);\n\
+                   \x20   }\n\
+                   }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("try_recv"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn channel_send_does_not_launder_iteration_order() {
+        let src = "struct S { m: HashMap<u64, f64> }\n\
+                   impl S { fn export(&self, tel: &mut Telemetry) {\n\
+                   \x20   let (tx, rx) = mpsc();\n\
+                   \x20   let worst: f64 = self.m.values().sum();\n\
+                   \x20   let _ = tx.send(worst);\n\
+                   \x20   let got = rx.recv();\n\
+                   \x20   tel.gauge_set(\"worst\", Labels::none(), got);\n\
+                   } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("iteration order"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn clean_channel_traffic_and_len_stay_clean() {
+        let src = "fn f(tel: &mut Telemetry) {\n\
+                   \x20   let (tx, rx) = oneshot();\n\
+                   \x20   let _ = tx.send(1.0);\n\
+                   \x20   let got = rx.recv();\n\
+                   \x20   tel.gauge_set(\"g\", Labels::none(), got);\n\
+                   \x20   tel.counter_add(\"n\", Labels::none(), rx.len() as u64);\n\
+                   }";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 
 pub mod db;
 pub mod httperf;
+pub mod lifecycle;
 pub mod memcached;
+pub mod model;
 pub mod pyclient;
 pub mod scenario;
 pub mod stack;

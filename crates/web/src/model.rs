@@ -1,0 +1,1869 @@
+//! Shared simulation state and request-path helpers of the web world.
+//!
+//! This module owns [`WebWorld`] — configuration, cluster, fabric, caches,
+//! fault layer and metrics — plus every side-effecting step of the request
+//! lifecycle, each expressed over an [`edison_simcore::SchedBuf`] instead
+//! of a live [`edison_simcore::Ctx`]. That one change lets the *same*
+//! helper run in two drivers:
+//!
+//! * the legacy state machine ([`crate::stack`]), whose event arms are now
+//!   thin delegations to these helpers; and
+//! * the async port ([`crate::lifecycle`]), whose tasks call the helpers
+//!   between `.await` points while the executor runs inside an event
+//!   handle.
+//!
+//! Helpers that the async tasks branch on return small *step enums*
+//! ([`SynStep`], [`AdmitStep`], [`PathStep`], …) instead of scheduling
+//! continuation state into a `Req::state` field — the legacy arms ignore
+//! the value, the tasks `match` on it. Side-effect order inside every
+//! helper is exactly the pre-refactor order; byte-identity between the two
+//! drivers is pinned by `tests/async_equivalence.rs`.
+
+use crate::db::{self, RowQuery};
+use crate::memcached::{Key, LruStore};
+use crate::scenario::{Platform, WebScenario, WorkloadMix, ROWS_PER_TABLE};
+use edison_cluster::node::AdmitError;
+use edison_cluster::{Cluster, NodeId};
+use edison_hw::{calib, presets};
+use edison_net::topology::TwoRooms;
+use edison_net::{HostId, LinkGauge, Topology};
+use edison_simcore::rng::SimRng;
+use edison_simcore::stats::{Histogram, SampleSet, TimeSeries};
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simcore::SchedBuf;
+use edison_simfault::metrics as fault_metrics;
+use edison_simfault::{Fault, FaultKind, FaultPlan, RecoveryWindow};
+use edison_simrun::derive_seed;
+use edison_simtel::{labels, OpenSpan, Telemetry};
+use std::collections::{HashMap, VecDeque};
+
+/// Histogram bounds for request-delay telemetry, seconds (log-ish spacing
+/// over the paper's 0–8 s Figure 10/11 range).
+pub(crate) const DELAY_BOUNDS_S: &[f64] =
+    &[0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// How load is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenMode {
+    /// httperf: `rate` new connections/s, each issuing `calls` sequential
+    /// requests (fractional mean; the paper tunes ≈6.6 calls/connection).
+    Httperf { connections_per_sec: f64, calls_per_conn: f64 },
+    /// python/urllib2 loggers: open-loop single-request connections.
+    Python { requests_per_sec: f64 },
+}
+
+/// Full configuration of one run.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    pub scenario: WebScenario,
+    pub mix: WorkloadMix,
+    pub gen: GenMode,
+    /// RNG seed — runs are exactly reproducible per seed.
+    pub seed: u64,
+    /// Settling time before measurement starts.
+    pub warmup: SimDuration,
+    /// Measurement window (the paper uses ~3 min; 20–30 s is converged).
+    pub measure: SimDuration,
+    /// httperf/HAProxy client machines (the paper: 8).
+    pub clients: usize,
+    /// Fault injection: kill web server `node` this long after t = 0.
+    /// Models the paper's Introduction argument (advantage 2) that node
+    /// failure hits brawny clusters harder — each Dell web server carries
+    /// 12× the load share of an Edison one. Sugar for a one-crash
+    /// [`FaultPlan`]; merged into `fault_plan` when the run starts.
+    pub kill_web_at: Option<(usize, SimDuration)>,
+    /// Declarative fault schedule played against this run (crashes,
+    /// restarts, NIC degradation, CPU throttling, cache cold restarts).
+    /// Empty plans leave the run byte-identical to the pre-fault code
+    /// path.
+    pub fault_plan: FaultPlan,
+    /// How many times a client re-dispatches a connection through the
+    /// load balancer after hitting a dead backend (connect/read timeout).
+    /// `0` reproduces the original behaviour: every request caught on a
+    /// crashed node is a hard `server_error`.
+    pub retry_budget: u32,
+    /// Extension (§7's "hybrid future datacenter"): append this many web
+    /// servers of the *other* platform to the web tier. They sit in their
+    /// own room with their own NIC/OS limits; the load balancer spreads
+    /// connections weighted by measured per-platform capacity.
+    pub hybrid_web: usize,
+}
+
+impl StackConfig {
+    /// Sensible defaults for one figure point.
+    pub fn new(scenario: WebScenario, mix: WorkloadMix, gen: GenMode, seed: u64) -> Self {
+        StackConfig {
+            scenario,
+            mix,
+            gen,
+            seed,
+            warmup: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(20),
+            clients: 8,
+            kill_web_at: None,
+            fault_plan: FaultPlan::new(),
+            retry_budget: 0,
+            hybrid_web: 0,
+        }
+    }
+}
+
+/// PHP/FastCGI worker pool of one web node.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    pub(crate) max: u32,
+    pub(crate) busy: u32,
+    pub(crate) backlog: VecDeque<u64>,
+    pub(crate) backlog_max: usize,
+}
+
+/// Listen-queue state of one web node (EWMA SYN-rate for the collapse
+/// model).
+#[derive(Debug)]
+pub(crate) struct SynGate {
+    bucket_rate: f64,
+    window_start: SimTime,
+    window_count: u32,
+    ewma_rate: f64,
+}
+
+impl SynGate {
+    pub(crate) fn new(rate: f64) -> Self {
+        SynGate { bucket_rate: rate, window_start: SimTime::ZERO, window_count: 0, ewma_rate: 0.0 }
+    }
+
+    /// Record a SYN arrival and return the extra drop probability from
+    /// listen-queue collapse (0 when pressure ≤ capacity).
+    fn pressure_drop_p(&mut self, now: SimTime) -> f64 {
+        // 1 s windows folded into an EWMA.
+        while now.saturating_since(self.window_start) >= SimDuration::from_secs(1) {
+            self.ewma_rate = 0.5 * self.ewma_rate + 0.5 * self.window_count as f64;
+            self.window_count = 0;
+            self.window_start = self.window_start + SimDuration::from_secs(1);
+        }
+        self.window_count += 1;
+        if self.ewma_rate <= self.bucket_rate {
+            0.0
+        } else {
+            // goodput collapse: admitted ≈ capacity·(capacity/offered)^1.5
+            let keep = (self.bucket_rate / self.ewma_rate).powf(2.5);
+            1.0 - keep.clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ReqState {
+    Stage1,
+    CacheRpc,
+    DbRpc,
+    DbDisk,
+    Stage2,
+    Reply,
+}
+
+#[derive(Debug)]
+pub(crate) struct Req {
+    pub(crate) conn: u64,
+    pub(crate) client: usize,
+    pub(crate) web: usize,
+    pub(crate) cache: usize,
+    pub(crate) db_node: usize,
+    pub(crate) query: RowQuery,
+    pub(crate) state: ReqState,
+    pub(crate) first_call: bool,
+    pub(crate) t_sent: SimTime,
+    pub(crate) t_cache_sent: SimTime,
+    pub(crate) t_db_sent: SimTime,
+    /// Set when the db reply lands back on the web server.
+    pub(crate) db_delay: Option<f64>,
+    pub(crate) went_to_db: bool,
+    /// Set while the request waits in the PHP backlog (telemetry span).
+    pub(crate) t_queued: Option<SimTime>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub(crate) client: usize,
+    pub(crate) web: usize,
+    pub(crate) calls_left: u32,
+    pub(crate) t_first_syn: SimTime,
+    /// Failover re-dispatches consumed (bounded by
+    /// [`StackConfig::retry_budget`]).
+    pub(crate) retries: u32,
+}
+
+/// Everything measured during the window.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// 5xx responses (backlog overflow / fd exhaustion).
+    pub server_errors: u64,
+    /// Connections abandoned after three SYN retries.
+    pub client_errors: u64,
+    /// SYN drops observed (each may be retried).
+    pub syn_drops: u64,
+    /// Per-request delay, ms (first call measured from first SYN).
+    pub delays_ms: SampleSet,
+    /// Cache-retrieval delay, ms (hit requests; includes the web-side
+    /// unserialize CPU slice, mirroring where the paper's PHP timestamps
+    /// sit).
+    pub cache_delays_ms: SampleSet,
+    /// Database delay, ms (miss requests; query send → reply arrival).
+    pub db_delays_ms: SampleSet,
+    /// Full-connection delay from first SYN, seconds (Fig 10/11 histogram).
+    pub conn_delay_hist: Histogram,
+    /// Cluster power sampled at 1 s, W.
+    pub power_w: TimeSeries,
+    /// Mean web CPU / cache CPU / web mem / cache mem over samples.
+    pub web_cpu: SampleSet,
+    pub cache_cpu: SampleSet,
+    pub web_mem: SampleSet,
+    pub cache_mem: SampleSet,
+    /// Joules consumed by the web+cache cluster during the window.
+    pub energy_j: f64,
+    pub(crate) energy_at_start: f64,
+    /// Requests completed regardless of window (drives `throughput_ts`).
+    pub completed_total: u64,
+    /// Completed requests per second, sampled at 1 s (fault-injection dip).
+    pub throughput_ts: TimeSeries,
+    pub(crate) last_sampled_completed: u64,
+    /// Faults actually applied from the plan.
+    pub faults_injected: u64,
+    /// Backends taken out of LB rotation after failed health checks.
+    pub failovers: u64,
+    /// Client connections re-dispatched through the LB after hitting a
+    /// dead backend.
+    pub retries: u64,
+    /// Seconds from crash injection until the victim is back in LB
+    /// rotation (one sample per completed recovery).
+    pub recovery_s: SampleSet,
+    /// Observed recovery windows: restart applied → back in LB rotation
+    /// (the RISE interval). The simexplore perturbation space targets
+    /// follow-up faults inside these.
+    pub recovery_windows: Vec<RecoveryWindow>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            completed: 0,
+            server_errors: 0,
+            client_errors: 0,
+            syn_drops: 0,
+            delays_ms: SampleSet::new(),
+            cache_delays_ms: SampleSet::new(),
+            db_delays_ms: SampleSet::new(),
+            conn_delay_hist: Histogram::new(0.0, 8.0, 80),
+            power_w: TimeSeries::new(),
+            web_cpu: SampleSet::new(),
+            cache_cpu: SampleSet::new(),
+            web_mem: SampleSet::new(),
+            cache_mem: SampleSet::new(),
+            energy_j: 0.0,
+            energy_at_start: 0.0,
+            completed_total: 0,
+            throughput_ts: TimeSeries::new(),
+            last_sampled_completed: 0,
+            faults_injected: 0,
+            failovers: 0,
+            retries: 0,
+            recovery_s: SampleSet::new(),
+            recovery_windows: Vec::new(),
+        }
+    }
+}
+
+/// Events of the web world.
+#[derive(Debug)]
+pub enum Ev {
+    GenConn,
+    SynRetry { conn: u64, attempt: u8 },
+    NodeCpu { node: usize, epoch: u64 },
+    DbCpu { node: usize, epoch: u64 },
+    ReqAtWeb { req: u64 },
+    ReqAtCache { req: u64 },
+    CacheReplyAtWeb { req: u64, hit: bool },
+    ReqAtDb { req: u64 },
+    DbDiskDone { node: usize, job: u64 },
+    DbReplyAtWeb { req: u64 },
+    ReplyAtClient { req: u64 },
+    Sample,
+    MeasureStart,
+    /// Inject fault `idx` of the normalized plan.
+    Fault { idx: usize },
+    /// HAProxy-style health-check tick over the web tier (idle-scheduled;
+    /// starts with the first injected fault).
+    HealthCheck,
+    /// A client re-dispatches a connection through the LB after a
+    /// failover timeout.
+    RetryConn { conn: u64 },
+    Stop,
+}
+
+impl Ev {
+    /// Static event-kind name for engine-level telemetry
+    /// ([`edison_simtel::EventCounter`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Ev::GenConn => "gen_conn",
+            Ev::SynRetry { .. } => "syn_retry",
+            Ev::NodeCpu { .. } => "node_cpu",
+            Ev::DbCpu { .. } => "db_cpu",
+            Ev::ReqAtWeb { .. } => "req_at_web",
+            Ev::ReqAtCache { .. } => "req_at_cache",
+            Ev::CacheReplyAtWeb { .. } => "cache_reply_at_web",
+            Ev::ReqAtDb { .. } => "req_at_db",
+            Ev::DbDiskDone { .. } => "db_disk_done",
+            Ev::DbReplyAtWeb { .. } => "db_reply_at_web",
+            Ev::ReplyAtClient { .. } => "reply_at_client",
+            Ev::Sample => "sample",
+            Ev::MeasureStart => "measure_start",
+            Ev::Fault { .. } => "fault",
+            Ev::HealthCheck => "health_check",
+            Ev::RetryConn { .. } => "retry_conn",
+            Ev::Stop => "stop",
+        }
+    }
+}
+
+// ---- step enums: what a lifecycle stage did ---------------------------
+//
+// The legacy arms ignore these; the async tasks in `crate::lifecycle`
+// match on them to pick the next `.await`. Every variant corresponds to
+// a continuation the state machine used to encode in `ReqState`.
+
+/// Outcome of one SYN attempt ([`WebWorld::syn_attempt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SynStep {
+    /// Accepted: request `req` is on the wire to the web node.
+    Accepted { req: u64 },
+    /// SYN dropped; a kernel retransmit was scheduled ([`Ev::SynRetry`]).
+    Backoff,
+    /// Dead backend with retry budget: an LB re-dispatch was scheduled
+    /// ([`Ev::RetryConn`]).
+    AwaitRedispatch,
+    /// The connection is gone (accounted as a client/server error, or a
+    /// stale id).
+    Gone,
+}
+
+/// Outcome of worker-pool admission ([`WebWorld::admit_to_worker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitStep {
+    /// Running or backlogged; stage-1 CPU completion will follow.
+    Admitted,
+    /// Caught on a dead node and dropped (retry may be scheduled).
+    Dropped,
+    /// 5xx overflow (request and connection gone) or a stale id.
+    Gone,
+}
+
+/// Outcome of a reply landing back on the web node
+/// ([`WebWorld::cache_reply_at_web`], [`WebWorld::db_reply_at_web`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PathStep {
+    /// Stage-2 CPU was enqueued.
+    Continue,
+    /// Cache miss: the query went to MySQL ([`Ev::ReqAtDb`] scheduled).
+    ToDb,
+    /// Caught on a dead node and dropped (retry may be scheduled).
+    Dropped,
+    /// Stale request id.
+    Gone,
+}
+
+/// Outcome of MySQL CPU completion ([`WebWorld::db_cpu_done`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DbStep {
+    /// Buffer-pool miss: a disk read was submitted ([`Ev::DbDiskDone`]).
+    Disk,
+    /// Reply is on the wire to the web node ([`Ev::DbReplyAtWeb`]).
+    Sent,
+    /// Stale request id.
+    Gone,
+}
+
+/// Outcome of stage-2 CPU completion ([`WebWorld::stage2_to_reply`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage2Step {
+    /// Reply is on the wire to the client ([`Ev::ReplyAtClient`]).
+    Sent,
+    /// Connection (or request) vanished; the request was retired.
+    Gone,
+}
+
+/// Outcome of delivering the reply ([`WebWorld::finish_reply`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplyStep {
+    /// Completed; the connection has calls left and request `req` was
+    /// started.
+    NextCall { req: u64 },
+    /// Completed; that was the connection's last call and it closed.
+    Closed,
+    /// Stale request or vanished connection: nothing was recorded, so the
+    /// async task must *not* finish its `http_request` span either.
+    Vanished,
+}
+
+/// Outcome of an LB re-dispatch ([`WebWorld::redispatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RedispatchStep {
+    /// A new backend was picked; retry the SYN handshake.
+    Go,
+    /// Nothing to fail over to (connection retired) or a stale id.
+    Gone,
+}
+
+/// One request torn down by [`WebWorld::apply_crash`] while it was on the
+/// crashed node's CPU (stage 1/2). The async driver uses these to cancel
+/// the matching in-flight tasks after the fault is applied.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CrashOutcome {
+    /// The torn-down request id.
+    pub(crate) req: u64,
+    /// Its connection id.
+    pub(crate) conn: u64,
+    /// True when the connection survived (a retry re-dispatch was
+    /// scheduled); false when it was retired as a hard error.
+    pub(crate) conn_survived: bool,
+}
+
+/// The web-service world. Construct with [`WebWorld::new`], then drive it
+/// through [`crate::stack::run`] (state machine) or
+/// [`crate::lifecycle::run_async`] (async port) — both dispatch into the
+/// helpers below, in the same order.
+pub struct WebWorld {
+    pub(crate) cfg: StackConfig,
+    pub(crate) nodes: Cluster,
+    pub(crate) dbc: Cluster,
+    pub(crate) topo: Topology,
+    pub(crate) gauge: LinkGauge,
+    pub(crate) node_hosts: Vec<HostId>,
+    pub(crate) db_hosts: Vec<HostId>,
+    pub(crate) client_hosts: Vec<HostId>,
+    pub(crate) caches: Vec<LruStore>,
+    pub(crate) workers: Vec<WorkerPool>,
+    pub(crate) syn_gates: Vec<SynGate>,
+    pub(crate) rng: SimRng,
+    // simlint: allow(R1) keyed lookup only; event order comes from the kernel heap
+    pub(crate) conns: HashMap<u64, Conn>,
+    // simlint: allow(R1) keyed lookup only; event order comes from the kernel heap
+    pub(crate) reqs: HashMap<u64, Req>,
+    pub(crate) next_conn: u64,
+    pub(crate) next_req: u64,
+    pub(crate) rr_web: usize,
+    pub(crate) rr_client: usize,
+    pub(crate) dead: Vec<bool>,
+    /// Per-web-node request CPU cost (differs across hybrid platforms).
+    pub(crate) req_mi_of: Vec<f64>,
+    /// Load-balancer weights (one per web node, capacity-proportional).
+    pub(crate) lb_weights: Vec<f64>,
+    // ---- fault layer --------------------------------------------------
+    /// Normalized fault plan (time-sorted, zero-width pairs cancelled);
+    /// `Ev::Fault { idx }` indexes into `fplan.faults()`.
+    pub(crate) fplan: FaultPlan,
+    /// Backends the LB has taken out of rotation (health-check verdict;
+    /// lags `dead` by FALL checks and outlives it by RISE checks).
+    pub(crate) lb_dead: Vec<bool>,
+    /// Consecutive failed / passed health checks per web node.
+    pub(crate) hc_fail: Vec<u8>,
+    pub(crate) hc_ok: Vec<u8>,
+    /// When each web node crashed (cleared once it is back in rotation —
+    /// the recovery-time sample).
+    pub(crate) crash_time: Vec<Option<SimTime>>,
+    /// When each web node's restart was applied (cleared at RISE — the
+    /// recovery-window sample: restarted but not yet in rotation).
+    pub(crate) restart_time: Vec<Option<SimTime>>,
+    /// Accept-gate rate per web node, kept for post-restart re-init.
+    pub(crate) accept_rate_of: Vec<f64>,
+    /// Cache store capacity per cache node, kept for cold restarts.
+    pub(crate) cache_cap_of: Vec<u64>,
+    /// Packet-loss probability per tier node (web then cache), from NIC
+    /// degradation faults. Applies to connection-establishment SYNs.
+    pub(crate) nic_loss: Vec<f64>,
+    /// Latency/transfer multiplier per tier node, from NIC degradation.
+    pub(crate) nic_lat: Vec<f64>,
+    /// CPU service-time multiplier per tier node (straggler faults).
+    pub(crate) cpu_factor: Vec<f64>,
+    /// Disk service-time multiplier per MySQL node.
+    pub(crate) db_disk_factor: Vec<f64>,
+    /// RNG for fault-effect draws (NIC loss); separate stream from the
+    /// workload RNG so injecting a fault never shifts workload draws.
+    /// Re-seeded from the plan's per-fault seed at each NIC fault.
+    pub(crate) fault_rng: SimRng,
+    /// Health checks are scheduled lazily at the first injected fault so
+    /// fault-free runs stay byte-identical to the pre-fault code path.
+    pub(crate) hc_running: bool,
+    /// Write-allocate on db replies, enabled by a cache cold restart so
+    /// the store re-warms (off by default: the pre-warmed steady state
+    /// never inserts on the miss path).
+    pub(crate) cache_writeback: bool,
+    pub(crate) measure_start: SimTime,
+    pub(crate) measure_end: SimTime,
+    /// Collected metrics.
+    pub metrics: Metrics,
+    /// Telemetry sink; [`Telemetry::off`] unless the run came through
+    /// a traced entry point.
+    pub(crate) tel: Telemetry,
+    /// Interned span track id per web node (`("web", "web-{i}")`), filled
+    /// once by [`WebWorld::init_tracing`] when tracing — per-event span
+    /// recording then does no string formatting or comparison.
+    pub(crate) web_tracks: Vec<usize>,
+}
+
+/// Fraction of the per-request web CPU spent before the cache RPC (parse +
+/// routing); the rest is reply assembly.
+const STAGE1_FRAC: f64 = 0.6;
+/// Request/notice message size on the wire, bytes (headers).
+const HEADER_BYTES: u64 = 300;
+/// PHP workers per Edison web server (the paper's tuned FastCGI children).
+const EDISON_WORKERS: u32 = 32;
+/// PHP workers per Dell web server.
+const DELL_WORKERS: u32 = 256;
+/// Pending-request backlog bound before lighttpd answers 5xx.
+const BACKLOG_PER_WORKER: usize = 4;
+/// Per-PHP-worker resident memory, bytes.
+const EDISON_WORKER_MEM: u64 = 512 * 1024;
+/// Dell runs the older PHP 5.3 with fatter processes.
+const DELL_WORKER_MEM: u64 = 24 * 1024 * 1024;
+/// HAProxy-style health-check interval (`inter`).
+const HC_PERIOD: SimDuration = SimDuration::from_secs(1);
+/// Consecutive failed checks before a backend leaves rotation (`fall`).
+const HC_FALL: u8 = 2;
+/// Consecutive passed checks before a restarted backend rejoins (`rise`).
+const HC_RISE: u8 = 2;
+/// Client-side connect/read timeout before a retry re-dispatches through
+/// the load balancer.
+const FAILOVER_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+/// Exponent cap on the client re-dispatch backoff: delays double per
+/// attempt up to `FAILOVER_TIMEOUT << RETRY_BACKOFF_CAP`.
+const RETRY_BACKOFF_CAP: u32 = 2;
+/// Jitter spread (± fraction) around the backed-off re-dispatch delay.
+const RETRY_JITTER: f64 = 0.25;
+
+/// Scale a duration by a fault multiplier (identity fast path keeps
+/// fault-free runs bit-exact with the pre-fault arithmetic).
+fn scaled(d: SimDuration, m: f64) -> SimDuration {
+    if m == 1.0 {
+        d
+    } else {
+        d.mul_f64(m)
+    }
+}
+
+impl WebWorld {
+    /// Assemble the world: cluster, fabric, pre-warmed caches.
+    pub fn new(cfg: StackConfig) -> Self {
+        let spec = cfg.scenario.platform.spec();
+        let dell = presets::dell_r620();
+        let other_platform = match cfg.scenario.platform {
+            Platform::Edison => Platform::Dell,
+            Platform::Dell => Platform::Edison,
+        };
+        let other_spec = other_platform.spec();
+        let n_web = cfg.scenario.web_servers + cfg.hybrid_web;
+        let n_cache = cfg.scenario.cache_servers;
+        // web nodes: base platform first, hybrid extras after, then caches
+        let web_platforms: Vec<Platform> = (0..n_web)
+            .map(|i| if i < cfg.scenario.web_servers { cfg.scenario.platform } else { other_platform })
+            .collect();
+        let mut nodes = Cluster::new();
+        for p in &web_platforms {
+            match p {
+                Platform::Edison => nodes.push(&presets::edison()),
+                Platform::Dell => nodes.push(&dell),
+            };
+        }
+        for _ in 0..n_cache {
+            nodes.push(&spec);
+        }
+        let mut dbc = Cluster::new();
+        for _ in 0..2 {
+            dbc.push(&dell);
+        }
+
+        // fabric: platform nodes in their room, db + clients in the Dell room
+        let rooms = TwoRooms::new();
+        let mut topo = rooms.topo;
+        let platform_room = match cfg.scenario.platform {
+            Platform::Edison => rooms.edison_room,
+            Platform::Dell => rooms.dell_room,
+        };
+        let other_room = match other_platform {
+            Platform::Edison => rooms.edison_room,
+            Platform::Dell => rooms.dell_room,
+        };
+        let mut node_hosts: Vec<HostId> = Vec::with_capacity(n_web + n_cache);
+        for (i, p) in web_platforms.iter().enumerate() {
+            let (room, nic) = match p {
+                _ if i < cfg.scenario.web_servers => (platform_room, &spec.nic),
+                Platform::Edison => (other_room, &other_spec.nic),
+                Platform::Dell => (other_room, &other_spec.nic),
+            };
+            node_hosts.push(topo.add_host(room, nic.line_rate_bps, nic.tcp_efficiency));
+        }
+        for _ in 0..n_cache {
+            node_hosts.push(topo.add_host(platform_room, spec.nic.line_rate_bps, spec.nic.tcp_efficiency));
+        }
+        let db_hosts: Vec<HostId> = (0..2)
+            .map(|_| topo.add_host(rooms.dell_room, dell.nic.line_rate_bps, dell.nic.tcp_efficiency))
+            .collect();
+        let client_hosts: Vec<HostId> = (0..cfg.clients)
+            .map(|_| topo.add_host(rooms.dell_room, 1.0e9, 0.942))
+            .collect();
+        let gauge = LinkGauge::mirror(topo.network());
+
+        // PHP worker pools + memory + LB weights, per node platform
+        let mut workers = Vec::new();
+        let mut syn_gates = Vec::new();
+        let mut req_mi_of = Vec::new();
+        let mut lb_weights = Vec::new();
+        let mut accept_rate_of = Vec::new();
+        for (i, p) in web_platforms.iter().enumerate() {
+            let (workers_per_node, worker_mem, accept, mi, weight) = match p {
+                Platform::Edison => (
+                    EDISON_WORKERS,
+                    EDISON_WORKER_MEM,
+                    presets::edison().os.max_accept_rate,
+                    calib::WEB_REQ_MI_EDISON,
+                    1.0,
+                ),
+                Platform::Dell => (
+                    DELL_WORKERS,
+                    DELL_WORKER_MEM,
+                    dell.os.max_accept_rate,
+                    calib::WEB_REQ_MI_DELL,
+                    // one Dell web server carries ≈12× an Edison's load
+                    12.0,
+                ),
+            };
+            workers.push(WorkerPool {
+                max: workers_per_node,
+                busy: 0,
+                backlog: VecDeque::new(),
+                backlog_max: workers_per_node as usize * BACKLOG_PER_WORKER,
+            });
+            syn_gates.push(SynGate::new(accept));
+            accept_rate_of.push(accept);
+            req_mi_of.push(mi);
+            lb_weights.push(weight);
+            nodes
+                .node_mut(NodeId(i))
+                .alloc_mem(worker_mem * workers_per_node as u64)
+                .expect("web node fits its worker pool");
+        }
+
+        // caches: real LRU stores pre-warmed to the target hit ratio
+        let mut caches = Vec::new();
+        let mut cache_cap_of = Vec::new();
+        for _ in 0..n_cache {
+            let free = nodes.node(NodeId(n_web)).mem_free();
+            let cap = (free as f64 * 0.85) as u64;
+            cache_cap_of.push(cap);
+            caches.push(LruStore::new(cap));
+        }
+        let warm_rows = (cfg.mix.cache_hit_ratio * ROWS_PER_TABLE as f64) as u32;
+        for table in 0..db::TOTAL_TABLES as u8 {
+            for row in 0..warm_rows {
+                let key = Key { table, row };
+                let c = Self::cache_for(key, n_cache);
+                caches[c].set(key, db::reply_bytes_for(key) as u32);
+            }
+        }
+        for (i, c) in caches.iter_mut().enumerate() {
+            c.reset_stats();
+            let used = c.used_bytes();
+            nodes
+                .node_mut(NodeId(n_web + i))
+                .alloc_mem(used)
+                .expect("cache fits after warm-up");
+        }
+
+        let measure_start = SimTime::ZERO + cfg.warmup;
+        let measure_end = measure_start + cfg.measure;
+        let rng = SimRng::new(cfg.seed);
+        // the kill_web_at sugar rides the same fault plan as everything else
+        let mut full_plan = cfg.fault_plan.clone();
+        if let Some((node, at)) = cfg.kill_web_at {
+            full_plan = full_plan.crash(node, SimTime::ZERO + at);
+        }
+        let fplan = full_plan.normalized();
+        let n_tier = n_web + n_cache;
+        let fault_rng = SimRng::new(fplan.fault_seed(0));
+        WebWorld {
+            cfg,
+            nodes,
+            dbc,
+            topo,
+            gauge,
+            node_hosts,
+            db_hosts,
+            client_hosts,
+            caches,
+            workers,
+            syn_gates,
+            rng,
+            // simlint: allow(R1) keyed lookup only (see field notes)
+            conns: HashMap::new(),
+            // simlint: allow(R1) keyed lookup only (see field notes)
+            reqs: HashMap::new(),
+            next_conn: 0,
+            next_req: 0,
+            rr_web: 0,
+            rr_client: 0,
+            dead: vec![false; n_web],
+            req_mi_of,
+            lb_weights,
+            fplan,
+            lb_dead: vec![false; n_web],
+            hc_fail: vec![0; n_web],
+            hc_ok: vec![0; n_web],
+            crash_time: vec![None; n_web],
+            restart_time: vec![None; n_web],
+            accept_rate_of,
+            cache_cap_of,
+            nic_loss: vec![0.0; n_tier],
+            nic_lat: vec![1.0; n_tier],
+            cpu_factor: vec![1.0; n_tier],
+            db_disk_factor: vec![1.0; 2],
+            fault_rng,
+            hc_running: false,
+            cache_writeback: false,
+            measure_start,
+            measure_end,
+            metrics: Metrics::default(),
+            tel: Telemetry::off(),
+            web_tracks: Vec::new(),
+        }
+    }
+
+    /// The telemetry collected by this world (empty unless the run came
+    /// through a traced entry point with an enabled sink).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Move the collected telemetry out of the world.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.tel)
+    }
+
+    /// Install the telemetry sink the run records into.
+    pub(crate) fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Enable power traces, register metric help text and intern the
+    /// per-web-node span tracks. Called once, before the first event, by
+    /// every traced entry point (state-machine and async alike) so both
+    /// produce byte-identical exports.
+    pub(crate) fn init_tracing(&mut self) {
+        self.nodes.enable_power_trace();
+        self.dbc.enable_power_trace();
+        self.tel.help("web_requests_total", "Requests leaving the system, by outcome");
+        self.tel.help("web_request_delay_seconds", "End-to-end request delay, seconds");
+        self.tel.help("web_syn_drops_total", "SYN packets dropped at the accept gate");
+        self.tel.help("web_cache_lookups_total", "memcached lookups, by result");
+        self.tel.help("web_throughput_rps", "Completed requests per second, 1 s samples");
+        // registered whether or not any fault fires, so exports stay
+        // byte-identical across fault-free and faulted configurations
+        edison_simfault::metrics::register_help(&mut self.tel);
+        self.tel.help("web_client_retries_total", "Connections re-dispatched through the LB after failover timeouts");
+        // intern one span track per web node up front: per-event span
+        // recording is then id-indexed, no string work on the hot path
+        let n_web = self.n_web();
+        let mut tracks = Vec::with_capacity(n_web);
+        for i in 0..n_web {
+            tracks.push(self.tel.track_id("web", &format!("web-{i}")));
+        }
+        self.web_tracks = tracks;
+    }
+
+    /// The deterministic key → cache-server mapping (memcached client
+    /// hashing).
+    fn cache_for(key: Key, n_cache: usize) -> usize {
+        (key.table as usize * ROWS_PER_TABLE as usize + key.row as usize) % n_cache
+    }
+
+    pub(crate) fn n_web(&self) -> usize {
+        self.cfg.scenario.web_servers + self.cfg.hybrid_web
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.measure_start && t <= self.measure_end
+    }
+
+    /// Telemetry: count one request leaving the system, by outcome
+    /// (`ok`, `server_error`, `client_error`).
+    fn tel_outcome(&mut self, outcome: &'static str) {
+        self.tel.counter_inc("web_requests_total", labels(&[("outcome", outcome)]));
+    }
+
+    /// Span track id for web node `web` — cached by
+    /// [`WebWorld::init_tracing`]; the fallback interns on demand for
+    /// worlds driven without the prefill (manual drivers).
+    fn web_track(&mut self, web: usize) -> usize {
+        match self.web_tracks.get(web) {
+            Some(&t) => t,
+            None => self.tel.track_id("web", &format!("web-{web}")),
+        }
+    }
+
+    /// Open the end-to-end `http_request` span for `req` (to be finished
+    /// by the async task at reply delivery). `None` when telemetry is off
+    /// or the request/connection is already gone. Byte-equivalent to the
+    /// state machine's `span_on` at the reply arm: same track, category,
+    /// name and start instant.
+    pub(crate) fn open_http_span(&mut self, req: u64) -> Option<OpenSpan> {
+        if !self.tel.is_on() {
+            return None;
+        }
+        let (web, first_call, conn, t_sent) = {
+            let r = self.reqs.get(&req)?;
+            (r.web, r.first_call, r.conn, r.t_sent)
+        };
+        let start = if first_call { self.conns.get(&conn)?.t_first_syn } else { t_sent };
+        let track = self.web_track(web);
+        Some(OpenSpan::begin(track, "request", "http_request", start))
+    }
+
+    // ---- node CPU plumbing ------------------------------------------------
+
+    pub(crate) fn schedule_node_cpu(&mut self, node: usize, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        if let Some((_, at)) = self.nodes.node(NodeId(node)).next_cpu_completion(now) {
+            let epoch = self.nodes.node(NodeId(node)).cpu_epoch();
+            sched.schedule_at(at, Ev::NodeCpu { node, epoch });
+        }
+    }
+
+    pub(crate) fn schedule_db_cpu(&mut self, node: usize, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        if let Some((_, at)) = self.dbc.node(NodeId(node)).next_cpu_completion(now) {
+            let epoch = self.dbc.node(NodeId(node)).cpu_epoch();
+            sched.schedule_at(at, Ev::DbCpu { node, epoch });
+        }
+    }
+
+    // ---- generator --------------------------------------------------------
+
+    pub(crate) fn gen_next_delay(&mut self) -> SimDuration {
+        let rate = match self.cfg.gen {
+            GenMode::Httperf { connections_per_sec, .. } => connections_per_sec,
+            GenMode::Python { requests_per_sec } => requests_per_sec,
+        };
+        SimDuration::from_secs_f64(self.rng.jitter(0.3) / rate)
+    }
+
+    fn draw_calls(&mut self) -> u32 {
+        match self.cfg.gen {
+            GenMode::Httperf { calls_per_conn, .. } => {
+                let base = calls_per_conn.floor();
+                let frac = calls_per_conn - base;
+                (base as u32 + u32::from(self.rng.chance(frac))).max(1)
+            }
+            GenMode::Python { .. } => 1,
+        }
+    }
+
+    /// HAProxy smooth WRR over backends still in rotation (`dead` covers
+    /// the pre-health-check kill path; `lb_dead` the health-check
+    /// verdict). `None` when the whole tier is out.
+    fn lb_pick(&mut self) -> Option<usize> {
+        let n_web = self.n_web();
+        let total_w: f64 = (0..n_web)
+            .filter(|&i| !self.dead[i] && !self.lb_dead[i])
+            .map(|i| self.lb_weights[i])
+            .sum();
+        if total_w <= 0.0 {
+            return None;
+        }
+        // deterministic smooth WRR: golden-ratio stride through the
+        // cumulative weights spreads picks evenly at every prefix length
+        let target = (self.rr_web as f64 * 0.618_033_988_749_895).fract() * total_w;
+        self.rr_web += 1;
+        let mut web = 0;
+        let mut acc = 0.0;
+        for i in 0..n_web {
+            if self.dead[i] || self.lb_dead[i] {
+                continue;
+            }
+            acc += self.lb_weights[i];
+            web = i;
+            if target < acc {
+                break;
+            }
+        }
+        Some(web)
+    }
+
+    /// Everything [`open_connection`](crate::stack) did *except* the first
+    /// SYN attempt: pick a backend, a client and the call count, and
+    /// register the connection. Returns the new connection id, or `None`
+    /// when the whole web tier is out of rotation (accounted as a client
+    /// error). The first [`WebWorld::syn_attempt`] is the caller's move —
+    /// the state machine makes it inline, the async driver from inside the
+    /// freshly spawned connection task.
+    pub(crate) fn open_conn_prepare(&mut self, now: SimTime) -> Option<u64> {
+        let id = self.next_conn;
+        self.next_conn += 1;
+        // HAProxy weighted round robin, health-checked around dead servers
+        let Some(web) = self.lb_pick() else {
+            // whole tier down
+            self.metrics.client_errors += 1;
+            self.tel_outcome("client_error");
+            return None;
+        };
+        let client = self.rr_client % self.client_hosts.len();
+        self.rr_client += 1;
+        let calls = self.draw_calls();
+        self.conns.insert(id, Conn { client, web, calls_left: calls, t_first_syn: now, retries: 0 });
+        Some(id)
+    }
+
+    /// Consume one unit of the client retry budget and schedule a
+    /// re-dispatch after a jittered, exponentially backed-off failover
+    /// timeout. `false` when the budget is disabled or exhausted (the
+    /// caller then accounts the failure). The delay is seeded per
+    /// (connection, attempt), so clients caught by the same failover
+    /// spread out instead of re-dispatching in lockstep, and a given
+    /// retry's delay never depends on event-arrival order.
+    fn conn_retry(&mut self, conn_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> bool {
+        if self.cfg.retry_budget == 0 {
+            return false;
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return true };
+        if conn.retries >= self.cfg.retry_budget {
+            return false;
+        }
+        conn.retries += 1;
+        let attempt = conn.retries;
+        self.metrics.retries += 1;
+        self.tel.counter_inc("web_client_retries_total", labels(&[]));
+        // connection ids count up from 0 and never reach 2^56, so packing
+        // the attempt into the top byte keeps the stream index unique
+        let stream_idx = conn_id | (u64::from(attempt) << 56);
+        let mut rng = SimRng::new(derive_seed(self.cfg.seed, "web:retry-backoff", stream_idx));
+        let exp = (attempt - 1).min(RETRY_BACKOFF_CAP);
+        let delay = FAILOVER_TIMEOUT.mul_f64(f64::from(1u32 << exp) * rng.jitter(RETRY_JITTER));
+        sched.schedule_at(now + delay, Ev::RetryConn { conn: conn_id });
+        true
+    }
+
+    /// A request was caught on a crashed node: retry the connection
+    /// through the LB if the client has budget, else it is a hard 5xx.
+    fn drop_req_on_dead_node(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let Some(r) = self.reqs.remove(&req_id) else { return };
+        let conn_id = r.conn;
+        if self.conn_retry(conn_id, now, sched) {
+            return;
+        }
+        self.conns.remove(&conn_id);
+        self.metrics.server_errors += 1;
+        self.tel_outcome("server_error");
+    }
+
+    /// One SYN handshake attempt for `conn_id` (attempt `attempt` of the
+    /// kernel retransmit ladder). See [`SynStep`] for the outcomes.
+    pub(crate) fn syn_attempt(
+        &mut self,
+        conn_id: u64,
+        attempt: u8,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+    ) -> SynStep {
+        let Some(conn) = self.conns.get(&conn_id) else { return SynStep::Gone };
+        let web = conn.web;
+        if self.dead[web] && self.cfg.retry_budget > 0 {
+            // a crashed host sends no RST: the connect times out and the
+            // client re-resolves through the LB (or gives up)
+            if self.conn_retry(conn_id, now, sched) {
+                return SynStep::AwaitRedispatch;
+            }
+            self.conns.remove(&conn_id);
+            self.metrics.client_errors += 1;
+            self.tel_outcome("client_error");
+            return SynStep::Gone;
+        }
+        // degraded NIC: the SYN itself may be lost on the wire
+        let nic_lost = self.nic_loss[web] > 0.0 && self.fault_rng.chance(self.nic_loss[web]);
+        // listen-queue collapse first, then the token bucket
+        let extra_drop = self.syn_gates[web].pressure_drop_p(now);
+        let collapsed = extra_drop > 0.0 && self.rng.chance(extra_drop);
+        let admit = if nic_lost || collapsed {
+            Err(AdmitError::AcceptOverrun)
+        } else {
+            self.nodes.node_mut(NodeId(web)).try_accept(now)
+        };
+        match admit {
+            Ok(()) => {
+                // handshake: one RTT before the first request leaves
+                let client_host = self.client_hosts[self.conns[&conn_id].client];
+                let rtt = scaled(self.topo.rtt(client_host, self.node_hosts[web]), self.nic_lat[web]);
+                let req = self.start_request(conn_id, true, now + rtt, sched);
+                SynStep::Accepted { req }
+            }
+            Err(AdmitError::AcceptOverrun) => {
+                self.metrics.syn_drops += 1;
+                self.tel.counter_inc("web_syn_drops_total", labels(&[]));
+                if attempt < 3 {
+                    // kernel SYN retransmit backoff: +1 s, +2 s, +4 s
+                    let backoff = SimDuration::from_secs(1 << attempt);
+                    sched.schedule_at(now + backoff, Ev::SynRetry { conn: conn_id, attempt: attempt + 1 });
+                    SynStep::Backoff
+                } else {
+                    self.metrics.client_errors += 1;
+                    self.tel_outcome("client_error");
+                    self.conns.remove(&conn_id);
+                    SynStep::Gone
+                }
+            }
+            Err(_) => {
+                // fd exhaustion → lighttpd answers 5xx on this node
+                self.metrics.server_errors += 1;
+                self.tel_outcome("server_error");
+                self.conns.remove(&conn_id);
+                SynStep::Gone
+            }
+        }
+    }
+
+    /// Create the next request of `conn_id` and put it on the wire to the
+    /// connection's web node. Returns the new request id.
+    pub(crate) fn start_request(
+        &mut self,
+        conn_id: u64,
+        first_call: bool,
+        send_at: SimTime,
+        sched: &mut SchedBuf<Ev>,
+    ) -> u64 {
+        let conn = &self.conns[&conn_id];
+        let web = conn.web;
+        let client_host = self.client_hosts[conn.client];
+        let id = self.next_req;
+        self.next_req += 1;
+        let query = db::draw_query(&self.cfg.mix, &mut self.rng);
+        let cache = Self::cache_for(query.key, self.caches.len());
+        let db_node = self.rng.below(2) as usize;
+        self.reqs.insert(
+            id,
+            Req {
+                conn: conn_id,
+                client: conn.client,
+                web,
+                cache,
+                db_node,
+                query,
+                state: ReqState::Stage1,
+                first_call,
+                t_sent: send_at,
+                t_cache_sent: SimTime::ZERO,
+                t_db_sent: SimTime::ZERO,
+                db_delay: None,
+                went_to_db: false,
+                t_queued: None,
+            },
+        );
+        let lat = scaled(self.topo.latency(client_host, self.node_hosts[web]), self.nic_lat[web]);
+        sched.schedule_at(send_at + lat, Ev::ReqAtWeb { req: id });
+        id
+    }
+
+    fn begin_stage1(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let Some(req) = self.reqs.get_mut(&req_id) else { return };
+        let web = req.web;
+        let queued_at = req.t_queued.take();
+        let mut mi = self.req_mi_of[web] * STAGE1_FRAC;
+        if req.first_call {
+            mi += calib::TCP_ACCEPT_MI;
+        }
+        mi *= self.cpu_factor[web];
+        if self.tel.is_on() {
+            if let Some(tq) = queued_at {
+                // time spent waiting for a free PHP worker
+                let track = self.web_track(web);
+                self.tel.span_on(track, "queue", "php_backlog", tq, now, vec![]);
+            }
+        }
+        self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
+        self.schedule_node_cpu(web, now, sched);
+    }
+
+    /// The request arrived at the web node: take a PHP worker (or queue,
+    /// or 5xx on overflow). See [`AdmitStep`] for the outcomes.
+    pub(crate) fn admit_to_worker(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> AdmitStep {
+        // the target server may have died while this request was in flight
+        let Some(req) = self.reqs.get(&req_id) else { return AdmitStep::Gone };
+        let web = req.web;
+        if self.dead[web] {
+            // connection reset by a dead server (retryable)
+            self.drop_req_on_dead_node(req_id, now, sched);
+            return AdmitStep::Dropped;
+        }
+        let pool = &mut self.workers[web];
+        if pool.busy < pool.max {
+            pool.busy += 1;
+            self.begin_stage1(req_id, now, sched);
+            AdmitStep::Admitted
+        } else if pool.backlog.len() < pool.backlog_max {
+            pool.backlog.push_back(req_id);
+            if let Some(r) = self.reqs.get_mut(&req_id) {
+                r.t_queued = Some(now);
+            }
+            AdmitStep::Admitted
+        } else {
+            // 5xx: backlog overflow
+            self.metrics.server_errors += 1;
+            self.tel_outcome("server_error");
+            let req = self.reqs.remove(&req_id).expect("req exists");
+            self.abort_conn(req.conn);
+            AdmitStep::Gone
+        }
+    }
+
+    fn release_worker(&mut self, web: usize, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let pool = &mut self.workers[web];
+        if let Some(next) = pool.backlog.pop_front() {
+            // the freed worker immediately takes the oldest queued request
+            self.begin_stage1(next, now, sched);
+        } else {
+            pool.busy -= 1;
+        }
+    }
+
+    fn abort_conn(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            self.nodes.node_mut(NodeId(conn.web)).close_connection();
+        }
+    }
+
+    // ---- CPU completion routing -------------------------------------------
+
+    /// Legacy router for web-node CPU completions: dispatch on the stored
+    /// request state. The async tasks skip this — each knows which stage
+    /// it just awaited and calls [`WebWorld::stage1_to_cache`] or
+    /// [`WebWorld::stage2_to_reply`] directly.
+    pub(crate) fn web_cpu_done(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let state = match self.reqs.get(&req_id) {
+            Some(r) => r.state,
+            None => return,
+        };
+        match state {
+            ReqState::Stage1 => self.stage1_to_cache(req_id, now, sched),
+            ReqState::Stage2 => {
+                let _ = self.stage2_to_reply(req_id, now, sched);
+            }
+            other => unreachable!("web cpu done in state {other:?}"),
+        }
+    }
+
+    /// Stage-1 CPU finished: issue the memcached get.
+    pub(crate) fn stage1_to_cache(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let Some(r) = self.reqs.get_mut(&req_id) else { return };
+        r.state = ReqState::CacheRpc;
+        r.t_cache_sent = now;
+        let (web, cache) = (r.web, r.cache);
+        let cache_node = self.n_web() + cache;
+        let lat = scaled(
+            self.topo.latency(self.node_hosts[web], self.node_hosts[cache_node]),
+            self.nic_lat[web] * self.nic_lat[cache_node],
+        );
+        sched.schedule_at(now + lat, Ev::ReqAtCache { req: req_id });
+    }
+
+    /// Stage-2 CPU finished: put the reply on the wire to the client. See
+    /// [`Stage2Step`] for the outcomes.
+    pub(crate) fn stage2_to_reply(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> Stage2Step {
+        let Some(r) = self.reqs.get_mut(&req_id) else { return Stage2Step::Gone };
+        r.state = ReqState::Reply;
+        let (web, conn_id, bytes, t_cache_sent, went_to_db, db_delay) =
+            (r.web, r.conn, r.query.reply_bytes, r.t_cache_sent, r.went_to_db, r.db_delay);
+        // Table 7 bookkeeping: cache delay includes this CPU slice
+        // (PHP unserialize); db delay was closed at reply arrival.
+        if self.tel.is_on() && !went_to_db {
+            let track = self.web_track(web);
+            self.tel.span_on(track, "rpc", "memcached_get", t_cache_sent, now, vec![]);
+        }
+        if self.in_window(now) {
+            if went_to_db {
+                if let Some(d) = db_delay {
+                    self.metrics.db_delays_ms.push(d);
+                }
+            } else {
+                let d = now.since(t_cache_sent).as_millis_f64();
+                self.metrics.cache_delays_ms.push(d);
+            }
+        }
+        self.release_worker(web, now, sched);
+        let Some(conn) = self.conns.get(&conn_id) else {
+            self.reqs.remove(&req_id);
+            return Stage2Step::Gone;
+        };
+        let client_host = self.client_hosts[conn.client];
+        let (path, lat) = self.topo.path(self.node_hosts[web], client_host);
+        let dur = self.gauge.begin_transfer(&path, (bytes + HEADER_BYTES) as f64);
+        let m = self.nic_lat[web];
+        sched.schedule_at(now + scaled(lat, m) + scaled(dur, m), Ev::ReplyAtClient { req: req_id });
+        Stage2Step::Sent
+    }
+
+    /// The get arrived at the cache node: charge the lookup CPU.
+    pub(crate) fn req_at_cache(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let cache = match self.reqs.get(&req_id) {
+            Some(r) => r.cache,
+            None => return,
+        };
+        let node = self.n_web() + cache;
+        let mi = calib::CACHE_LOOKUP_MI * self.cpu_factor[node];
+        self.nodes.node_mut(NodeId(node)).add_cpu_task(now, req_id, mi);
+        self.schedule_node_cpu(node, now, sched);
+    }
+
+    /// Cache-node CPU finished: probe the LRU store and send the reply (or
+    /// the tiny miss notice) back to the web node. Returns the hit verdict
+    /// so the async task can carry it to [`WebWorld::cache_reply_at_web`]
+    /// (the state machine carries it in [`Ev::CacheReplyAtWeb`] instead);
+    /// `None` on a stale id.
+    pub(crate) fn cache_cpu_done(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> Option<bool> {
+        let (web, cache, key) = match self.reqs.get(&req_id) {
+            Some(r) => (r.web, r.cache, r.query.key),
+            None => return None,
+        };
+        let hit = self.caches[cache].get(key).is_some();
+        self.tel.counter_inc(
+            "web_cache_lookups_total",
+            labels(&[("result", if hit { "hit" } else { "miss" })]),
+        );
+        let web_host = self.node_hosts[web];
+        let cache_node = self.n_web() + cache;
+        let cache_host = self.node_hosts[cache_node];
+        let (path, lat) = self.topo.path(cache_host, web_host);
+        let m = self.nic_lat[web] * self.nic_lat[cache_node];
+        if hit {
+            let bytes = db::reply_bytes_for(key) + HEADER_BYTES;
+            let dur = self.gauge.begin_transfer(&path, bytes as f64);
+            sched.schedule_at(now + scaled(lat, m) + scaled(dur, m), Ev::CacheReplyAtWeb { req: req_id, hit: true });
+        } else {
+            // tiny miss notice: latency only, no gauge claim
+            sched.schedule_at(now + scaled(lat, m), Ev::CacheReplyAtWeb { req: req_id, hit: false });
+        }
+        Some(hit)
+    }
+
+    /// The cache verdict landed back on the web node. See [`PathStep`].
+    pub(crate) fn cache_reply_at_web(
+        &mut self,
+        req_id: u64,
+        hit: bool,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+    ) -> PathStep {
+        let (web, cache) = match self.reqs.get(&req_id) {
+            Some(r) => (r.web, r.cache),
+            None => return PathStep::Gone,
+        };
+        if hit {
+            let (path, _) = self
+                .topo
+                .path(self.node_hosts[self.n_web() + cache], self.node_hosts[web]);
+            self.gauge.end(&path);
+            if self.dead[web] {
+                self.drop_req_on_dead_node(req_id, now, sched);
+                return PathStep::Dropped;
+            }
+            self.begin_stage2(req_id, now, sched);
+            PathStep::Continue
+        } else {
+            // go to the database
+            let db_node = {
+                let r = self.reqs.get_mut(&req_id).expect("req exists");
+                r.state = ReqState::DbRpc;
+                r.t_db_sent = now;
+                r.went_to_db = true;
+                r.db_node
+            };
+            let lat = self.topo.latency(self.node_hosts[web], self.db_hosts[db_node]);
+            sched.schedule_at(now + lat, Ev::ReqAtDb { req: req_id });
+            PathStep::ToDb
+        }
+    }
+
+    /// The query arrived at its MySQL node: charge the query CPU.
+    pub(crate) fn req_at_db(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let (db_node, mi) = match self.reqs.get(&req_id) {
+            Some(r) => (r.db_node, db::query_cpu_mi(&r.query)),
+            None => return,
+        };
+        self.dbc.node_mut(NodeId(db_node)).add_cpu_task(now, req_id, mi);
+        self.schedule_db_cpu(db_node, now, sched);
+    }
+
+    /// MySQL CPU finished: 2 % of queries miss the buffer pool and read
+    /// disk, the rest reply immediately. See [`DbStep`].
+    pub(crate) fn db_cpu_done(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> DbStep {
+        let db_node = match self.reqs.get(&req_id) {
+            Some(r) => r.db_node,
+            None => return DbStep::Gone,
+        };
+        if db::query_hits_disk(&mut self.rng) {
+            let r = self.reqs.get_mut(&req_id).expect("checked");
+            r.state = ReqState::DbDisk;
+            let bytes = r.query.reply_bytes;
+            let service = scaled(
+                self.dbc.node(NodeId(db_node)).disk_read_time(bytes, false),
+                self.db_disk_factor[db_node],
+            );
+            if let Some((job, at)) = self.dbc.node_mut(NodeId(db_node)).disk().submit(now, req_id, service) {
+                sched.schedule_at(at, Ev::DbDiskDone { node: db_node, job });
+            }
+            DbStep::Disk
+        } else {
+            self.db_send_reply(req_id, now, sched);
+            DbStep::Sent
+        }
+    }
+
+    /// Retire the completed disk job and start the next queued one (the
+    /// per-node disk is FIFO). The reply send for the completed job is the
+    /// caller's move, after this.
+    pub(crate) fn db_disk_pop(&mut self, node: usize, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        if let Some((next_job, at)) = self.dbc.node_mut(NodeId(node)).disk().complete(now) {
+            sched.schedule_at(at, Ev::DbDiskDone { node, job: next_job });
+        }
+    }
+
+    /// Put the MySQL reply on the wire to the web node.
+    pub(crate) fn db_send_reply(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let (web, db_node, bytes) = match self.reqs.get(&req_id) {
+            Some(r) => (r.web, r.db_node, r.query.reply_bytes),
+            None => return,
+        };
+        let (path, lat) = self.topo.path(self.db_hosts[db_node], self.node_hosts[web]);
+        let dur = self.gauge.begin_transfer(&path, (bytes + HEADER_BYTES) as f64);
+        let m = self.nic_lat[web];
+        sched.schedule_at(now + scaled(lat, m) + scaled(dur, m), Ev::DbReplyAtWeb { req: req_id });
+    }
+
+    /// The MySQL reply landed back on the web node. See [`PathStep`]
+    /// (`ToDb` is impossible here).
+    pub(crate) fn db_reply_at_web(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> PathStep {
+        let (web, db_node, t_db_sent) = match self.reqs.get(&req_id) {
+            Some(r) => (r.web, r.db_node, r.t_db_sent),
+            None => return PathStep::Gone,
+        };
+        let (path, _) = self.topo.path(self.db_hosts[db_node], self.node_hosts[web]);
+        self.gauge.end(&path);
+        if self.dead[web] {
+            self.drop_req_on_dead_node(req_id, now, sched);
+            return PathStep::Dropped;
+        }
+        if self.cache_writeback {
+            // re-warm a cold-restarted store: PHP writes the row
+            // back to memcached after the db read
+            let (key, cache) = {
+                let r = self.reqs.get(&req_id).expect("req exists");
+                (r.query.key, r.cache)
+            };
+            let node = self.n_web() + cache;
+            let before = self.caches[cache].used_bytes();
+            let bytes = u32::try_from(db::reply_bytes_for(key)).unwrap_or(u32::MAX);
+            self.caches[cache].set(key, bytes);
+            let after = self.caches[cache].used_bytes();
+            if after > before {
+                // capacity is sized below free memory, so this holds
+                self.nodes.node_mut(NodeId(node)).alloc_mem(after - before).ok();
+            } else {
+                self.nodes.node_mut(NodeId(node)).free_mem(before - after);
+            }
+        }
+        if self.tel.is_on() {
+            let track = self.web_track(web);
+            let args = vec![("db_node", format!("{db_node}"))];
+            self.tel.span_on(track, "rpc", "mysql_query", t_db_sent, now, args);
+        }
+        self.reqs.get_mut(&req_id).expect("req exists").db_delay =
+            Some(now.since(t_db_sent).as_millis_f64());
+        self.begin_stage2(req_id, now, sched);
+        PathStep::Continue
+    }
+
+    fn begin_stage2(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        let (web, bytes) = {
+            let r = self.reqs.get_mut(&req_id).expect("req exists");
+            r.state = ReqState::Stage2;
+            (r.web, r.query.reply_bytes)
+        };
+        let mi = (self.req_mi_of[web] * (1.0 - STAGE1_FRAC)
+            + bytes as f64 / 1024.0 * calib::WEB_REQ_MI_PER_KIB)
+            * self.cpu_factor[web];
+        self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
+        self.schedule_node_cpu(web, now, sched);
+    }
+
+    /// The reply reached the client: account the completion and either
+    /// start the connection's next call or close it. With
+    /// `record_span = false` the `http_request` span is *not* recorded
+    /// here — the async task finishes its [`OpenSpan`] immediately after,
+    /// with identical arguments, keeping the tracer byte-identical while
+    /// the span value itself lives across the task's `.await`s.
+    pub(crate) fn finish_reply(
+        &mut self,
+        req_id: u64,
+        now: SimTime,
+        record_span: bool,
+        sched: &mut SchedBuf<Ev>,
+    ) -> ReplyStep {
+        let Some(r) = self.reqs.remove(&req_id) else { return ReplyStep::Vanished };
+        let client_host = self.client_hosts[r.client];
+        let (path, _) = self.topo.path(self.node_hosts[r.web], client_host);
+        self.gauge.end(&path);
+        let (t_first_syn, calls_left, web) = match self.conns.get_mut(&r.conn) {
+            Some(conn) => {
+                conn.calls_left -= 1;
+                (conn.t_first_syn, conn.calls_left, conn.web)
+            }
+            None => return ReplyStep::Vanished,
+        };
+        // delay: first call measured from the first SYN (includes
+        // handshake + any retries), later calls from request send
+        let start = if r.first_call { t_first_syn } else { r.t_sent };
+        self.metrics.completed_total += 1;
+        if self.tel.is_on() {
+            if record_span {
+                let track = self.web_track(web);
+                let args = vec![(
+                    "path",
+                    if r.went_to_db { "php/memcached-miss/mysql".to_string() } else { "php/memcached-hit".to_string() },
+                )];
+                self.tel.span_on(track, "request", "http_request", start, now, args);
+            }
+            self.tel_outcome("ok");
+            self.tel.observe(
+                "web_request_delay_seconds",
+                labels(&[]),
+                DELAY_BOUNDS_S,
+                now.since(start).as_secs_f64(),
+            );
+        }
+        if self.in_window(now) && r.t_sent >= self.measure_start {
+            self.metrics.completed += 1;
+            self.metrics.delays_ms.push(now.since(start).as_millis_f64());
+        }
+        if self.in_window(now) {
+            self.metrics.conn_delay_hist.record(now.since(t_first_syn).as_secs_f64());
+        }
+        if calls_left > 0 {
+            let next = self.start_request(r.conn, false, now, sched);
+            ReplyStep::NextCall { req: next }
+        } else {
+            self.conns.remove(&r.conn);
+            self.nodes.node_mut(NodeId(web)).close_connection();
+            ReplyStep::Closed
+        }
+    }
+
+    /// A failover timeout elapsed: pick a fresh backend for `conn` (the
+    /// follow-up SYN attempt is the caller's move) or retire it when the
+    /// whole tier is out. See [`RedispatchStep`].
+    pub(crate) fn redispatch(&mut self, conn_id: u64) -> RedispatchStep {
+        if !self.conns.contains_key(&conn_id) {
+            return RedispatchStep::Gone;
+        }
+        match self.lb_pick() {
+            Some(web) => {
+                if let Some(c) = self.conns.get_mut(&conn_id) {
+                    c.web = web;
+                }
+                RedispatchStep::Go
+            }
+            None => {
+                // nothing left to fail over to
+                self.conns.remove(&conn_id);
+                self.metrics.client_errors += 1;
+                self.tel_outcome("client_error");
+                RedispatchStep::Gone
+            }
+        }
+    }
+
+    // ---- fault layer --------------------------------------------------
+
+    /// Total tier nodes (web + cache) addressable by NIC/CPU faults.
+    fn n_tier(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lazily start the health-check loop. Deferred to the first injected
+    /// fault so fault-free runs (including plans whose every fault lands
+    /// after the run ends) stay byte-identical to the pre-fault code path.
+    fn ensure_health_checks(&mut self, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        if !self.hc_running {
+            self.hc_running = true;
+            sched.schedule_idle_at(now + HC_PERIOD, Ev::HealthCheck);
+        }
+    }
+
+    /// Inject fault `idx` of the normalized plan. Requests torn down by a
+    /// crash are appended to `crashes` so the async driver can cancel the
+    /// matching tasks; the state machine passes a scratch vector.
+    pub(crate) fn apply_fault_collect(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+        crashes: &mut Vec<CrashOutcome>,
+    ) {
+        let Fault { node, kind, .. } = self.fplan.faults()[idx];
+        let applied = match kind {
+            FaultKind::NodeCrash => self.apply_crash(node, now, sched, crashes),
+            FaultKind::NodeRestart => self.apply_restart(node, now),
+            FaultKind::NicDegrade { loss, latency_mult } => {
+                if node < self.n_tier() {
+                    self.nic_loss[node] = loss;
+                    self.nic_lat[node] = latency_mult;
+                    // per-fault seed: the loss stream is reproducible even
+                    // if earlier faults are edited out of the plan
+                    self.fault_rng = SimRng::new(self.fplan.fault_seed(idx));
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::NicRestore => {
+                if node < self.n_tier() && (self.nic_loss[node] > 0.0 || self.nic_lat[node] != 1.0) {
+                    self.nic_loss[node] = 0.0;
+                    self.nic_lat[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DiskSlow { factor } => {
+                // the only disks in the web world are the two MySQL nodes
+                if node < self.db_disk_factor.len() {
+                    self.db_disk_factor[node] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DiskRestore => {
+                if node < self.db_disk_factor.len() && self.db_disk_factor[node] != 1.0 {
+                    self.db_disk_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CpuThrottle { factor } => {
+                if node < self.n_tier() {
+                    self.cpu_factor[node] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CpuRestore => {
+                if node < self.n_tier() && self.cpu_factor[node] != 1.0 {
+                    self.cpu_factor[node] = 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CacheColdRestart => self.apply_cache_cold(node),
+        };
+        let name = if applied {
+            self.metrics.faults_injected += 1;
+            fault_metrics::FAULT_INJECTED_TOTAL
+        } else {
+            fault_metrics::FAULT_SKIPPED_TOTAL
+        };
+        self.tel.counter_inc(name, labels(&[("kind", kind.name()), ("tier", "web")]));
+        self.ensure_health_checks(now, sched);
+    }
+
+    /// Kill web server `node`: in-flight work dies, the LB notices via
+    /// health checks, clients burn retry budget (or eat hard errors).
+    fn apply_crash(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+        crashes: &mut Vec<CrashOutcome>,
+    ) -> bool {
+        if node >= self.n_web() || self.dead[node] {
+            return false;
+        }
+        self.dead[node] = true;
+        self.crash_time[node] = Some(now);
+        // in-flight CPU work on the node dies with it; sorted so the
+        // retry re-dispatch order is independent of map iteration order
+        let mut doomed: Vec<u64> = self
+            .reqs
+            .iter()
+            .filter(|(_, r)| r.web == node)
+            .map(|(&id, _)| id)
+            .collect();
+        doomed.sort_unstable();
+        for id in doomed {
+            self.nodes.node_mut(NodeId(node)).cancel_cpu_task(now, id);
+            // requests with RPCs in flight are dropped when their
+            // reply lands on the dead node (see the dead guards)
+            if matches!(self.reqs[&id].state, ReqState::Stage1 | ReqState::Stage2) {
+                let conn = self.reqs[&id].conn;
+                self.drop_req_on_dead_node(id, now, sched);
+                crashes.push(CrashOutcome {
+                    req: id,
+                    conn,
+                    conn_survived: self.conns.contains_key(&conn),
+                });
+            }
+        }
+        self.workers[node].busy = 0;
+        self.workers[node].backlog.clear();
+        true
+    }
+
+    /// Bring a crashed web server back: empty pools, fresh accept gate,
+    /// zero connections. It only rejoins the LB after RISE health checks.
+    fn apply_restart(&mut self, node: usize, now: SimTime) -> bool {
+        if node >= self.n_web() || !self.dead[node] {
+            return false;
+        }
+        self.dead[node] = false;
+        self.restart_time[node] = Some(now);
+        self.syn_gates[node] = SynGate::new(self.accept_rate_of[node]);
+        self.workers[node].busy = 0;
+        self.workers[node].backlog.clear();
+        self.nodes.node_mut(NodeId(node)).reset_connections();
+        self.hc_ok[node] = 0;
+        true
+    }
+
+    /// memcached cold restart: the store loses its contents (memory is
+    /// released) and re-warms through the miss path (write-allocate on db
+    /// replies from here on).
+    fn apply_cache_cold(&mut self, cache: usize) -> bool {
+        if cache >= self.caches.len() {
+            return false;
+        }
+        let node = self.n_web() + cache;
+        let used = self.caches[cache].used_bytes();
+        self.nodes.node_mut(NodeId(node)).free_mem(used);
+        self.caches[cache] = LruStore::new(self.cache_cap_of[cache]);
+        self.cache_writeback = true;
+        true
+    }
+
+    /// One HAProxy health-check round: FALL consecutive failures take a
+    /// backend out of rotation (a failover), RISE consecutive passes put
+    /// a restarted one back (closing the recovery-time measurement).
+    pub(crate) fn health_check_tick(&mut self, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        for i in 0..self.n_web() {
+            if self.dead[i] {
+                self.hc_ok[i] = 0;
+                self.hc_fail[i] = self.hc_fail[i].saturating_add(1);
+                if !self.lb_dead[i] && self.hc_fail[i] >= HC_FALL {
+                    self.lb_dead[i] = true;
+                    self.metrics.failovers += 1;
+                    self.tel.counter_inc(fault_metrics::FAILOVER_TOTAL, labels(&[("tier", "web")]));
+                }
+            } else {
+                self.hc_fail[i] = 0;
+                if self.lb_dead[i] {
+                    self.hc_ok[i] += 1;
+                    if self.hc_ok[i] >= HC_RISE {
+                        self.lb_dead[i] = false;
+                        self.hc_ok[i] = 0;
+                        if let Some(t0) = self.crash_time[i].take() {
+                            let rec = now.since(t0).as_secs_f64();
+                            self.metrics.recovery_s.push(rec);
+                            self.tel.observe(
+                                fault_metrics::RECOVERY_SECONDS,
+                                labels(&[("tier", "web")]),
+                                fault_metrics::RECOVERY_BOUNDS_S,
+                                rec,
+                            );
+                        }
+                        if let Some(up) = self.restart_time[i].take() {
+                            // restarted-but-not-in-rotation: the window
+                            // simexplore probes with follow-up faults
+                            self.metrics
+                                .recovery_windows
+                                .push(RecoveryWindow { node: i, start: up, end: now });
+                        }
+                    }
+                }
+            }
+        }
+        if now < self.measure_end {
+            sched.schedule_idle_at(now + HC_PERIOD, Ev::HealthCheck);
+        }
+    }
+
+    // ---- sampling -----------------------------------------------------
+
+    fn sample(&mut self, now: SimTime) {
+        self.metrics.power_w.push(now, self.nodes.power_now());
+        let n_web = self.n_web();
+        let mut web_cpu = 0.0;
+        let mut cache_cpu = 0.0;
+        let mut web_mem = 0.0;
+        let mut cache_mem = 0.0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i < n_web {
+                web_cpu += n.cpu_utilization();
+                web_mem += n.mem_utilization();
+            } else {
+                cache_cpu += n.cpu_utilization();
+                cache_mem += n.mem_utilization();
+            }
+        }
+        let n_cache = (self.nodes.len() - n_web).max(1);
+        self.metrics.web_cpu.push(web_cpu / n_web as f64);
+        self.metrics.cache_cpu.push(cache_cpu / n_cache as f64);
+        self.metrics.web_mem.push(web_mem / n_web as f64);
+        self.metrics.cache_mem.push(cache_mem / n_cache as f64);
+        if self.tel.is_on() {
+            let delta = self.metrics.completed_total - self.metrics.last_sampled_completed;
+            self.tel.series_push("web_throughput_rps", labels(&[]), now, delta as f64);
+        }
+    }
+
+    /// One 1 s measurement tick: sample gauges, close the throughput
+    /// window, re-arm while the run is live.
+    pub(crate) fn sample_tick(&mut self, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        self.sample(now);
+        let delta = self.metrics.completed_total - self.metrics.last_sampled_completed;
+        self.metrics.last_sampled_completed = self.metrics.completed_total;
+        self.metrics.throughput_ts.push(now, delta as f64);
+        if now < self.measure_end {
+            // measurement tick, not model work: exempt from the
+            // watchdog budget so quiescent (crashed) periods with
+            // nothing but ticks cannot trip it
+            sched.schedule_idle_at(now + SimDuration::from_secs(1), Ev::Sample);
+        }
+    }
+
+    /// The warmup ended: snapshot the energy meter.
+    pub(crate) fn measure_start_tick(&mut self, now: SimTime) {
+        self.metrics.energy_at_start = self.nodes.energy_joules(now);
+    }
+
+    /// The measurement window ended: close the energy meter and stop.
+    pub(crate) fn stop_tick(&mut self, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        self.metrics.energy_j = self.nodes.energy_joules(now) - self.metrics.energy_at_start;
+        sched.stop();
+    }
+
+    /// Telemetry: fold the per-node power step logs (recorded by the
+    /// cluster when tracing is on) into `node_power_watts{node=...}`
+    /// timeseries. Called once after the run.
+    pub(crate) fn harvest_power_series(&mut self) {
+        if !self.tel.is_on() {
+            return;
+        }
+        self.tel.help("node_power_watts", "Per-node power draw timeline, watts");
+        let n_web = self.n_web();
+        for i in 0..self.nodes.len() {
+            let steps = self.nodes.node(NodeId(i)).power_trace().to_vec();
+            let name = if i < n_web {
+                format!("web-{i}")
+            } else {
+                format!("cache-{}", i - n_web)
+            };
+            for (t, w) in steps {
+                self.tel.series_push("node_power_watts", labels(&[("node", &name)]), t, w);
+            }
+        }
+        for i in 0..self.dbc.len() {
+            let steps = self.dbc.node(NodeId(i)).power_trace().to_vec();
+            let name = format!("db-{i}");
+            for (t, w) in steps {
+                self.tel.series_push("node_power_watts", labels(&[("node", &name)]), t, w);
+            }
+        }
+    }
+}
+
+impl WebWorld {
+    /// The legacy state-machine event dispatcher: one thin arm per
+    /// [`Ev`], each delegating to the shared lifecycle helpers above and
+    /// discarding the step verdicts the async driver branches on. The
+    /// [`edison_simcore::Model`] impl in [`crate::stack`] wraps this in a
+    /// [`SchedBuf`] and flushes it into the engine context.
+    pub(crate) fn dispatch(&mut self, now: SimTime, event: Ev, sched: &mut SchedBuf<Ev>) {
+        match event {
+            Ev::GenConn => {
+                if now < self.measure_end {
+                    if let Some(conn) = self.open_conn_prepare(now) {
+                        let _ = self.syn_attempt(conn, 0, now, sched);
+                    }
+                    let d = self.gen_next_delay();
+                    sched.schedule_at(now + d, Ev::GenConn);
+                }
+            }
+            Ev::SynRetry { conn, attempt } => {
+                let _ = self.syn_attempt(conn, attempt, now, sched);
+            }
+            Ev::NodeCpu { node, epoch } => {
+                if self.nodes.node(NodeId(node)).cpu_epoch() != epoch {
+                    return;
+                }
+                let done = self.nodes.node_mut(NodeId(node)).take_finished_cpu(now);
+                for tid in done {
+                    if node < self.n_web() {
+                        self.web_cpu_done(tid, now, sched);
+                    } else {
+                        let _ = self.cache_cpu_done(tid, now, sched);
+                    }
+                }
+                self.schedule_node_cpu(node, now, sched);
+            }
+            Ev::DbCpu { node, epoch } => {
+                if self.dbc.node(NodeId(node)).cpu_epoch() != epoch {
+                    return;
+                }
+                let done = self.dbc.node_mut(NodeId(node)).take_finished_cpu(now);
+                for tid in done {
+                    let _ = self.db_cpu_done(tid, now, sched);
+                }
+                self.schedule_db_cpu(node, now, sched);
+            }
+            Ev::ReqAtWeb { req } => {
+                let _ = self.admit_to_worker(req, now, sched);
+            }
+            Ev::ReqAtCache { req } => self.req_at_cache(req, now, sched),
+            Ev::CacheReplyAtWeb { req, hit } => {
+                let _ = self.cache_reply_at_web(req, hit, now, sched);
+            }
+            Ev::ReqAtDb { req } => self.req_at_db(req, now, sched),
+            Ev::DbDiskDone { node, job } => {
+                self.db_disk_pop(node, now, sched);
+                self.db_send_reply(job, now, sched);
+            }
+            Ev::DbReplyAtWeb { req } => {
+                let _ = self.db_reply_at_web(req, now, sched);
+            }
+            Ev::ReplyAtClient { req } => {
+                let _ = self.finish_reply(req, now, true, sched);
+            }
+            Ev::Sample => self.sample_tick(now, sched),
+            Ev::Fault { idx } => {
+                // the state machine has no tasks to cancel: the crash
+                // outcomes are fully handled inside the fault layer
+                let mut crashes = Vec::new();
+                self.apply_fault_collect(idx, now, sched, &mut crashes);
+            }
+            Ev::HealthCheck => self.health_check_tick(now, sched),
+            Ev::RetryConn { conn } => {
+                if let RedispatchStep::Go = self.redispatch(conn) {
+                    let _ = self.syn_attempt(conn, 0, now, sched);
+                }
+            }
+            Ev::MeasureStart => self.measure_start_tick(now),
+            Ev::Stop => self.stop_tick(now, sched),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The tentpole contract of the async port: `lifecycle::run_async*` and
+//! `stack::run*` are the *same simulation* — same seed, byte-identical
+//! [`edison_web::stack::Metrics`] and byte-identical telemetry exports
+//! (Prometheus text and Chrome trace JSON), with and without fault plans
+//! that crash a node mid-request, and independent of the worker count the
+//! comparison runs under (`cargo async-gate` runs this file; simrun jobs
+//! 1 vs 8 is covered below).
+
+use edison_simcore::time::{SimDuration, SimTime};
+use edison_simfault::FaultPlan;
+use edison_simrun::derive_seed;
+use edison_simtel::Telemetry;
+use edison_web::lifecycle::{run_async, run_async_traced};
+use edison_web::stack::{run, run_traced, GenMode, StackConfig};
+use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
+
+fn cfg(conc: f64, seed: u64) -> StackConfig {
+    let scenario = WebScenario::table6(Platform::Edison, ClusterScale::Eighth).unwrap();
+    let mut cfg = StackConfig::new(
+        scenario,
+        WorkloadMix::lightest(),
+        GenMode::Httperf { connections_per_sec: conc, calls_per_conn: 6.6 },
+        seed,
+    );
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.measure = SimDuration::from_secs(8);
+    cfg
+}
+
+/// A plan that crashes web node 0 mid-run and restarts it 3 s later,
+/// with enough client retry budget that both crash outcomes occur:
+/// connections that survive into an LB redispatch (task unwinds to the
+/// retry await) and connections retired as hard errors (task cancelled
+/// with its request span unrecorded).
+fn crash_cfg(conc: f64, seed: u64) -> StackConfig {
+    let mut c = cfg(conc, seed);
+    c.measure = SimDuration::from_secs(20);
+    c.retry_budget = 2;
+    c.fault_plan = FaultPlan::new()
+        .crash_restart(0, SimTime::from_secs(6), SimDuration::from_secs(3));
+    c
+}
+
+/// Byte-exact comparison of one config: Metrics (via the exhaustive Debug
+/// form) plus both telemetry exports.
+fn assert_equivalent(make: impl Fn() -> StackConfig) {
+    let legacy = run(make());
+    let ported = run_async(make());
+    assert_eq!(
+        format!("{:?}", legacy.metrics),
+        format!("{:?}", ported.metrics),
+        "untraced Metrics must be byte-identical"
+    );
+
+    let mut legacy = run_traced(make(), Telemetry::on());
+    let mut ported = run_async_traced(make(), Telemetry::on());
+    assert_eq!(
+        format!("{:?}", legacy.metrics),
+        format!("{:?}", ported.metrics),
+        "traced Metrics must be byte-identical"
+    );
+    let lt = legacy.take_telemetry();
+    let pt = ported.take_telemetry();
+    assert_eq!(lt.prometheus_text(), pt.prometheus_text(), "Prometheus export differs");
+    assert_eq!(lt.chrome_trace_json(), pt.chrome_trace_json(), "Chrome trace export differs");
+}
+
+#[test]
+fn async_equals_legacy_light_load() {
+    assert_equivalent(|| cfg(16.0, 42));
+}
+
+#[test]
+fn async_equals_legacy_at_saturation() {
+    // SYN drops + kernel retransmit ladder + 5xx backlog overflow all on
+    assert_equivalent(|| cfg(256.0, 42));
+}
+
+#[test]
+fn async_equals_legacy_across_seeds() {
+    for seed in [7, 1234] {
+        assert_equivalent(|| cfg(48.0, seed));
+    }
+}
+
+#[test]
+fn async_equals_legacy_under_mid_request_crash() {
+    assert_equivalent(|| crash_cfg(32.0, 42));
+}
+
+#[test]
+fn async_equals_legacy_under_crash_without_retry_budget() {
+    // budget 0: every doomed connection dies as a hard error, so every
+    // affected task goes through Executor::cancel (span dropped)
+    assert_equivalent(|| {
+        let mut c = crash_cfg(32.0, 42);
+        c.retry_budget = 0;
+        c
+    });
+}
+
+#[test]
+fn crash_plan_exercises_both_cancellation_paths() {
+    // guard against the fault scenario silently degenerating: the plan
+    // must actually produce retries (survivor tasks) and server errors
+    // (cancelled tasks) for the equivalence above to mean anything
+    let w = run_async(crash_cfg(32.0, 42));
+    assert!(w.metrics.retries > 0, "no surviving connections were redispatched");
+    assert!(w.metrics.faults_injected == 2, "crash + restart must both land");
+}
+
+#[test]
+fn async_results_are_independent_of_simrun_worker_count() {
+    let seeds: Vec<u64> = (0..6).map(|i| derive_seed(9, "async-gate", i)).collect();
+    let serial = edison_simrun::Executor::new(1)
+        .run(&seeds, |_, &s| format!("{:?}", run_async(cfg(32.0, s)).metrics));
+    let wide = edison_simrun::Executor::new(8)
+        .run(&seeds, |_, &s| format!("{:?}", run_async(cfg(32.0, s)).metrics));
+    for (a, b) in serial.iter().zip(&wide) {
+        assert_eq!(
+            a.as_ref().expect("point ran"),
+            b.as_ref().expect("point ran"),
+            "jobs=1 vs jobs=8 diverged"
+        );
+    }
+}

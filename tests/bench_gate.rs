@@ -1,4 +1,4 @@
-//! Tier-1 benchmark-trajectory gate: the committed `BENCH_0008.json`
+//! Tier-1 benchmark-trajectory gate: the committed `BENCH_0009.json`
 //! must parse, be byte-canonical, and agree (within the ±10% ratchet
 //! tolerance) with a fresh run of every tracked workload.
 //!
@@ -15,7 +15,7 @@ use std::path::Path;
 fn committed_text() -> String {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
     std::fs::read_to_string(root.join(TRAJECTORY_FILE))
-        .expect("committed BENCH_0008.json at the workspace root")
+        .expect("committed BENCH_0009.json at the workspace root")
 }
 
 /// The committed file is canonical `edison-bench/1`: parse → re-serialize
@@ -25,7 +25,7 @@ fn committed_trajectory_is_canonical_bytes() {
     let text = committed_text();
     assert!(text.contains(&format!("\"schema\": \"{SCHEMA}\"")));
     let parsed = Trajectory::parse(&text).expect("committed trajectory parses");
-    assert_eq!(parsed.to_json(), text, "BENCH_0008.json must round-trip byte-identically");
+    assert_eq!(parsed.to_json(), text, "BENCH_0009.json must round-trip byte-identically");
 }
 
 /// Every tracked workload appears in the committed trajectory, and no
