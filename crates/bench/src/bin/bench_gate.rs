@@ -1,5 +1,5 @@
 //! `bench_gate` — measure the tracked workloads and check or refresh the
-//! committed benchmark trajectory (`BENCH_0009.json`, schema
+//! committed benchmark trajectory (`BENCH_0010.json`, schema
 //! `edison-bench/1`).
 //!
 //! ```text

@@ -1,12 +1,13 @@
 //! The tracked benchmark workloads.
 //!
-//! Five fixed-seed, fixed-scale simulations whose engine profiles are
+//! Six fixed-seed, fixed-scale simulations whose engine profiles are
 //! the benchmark trajectory's deterministic inputs: a three-point web
 //! concurrency sweep, the same sweep through the `simasync` lifecycle
 //! port, a scaled-down MapReduce wordcount (the Figure 12–17 family),
-//! the web point again under a crash/restart fault plan, and a small
+//! the web point again under a crash/restart fault plan, a small
 //! simexplore candidate neighbourhood run end to end (the explore
-//! experiment's hot path). Everything here is a pure
+//! experiment's hot path), and the guarded overload point (the simguard
+//! hot path: sheds, brownout, breaker trips). Everything here is a pure
 //! function of the constants below — no
 //! wall clock, no ambient RNG — so two runs on any machine produce
 //! bit-identical [`EngineProfile`]s. Wall-clock rates are measured by the
@@ -18,6 +19,7 @@ use edison_simcore::time::SimDuration;
 use edison_simcore::EngineProfile;
 use edison_simexplore::{candidates, ExploreBudget, PerturbSpace};
 use edison_simfault::{FaultPlan, RecoveryWindow};
+use edison_simguard::GuardConfig;
 use edison_simrun::error::SimError;
 use edison_simrun::{derive_seed, merge_profiles, ROOT_SEED};
 use edison_simtel::Telemetry;
@@ -28,8 +30,14 @@ use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 
 /// The tracked workload names, in the (sorted) order they appear in the
 /// trajectory file.
-pub const TRACKED: [&str; 5] =
-    ["async_web", "explore_worst", "fault_sweep", "mapreduce_wordcount", "web_sweep"];
+pub const TRACKED: [&str; 6] = [
+    "async_web",
+    "explore_worst",
+    "fault_sweep",
+    "mapreduce_wordcount",
+    "overload_web",
+    "web_sweep",
+];
 
 /// Concurrency points of the web sweep.
 const WEB_POINTS: [f64; 3] = [32.0, 64.0, 96.0];
@@ -138,6 +146,23 @@ pub fn explore_worst() -> Result<EngineProfile, SimError> {
     Ok(merge_profiles(profiles))
 }
 
+/// The guarded overload point: a load level past the Eighth-scale knee
+/// with the reference guard on and web node 0 crashing mid-run — the
+/// simguard hot path (admission control, queue-gate sheds, brownout
+/// degradation, breaker trips and half-open probing) under the profiler.
+pub fn overload_web() -> Result<EngineProfile, SimError> {
+    let plan = FaultPlan::new().crash_restart(
+        0,
+        edison_simcore::time::SimTime::from_secs(4),
+        SimDuration::from_secs(2),
+    );
+    let mut cfg = web_cfg("bench:overload", 0, 384.0, plan)?;
+    cfg.retry_budget = 2;
+    cfg.guard = GuardConfig::web_defaults();
+    let (_, p) = stack::run_profiled(cfg, Telemetry::profiled());
+    Ok(p)
+}
+
 /// Run one tracked workload by trajectory name.
 pub fn run_tracked(name: &str) -> Result<EngineProfile, SimError> {
     match name {
@@ -145,6 +170,7 @@ pub fn run_tracked(name: &str) -> Result<EngineProfile, SimError> {
         "explore_worst" => explore_worst(),
         "fault_sweep" => fault_sweep(),
         "mapreduce_wordcount" => mapreduce_wordcount(),
+        "overload_web" => overload_web(),
         "web_sweep" => web_sweep(),
         other => Err(SimError::Config(format!("unknown tracked workload '{other}'"))),
     }

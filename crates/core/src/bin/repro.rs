@@ -36,6 +36,17 @@
 //! width; `repro explore` prints the worst schedule and, when it finds
 //! an availability cliff, a minimal reproducer as a `--fault-plan` spec.
 //!
+//! `--guard` enables the reference overload guard (deadlines, circuit
+//! breakers, brownout — see `GuardConfig::web_defaults`) on fault-aware
+//! web experiments: `repro fault_sweep --guard` plays the crash
+//! schedules against a guarded tier, so breaker trips and
+//! overflow-vs-dead retry splits land in the table, and `repro explore
+//! --guard` probes follow-up crashes inside observed circuit-breaker
+//! half-open windows (the "halfopen" phase).
+//! `--guard-deadline-ms N` overrides the guard's 1500 ms request budget
+//! (both for `--guard` runs and for `overload_sweep`'s guarded arm).
+//! `overload_sweep` itself always runs guards-off and guards-on arms.
+//!
 //! Exit codes: `0` success, `2` CLI error / unknown experiment / bad
 //! fault-plan file, `3` a sweep point panicked
 //! ([`RunError::PointFailed`]), `4` a typed simulation error
@@ -78,11 +89,15 @@ fn main() {
     let mut csv_path: Option<PathBuf> = None;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut explore_budget: Option<usize> = None;
+    let mut guard = false;
+    let mut guard_deadline_ms: Option<u64> = None;
     let mut profile = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            // a bare `--` separator (e.g. `cargo repro -- fault_sweep`)
+            "--" => {}
             "--list" => list = true,
             "--all" => run_all = true,
             "--full" => full = true,
@@ -111,13 +126,21 @@ fn main() {
                     _ => die(format!("--explore-budget needs a positive integer, got '{v}'")),
                 }
             }
+            "--guard" => guard = true,
+            "--guard-deadline-ms" => {
+                let v = flag_value(&args, &mut i, "--guard-deadline-ms");
+                match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => guard_deadline_ms = Some(n),
+                    _ => die(format!("--guard-deadline-ms needs a positive integer, got '{v}'")),
+                }
+            }
             "--out" => out_dir = Some(PathBuf::from(flag_value(&args, &mut i, "--out"))),
             "--trace" => trace_path = Some(PathBuf::from(flag_value(&args, &mut i, "--trace"))),
             "--metrics" => metrics_path = Some(PathBuf::from(flag_value(&args, &mut i, "--metrics"))),
             "--telemetry-csv" => csv_path = Some(PathBuf::from(flag_value(&args, &mut i, "--telemetry-csv"))),
             "--profile" => profile = true,
             "--help" | "-h" => {
-                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--explore-budget N] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [--profile] [IDS...]");
+                println!("usage: repro [--list] [--all] [--full] [--jobs N] [--fault-plan FILE] [--explore-budget N] [--guard] [--guard-deadline-ms N] [--out DIR] [--trace FILE] [--metrics FILE] [--telemetry-csv FILE] [--profile] [IDS...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -142,6 +165,8 @@ fn main() {
     if let Some(n) = explore_budget {
         budget.explore_budget = n;
     }
+    budget.guard = guard;
+    budget.guard_deadline_ms = guard_deadline_ms;
     let exec = match jobs {
         Some(n) => Executor::new(n),
         None => Executor::from_env(),

@@ -14,6 +14,13 @@
 //! reproducer and emitted as a `--fault-plan` spec, so the finding is a
 //! one-flag rerun, not a prose description.
 //!
+//! With `--guard` the whole exploration plays against a tier running the
+//! reference overload guard at a load near the pair's knee: the crash
+//! trips node 0's circuit breaker, the observation run reports the
+//! breaker's half-open window, and the explorer gains a "halfopen" probe
+//! phase — follow-up crashes landed inside that window, hunting for
+//! breaker-flap / shed-storm cliffs the polite base plan misses.
+//!
 //! Determinism: the base observation run, candidate enumeration, sweep
 //! scoring, and shrinking are all pure functions of the budget and the
 //! root seed — `repro explore` prints byte-identical reports at any
@@ -37,10 +44,15 @@ use edison_web::{ClusterScale, Platform, WebScenario, WorkloadMix};
 /// is built to find. (Edison's 24-way tier shrugs off the same probe.)
 fn explore_cfg(budget: &RunBudget, seed: u64) -> Result<StackConfig, SimError> {
     let scenario = WebScenario::table6_or_err(Platform::Dell, ClusterScale::Full)?;
+    // Guarded exploration runs hotter — near the pair's saturation knee —
+    // so the crash strands enough in-flight requests on the dead node to
+    // trip the reference breaker. The observed half-open windows then
+    // become probe targets for the explorer's "halfopen" phase.
+    let cps = if budget.guard { 1400.0 } else { 1024.0 };
     let mut cfg = StackConfig::new(
         scenario,
         WorkloadMix::lightest(),
-        GenMode::Httperf { connections_per_sec: 1024.0, calls_per_conn: 6.6 },
+        GenMode::Httperf { connections_per_sec: cps, calls_per_conn: 6.6 },
         seed,
     );
     cfg.warmup = SimDuration::from_secs(budget.web_warmup_s);
@@ -69,26 +81,35 @@ fn score(m: &Metrics) -> ScheduleScore {
     }
 }
 
-/// The full exploration, returned with its observed windows so the gate
+/// The full exploration, returned with its observed recovery windows and
+/// (for `--guard` runs) circuit-breaker half-open windows, so the gate
 /// test can assert on the machinery (the experiment wrapper below only
-/// renders it).
+/// renders them).
 pub fn run_explore(
     budget: &RunBudget,
     exec: &Executor,
     tel: &mut Telemetry,
-) -> Result<(ExploreOutcome, Vec<RecoveryWindow>), RunError> {
+) -> Result<(ExploreOutcome, Vec<RecoveryWindow>, Vec<RecoveryWindow>), RunError> {
     let seed = derive_seed_at(ROOT_SEED, "explore", 0);
-    let cfg = explore_cfg(budget, seed)?;
+    let mut cfg = explore_cfg(budget, seed)?;
+    if budget.guard {
+        // guarded exploration: breakers trip on the crashed backend, and
+        // the observed half-open windows become probe targets below
+        cfg.guard = crate::experiments::overload::reference_guard(budget);
+    }
     let plan = match &budget.fault_plan {
         Some(custom) => custom.clone(),
         None => base_plan(budget),
     };
 
     // observation run: play the base schedule once and record where the
-    // recovery window (restart applied -> back in rotation) actually lay
+    // recovery window (restart applied -> back in rotation) and, when
+    // guarded, the breaker half-open windows actually lay
     let mut obs_cfg = cfg.clone();
     obs_cfg.fault_plan = plan.clone();
-    let windows = run(obs_cfg).metrics.recovery_windows;
+    let obs = run(obs_cfg).metrics;
+    let windows = obs.recovery_windows;
+    let halfopen = obs.guard.breaker_windows;
 
     // every web node is a probe target: the cliff is a crash of a
     // *healthy* node while the window's node is still out of rotation
@@ -98,7 +119,8 @@ pub fn run_explore(
         windows.clone(),
         probe_nodes,
         SimDuration::from_secs_f64((budget.web_measure_s as f64 / 4.0).max(3.0)),
-    );
+    )
+    .with_halfopen_windows(halfopen.clone());
     // cliff threshold: a full availability point below the (near-100%)
     // base. The worst interleaving blacks out dispatch for ~the RISE
     // window — a second or two of a multi-second measure window — which
@@ -109,7 +131,7 @@ pub fn run_explore(
         c.fault_plan = candidate.clone();
         Ok(score(&run(c).metrics))
     })?;
-    Ok((outcome, windows))
+    Ok((outcome, windows, halfopen))
 }
 
 /// Registry entry: run the exploration and render base vs worst, the
@@ -119,7 +141,7 @@ pub fn explore_experiment(
     exec: &Executor,
     tel: &mut Telemetry,
 ) -> Result<Report, RunError> {
-    let (outcome, windows) = run_explore(budget, exec, tel)?;
+    let (outcome, windows, halfopen) = run_explore(budget, exec, tel)?;
     let rows = vec![
         vec![
             "base".to_string(),
@@ -142,6 +164,14 @@ pub fn explore_experiment(
     for w in &windows {
         body.push_str(&format!(
             "observed recovery window: node {} [{:.2}s, {:.2}s]\n",
+            w.node,
+            w.start.as_secs_f64(),
+            w.end.as_secs_f64()
+        ));
+    }
+    for w in &halfopen {
+        body.push_str(&format!(
+            "observed breaker half-open window: node {} [{:.2}s, {:.2}s]\n",
             w.node,
             w.start.as_secs_f64(),
             w.end.as_secs_f64()

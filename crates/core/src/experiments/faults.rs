@@ -80,6 +80,12 @@ fn sweep_cfg(
     cfg.warmup = SimDuration::from_secs(budget.web_warmup_s);
     cfg.measure = SimDuration::from_secs(budget.web_measure_s);
     cfg.retry_budget = DEFAULT_RETRY_BUDGET;
+    if budget.guard {
+        // `repro fault_sweep --guard`: crash schedules against a guarded
+        // tier — breakers trip on the dead backend and overflow retries
+        // become distinguishable from dead-backend ones in the table
+        cfg.guard = crate::experiments::overload::reference_guard(budget);
+    }
     Ok(cfg)
 }
 
@@ -224,6 +230,7 @@ pub fn fault_sweep(
             format!("{:.2}%", wc_avail * 100.0),
             format!("{:.1}", m.delays_ms.percentile(99.0)),
             format!("{}", m.failovers),
+            format!("{}/{}", m.retry_dead_total, m.retry_overflow_total),
             if m.recovery_s.len() == 0 { "-".into() } else { format!("{:.2}", m.recovery_s.mean()) },
             if wc_recovery.is_finite() { format!("{wc_recovery:.2}") } else { "-".into() },
             format!("{:.1}", m.completed as f64 / m.energy_j.max(1e-9)),
@@ -238,6 +245,7 @@ pub fn fault_sweep(
             "wc avail",
             "p99 ms",
             "failovers",
+            "retries d/o",
             "recovery s",
             "wc rec s",
             "req/J",

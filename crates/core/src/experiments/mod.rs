@@ -9,6 +9,8 @@
 //!   telemetry demo / CI smoke target.
 //! * [`faults`] — the deliberate-failure demo exercising the simrun
 //!   layer's panic isolation end-to-end.
+//! * [`overload`] — the graceful-degradation ramp: offered load past the
+//!   knee, guards off vs on.
 //! * [`profile`] — the simprof probe: observer-equivalence check plus the
 //!   per-kind/per-phase engine breakdown.
 
@@ -17,6 +19,7 @@ pub mod extensions;
 pub mod faults;
 pub mod individual;
 pub mod mapred;
+pub mod overload;
 pub mod profile;
 pub mod smoke;
 pub mod tco_exp;

@@ -5,7 +5,7 @@
 //! by id ([`find`]) are allocation-free and iteration ([`all`]) hands out
 //! `&'static dyn Experiment` borrows.
 
-use crate::experiments::{explore, extensions, faults, individual, mapred, profile, smoke, tco_exp, webservice};
+use crate::experiments::{explore, extensions, faults, individual, mapred, overload, profile, smoke, tco_exp, webservice};
 use crate::report::Report;
 use edison_simfault::FaultPlan;
 use edison_simrun::{Executor, RunError};
@@ -31,6 +31,15 @@ pub struct RunBudget {
     /// the per-row cap on `fault_sweep`'s worst-case candidates
     /// (`repro --explore-budget N`).
     pub explore_budget: usize,
+    /// Run fault-aware web experiments with the reference guard enabled
+    /// (`repro --guard`): `fault_sweep` plays its crash schedules against
+    /// a guarded web tier, so breaker trips and overflow retries land in
+    /// its table. `overload_sweep` always runs both arms regardless.
+    pub guard: bool,
+    /// Deadline override for the reference guard, milliseconds
+    /// (`repro --guard-deadline-ms N`). `None` keeps the
+    /// `GuardConfig::web_defaults` 1500 ms budget.
+    pub guard_deadline_ms: Option<u64>,
 }
 
 impl RunBudget {
@@ -42,6 +51,8 @@ impl RunBudget {
             full_scalability: false,
             fault_plan: None,
             explore_budget: 4,
+            guard: false,
+            guard_deadline_ms: None,
         }
     }
 
@@ -53,6 +64,8 @@ impl RunBudget {
             full_scalability: true,
             fault_plan: None,
             explore_budget: 16,
+            guard: false,
+            guard_deadline_ms: None,
         }
     }
 
@@ -163,6 +176,11 @@ fn index() -> &'static [FnExperiment] {
                 "Worst-case fault-schedule exploration with shrunk reproducers",
                 explore::explore_experiment,
             ),
+            entry(
+                "overload_sweep",
+                "Goodput, availability & degradation past the knee, guards off vs on",
+                overload::overload_sweep,
+            ),
             entry("ext_hybrid", "EXT: hybrid web tier (§7 vision)", extensions::ext_hybrid),
             entry("ext_failure", "EXT: node-failure impact", extensions::ext_failure),
             entry("ext_platforms", "EXT: related-work platform what-if", extensions::ext_platforms),
@@ -191,7 +209,7 @@ pub fn all() -> impl Iterator<Item = &'static dyn Experiment> {
 }
 
 /// Find an experiment by id. Allocation-free: a linear scan over the
-/// static index (26 entries — cheaper than hashing at this size).
+/// static index (27 entries — cheaper than hashing at this size).
 pub fn find(id: &str) -> Option<&'static dyn Experiment> {
     index().iter().find(|e| e.id == id).map(|e| e as &dyn Experiment)
 }

@@ -25,11 +25,13 @@ fn default_budget_finds_the_recovery_window_cliff_and_shrinks_it() {
     let budget = RunBudget::quick();
     let exec = Executor::new(1);
     let mut tel = Telemetry::off();
-    let (outcome, windows) =
+    let (outcome, windows, halfopen) =
         run_explore(&budget, &exec, &mut tel).expect("exploration should complete");
 
     // the observation run must have reported where recovery actually lay
     assert!(!windows.is_empty(), "base run observed no recovery window");
+    // guards are off by default, so no breaker half-open windows exist
+    assert!(halfopen.is_empty(), "unguarded run reported breaker windows");
 
     // the base plan itself is polite: no fault of its own lands inside
     // the window it creates (that is exactly what hand plans miss)
@@ -65,13 +67,40 @@ fn default_budget_finds_the_recovery_window_cliff_and_shrinks_it() {
 }
 
 #[test]
+fn guarded_exploration_probes_breaker_halfopen_windows() {
+    // with --guard the hotter observation run must trip the crashed
+    // node's breaker, report its half-open window, and keep the base
+    // schedule findable-worse — the halfopen probe phase needs real
+    // windows to aim at
+    let mut budget = RunBudget::quick();
+    budget.guard = true;
+    let exec = Executor::new(4);
+    let mut tel = Telemetry::off();
+    let (outcome, windows, halfopen) =
+        run_explore(&budget, &exec, &mut tel).expect("guarded exploration should complete");
+    assert!(!windows.is_empty(), "guarded base run observed no recovery window");
+    assert!(!halfopen.is_empty(), "guarded base run tripped no breaker");
+    // the breaker opened on the crashed node and half-opened before the
+    // end of the run — a real, probeable window
+    for w in &halfopen {
+        assert_eq!(w.node, 0, "breaker window on an uncrashed node: {w:?}");
+        assert!(w.start < w.end, "degenerate half-open window: {w:?}");
+    }
+    assert!(
+        outcome.worst.availability <= outcome.base.availability,
+        "worst schedule scored better than base"
+    );
+}
+
+#[test]
 fn exploration_is_byte_identical_across_jobs_widths() {
     let budget = RunBudget::quick();
     let mut tel1 = Telemetry::off();
     let mut tel8 = Telemetry::off();
-    let (o1, w1) = run_explore(&budget, &Executor::new(1), &mut tel1).expect("jobs=1 run");
-    let (o8, w8) = run_explore(&budget, &Executor::new(8), &mut tel8).expect("jobs=8 run");
+    let (o1, w1, h1) = run_explore(&budget, &Executor::new(1), &mut tel1).expect("jobs=1 run");
+    let (o8, w8, h8) = run_explore(&budget, &Executor::new(8), &mut tel8).expect("jobs=8 run");
     assert_eq!(w1, w8, "observed recovery windows differ across jobs widths");
+    assert_eq!(h1, h8, "observed half-open windows differ across jobs widths");
     assert_eq!(o1.worst_spec, o8.worst_spec, "worst-case spec differs across jobs widths");
     assert_eq!(o1, o8, "exploration outcome differs across jobs widths");
 }

@@ -29,6 +29,8 @@ use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::{Ctx, EngineProfile, KindProfiler, Model, Simulation};
 use edison_simfault::metrics as fault_metrics;
 use edison_simfault::{Fault, FaultKind, FaultPlan, RecoveryWindow};
+use edison_simguard::metrics as guard_metrics;
+use edison_simguard::{BreakerState, BreakerVerdict, CircuitBreaker, GuardConfig};
 use edison_simrun::{derive_seed, SimError};
 use edison_simtel::{labels, record_engine_profile, EventCounter, Telemetry};
 use std::collections::VecDeque;
@@ -107,6 +109,11 @@ pub struct ClusterSetup {
     /// RM liveness timeout, seconds: a worker silent this long is declared
     /// lost and its containers re-queued.
     pub liveness_timeout_s: f64,
+    /// Overload protection on heartbeat dispatch: per-worker circuit
+    /// breakers (an RM node-lost verdict stops new grants until the
+    /// worker proves itself again) and per-attempt task deadlines.
+    /// [`GuardConfig::off`] — the default — is a byte-identical no-op.
+    pub guard: GuardConfig,
 }
 
 impl ClusterSetup {
@@ -124,6 +131,7 @@ impl ClusterSetup {
             speculation: true,
             fault_plan: FaultPlan::new(),
             liveness_timeout_s: 5.0,
+            guard: GuardConfig::off(),
         }
     }
 
@@ -141,6 +149,7 @@ impl ClusterSetup {
             speculation: true,
             fault_plan: FaultPlan::new(),
             liveness_timeout_s: 5.0,
+            guard: GuardConfig::off(),
         }
     }
 
@@ -162,6 +171,12 @@ impl ClusterSetup {
     /// Run the job under the given fault schedule.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Run the job with overload protection on heartbeat dispatch.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
         self
     }
 }
@@ -232,6 +247,9 @@ struct Task {
     /// Per-origin shuffle progress (reduces; `len == n_maps`): partitions
     /// already pulled stay pulled when the map's output node later dies.
     fetched_from: Vec<bool>,
+    /// Granted as a half-open breaker probe: its completion (or death)
+    /// releases the probe slot.
+    probe: bool,
 }
 
 /// Events of the MapReduce world.
@@ -310,6 +328,12 @@ pub struct JobOutcome {
     /// completion order. The simexplore perturbation space targets
     /// follow-up faults inside these.
     pub recovery_windows: Vec<RecoveryWindow>,
+    /// Circuit-breaker trips across workers (0 with the guard off or on
+    /// healthy clusters): RM node-lost verdicts and failed probes.
+    pub guard_breaker_trips: u32,
+    /// Task attempts that completed past the configured per-attempt
+    /// deadline budget (0 with the guard off).
+    pub guard_deadline_miss: u32,
 }
 
 impl JobOutcome {
@@ -384,6 +408,14 @@ struct MrWorld {
     /// Observed recovery windows: restart applied → re-localised (the
     /// interval simexplore probes with follow-up faults).
     recovery_windows: Vec<RecoveryWindow>,
+    /// Guard layer (cached [`GuardConfig::is_active`]): per-worker
+    /// breakers on RM dispatch plus per-attempt deadline accounting.
+    /// Everything below is inert when false.
+    guard_on: bool,
+    /// Per-worker circuit breaker (empty when breakers are off).
+    brk: Vec<CircuitBreaker>,
+    guard_breaker_trips: u32,
+    guard_deadline_miss: u32,
     /// Last task-phase transition (stall detection).
     last_progress: SimTime,
     /// Telemetry sink; [`Telemetry::off`] unless the run came through
@@ -454,6 +486,7 @@ impl MrWorld {
                 attempt: 0,
                 fetching_origin: None,
                 fetched_from: if i < n_maps { Vec::new() } else { vec![false; n_maps] },
+                probe: false,
             })
             .collect();
         let running_containers = vec![0; setup.workers];
@@ -462,6 +495,19 @@ impl MrWorld {
         let liveness =
             LivenessTracker::new(setup.workers, SimDuration::from_secs_f64(setup.liveness_timeout_s));
         let workers = setup.workers;
+        let guard_on = setup.guard.is_active();
+        let brk = if setup.guard.breaker_threshold > 0 {
+            vec![
+                CircuitBreaker::new(
+                    setup.guard.breaker_threshold,
+                    setup.guard.breaker_cooldown,
+                    setup.guard.breaker_probes,
+                );
+                workers
+            ]
+        } else {
+            Vec::new()
+        };
         MrWorld {
             profile,
             setup,
@@ -503,6 +549,10 @@ impl MrWorld {
             nodes_lost: 0,
             recovery_s: Vec::new(),
             recovery_windows: Vec::new(),
+            guard_on,
+            brk,
+            guard_breaker_trips: 0,
+            guard_deadline_miss: 0,
             last_progress: SimTime::ZERO,
             tel: Telemetry::off(),
             slave_tracks: Vec::new(),
@@ -626,6 +676,10 @@ impl MrWorld {
         for lost in self.liveness.sweep(now) {
             self.nodes_lost += 1;
             self.tel.counter_inc(fault_metrics::NODE_LOST_TOTAL, labels(&[("tier", "mapreduce")]));
+            if !self.brk.is_empty() && self.brk[lost].record_failure(now) {
+                self.guard_breaker_trips += 1;
+                self.note_brk_transition(lost);
+            }
             self.reap_node(lost, now, ctx);
         }
         if self.node_down.iter().all(|&d| d) {
@@ -683,16 +737,40 @@ impl MrWorld {
         if pending.is_empty() {
             return;
         }
+        // breaker verdicts per worker (lazily advances open → half-open):
+        // an open breaker offers the scheduler no capacity, a half-open
+        // one at most a single probe container
+        let verdicts: Vec<BreakerVerdict> = if self.brk.is_empty() {
+            Vec::new()
+        } else {
+            (0..self.setup.workers)
+                .map(|i| {
+                    let before = self.brk[i].state();
+                    let v = self.brk[i].check(now);
+                    if self.brk[i].state() != before {
+                        self.note_brk_transition(i);
+                    }
+                    v
+                })
+                .collect()
+        };
+        let probe_cap = self.profile.map_container.max(self.profile.reduce_container);
         let mut capacity: Vec<NodeCapacity> = (0..self.setup.workers)
             .map(|i| {
                 let node = self.nodes.node(NodeId(i));
                 let used_beyond_base = node.mem_used() - node.spec().os.base_memory;
+                let mut free = if self.node_ready[i] && !self.liveness.is_lost(i) {
+                    self.setup.schedulable_mem.saturating_sub(used_beyond_base)
+                } else {
+                    0 // not localised yet, or declared lost by the RM
+                };
+                match verdicts.get(i) {
+                    Some(BreakerVerdict::Reject) => free = 0,
+                    Some(BreakerVerdict::Probe) => free = free.min(probe_cap),
+                    _ => {}
+                }
                 NodeCapacity {
-                    free_mem: if self.node_ready[i] && !self.liveness.is_lost(i) {
-                        self.setup.schedulable_mem.saturating_sub(used_beyond_base)
-                    } else {
-                        0 // not localised yet, or declared lost by the RM
-                    },
+                    free_mem: free,
                     running: self.running_containers[i],
                     max_containers: 2 * node.spec().cpu.threads,
                 }
@@ -729,10 +807,15 @@ impl MrWorld {
                     self.first_reduce = Some(now);
                 }
             }
+            let probe = !self.brk.is_empty() && self.brk[node].state() == BreakerState::HalfOpen;
+            if probe {
+                self.brk[node].begin_probe();
+            }
             let t = &mut self.tasks[task];
             t.node = node;
             t.local = local;
             t.started = now;
+            t.probe = probe;
             let kind = if t.is_map { "map" } else { "reduce" };
             self.set_phase(task, Phase::Launching, now);
             self.tel.counter_inc("mr_containers_granted_total", labels(&[("kind", kind)]));
@@ -784,10 +867,60 @@ impl MrWorld {
                     attempt: 0,
                     fetching_origin: None,
                     fetched_from: Vec::new(),
+                    probe: false,
                 });
                 self.speculative_copies += 1;
                 self.tel.counter_inc("mr_speculative_copies_total", labels(&[]));
             }
+        }
+    }
+
+    // ---- guard layer ----------------------------------------------------
+
+    /// Telemetry: the breaker of `node` just changed state.
+    fn note_brk_transition(&mut self, node: usize) {
+        let to = match self.brk[node].state() {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        };
+        self.tel.counter_inc(
+            guard_metrics::BREAKER_TRANSITIONS_TOTAL,
+            labels(&[("tier", "mapreduce"), ("to", to)]),
+        );
+    }
+
+    /// A container completed on `node`: release its probe slot (if it
+    /// was one) and record the success — one successful probe closes a
+    /// half-open breaker.
+    fn guard_task_done(&mut self, task: usize, node: usize) {
+        if self.brk.is_empty() {
+            return;
+        }
+        if self.tasks[task].probe {
+            self.tasks[task].probe = false;
+            self.brk[node].end_probe();
+        }
+        let before = self.brk[node].state();
+        let _ = self.brk[node].record_success();
+        if self.brk[node].state() != before {
+            self.note_brk_transition(node);
+        }
+    }
+
+    /// Per-attempt deadline accounting: the logical task just completed;
+    /// was its winning attempt inside the configured budget?
+    fn guard_deadline_check(&mut self, task: usize, now: SimTime) {
+        if !self.guard_on {
+            return;
+        }
+        let started = self.tasks[task].started;
+        if self.setup.guard.deadline.deadline_from(started).is_some_and(|d| d.passed(now)) {
+            self.guard_deadline_miss += 1;
+            self.tel.counter_inc(
+                guard_metrics::DEADLINE_MISS_TOTAL,
+                labels(&[("tier", "mapreduce")]),
+            );
         }
     }
 
@@ -883,6 +1016,7 @@ impl MrWorld {
         }
         self.nodes.node_mut(NodeId(node)).free_mem(self.profile.map_container);
         self.running_containers[node] -= 1;
+        self.guard_task_done(task, node);
         // speculative resolution: the logical map is `origin`; only the
         // first finisher counts. The loser (if still running) drains
         // without effect — Hadoop kills it; letting it finish keeps the
@@ -895,6 +1029,7 @@ impl MrWorld {
         self.map_winner[origin] = Some(task);
         self.map_durations
             .push(now.saturating_since(self.tasks[task].started).as_secs_f64());
+        self.guard_deadline_check(task, now);
         self.completed_maps += 1;
         let local = self.tasks[task].local;
         if local {
@@ -1084,6 +1219,8 @@ impl MrWorld {
         }
         self.nodes.node_mut(NodeId(node)).free_mem(self.profile.reduce_container);
         self.running_containers[node] -= 1;
+        self.guard_task_done(task, node);
+        self.guard_deadline_check(task, now);
         self.running_reduce_mem = self.running_reduce_mem.saturating_sub(self.profile.reduce_container);
         self.completed_reduces += 1;
         self.tel.counter_inc("mr_reduces_completed_total", labels(&[]));
@@ -1290,6 +1427,14 @@ impl MrWorld {
                 if is_map { self.profile.map_container } else { self.profile.reduce_container };
             self.nodes.node_mut(NodeId(node)).free_mem(mem);
             self.running_containers[node] = self.running_containers[node].saturating_sub(1);
+            if self.tasks[t].probe {
+                // the probe died with the node; free its slot (the
+                // breaker reopens via the node-lost failure)
+                self.tasks[t].probe = false;
+                if !self.brk.is_empty() {
+                    self.brk[node].end_probe();
+                }
+            }
             if !is_map {
                 self.running_reduce_mem =
                     self.running_reduce_mem.saturating_sub(self.profile.reduce_container);
@@ -1602,6 +1747,10 @@ fn run_job_inner(
         world.tel.help("mr_map_progress_pct", "Completed maps / total, 1 s samples");
         world.tel.help("mr_reduce_progress_pct", "Completed reduces / total, 1 s samples");
         fault_metrics::register_help(&mut world.tel);
+        if world.guard_on {
+            // only on guarded runs, so guards-off exports stay identical
+            guard_metrics::register_help(&mut world.tel);
+        }
         // intern one span track per slave up front: per-event span
         // recording is then id-indexed, no string work on the hot path
         world.slave_tracks = (0..world.setup.workers)
@@ -1667,6 +1816,8 @@ fn run_job_inner(
         nodes_lost: w.nodes_lost,
         mean_recovery_s,
         recovery_windows: w.recovery_windows.clone(),
+        guard_breaker_trips: w.guard_breaker_trips,
+        guard_deadline_miss: w.guard_deadline_miss,
     };
     let tel = std::mem::take(&mut sim.world_mut().tel);
     Ok((outcome, tel, engine_profile))
@@ -1835,6 +1986,33 @@ mod tests {
             }
             other => panic!("expected FaultUnrecovered, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn guard_off_is_byte_identical_and_guarded_crash_trips_the_breaker() {
+        let profile = jobs::logcount2(Tune::Edison);
+        let base = run_job(&profile, &ClusterSetup::edison(4));
+        // guard config attached but inert features off ⇒ same bytes
+        let off = run_job(&profile, &ClusterSetup::edison(4).with_guard(GuardConfig::off()));
+        assert_eq!(base.finish_time_s.to_bits(), off.finish_time_s.to_bits());
+        assert_eq!(base.energy_j.to_bits(), off.energy_j.to_bits());
+        assert_eq!(off.guard_breaker_trips, 0);
+        assert_eq!(off.guard_deadline_miss, 0);
+        // guarded healthy run: breaker never trips, job completes
+        let healthy =
+            run_job(&profile, &ClusterSetup::edison(4).with_guard(GuardConfig::mr_defaults()));
+        assert_eq!(healthy.guard_breaker_trips, 0);
+        // guarded crash: the RM's node-lost verdict trips the worker's
+        // breaker; the job still completes and the breaker recovers
+        // through the probe path (trips stay bounded)
+        let at = SimTime::from_secs_f64(base.finish_time_s / 3.0);
+        let plan = FaultPlan::new().crash_restart(1, at, SimDuration::from_secs(20));
+        let setup = ClusterSetup::edison(4)
+            .with_fault_plan(plan)
+            .with_guard(GuardConfig::mr_defaults());
+        let hit = run_job_checked(&profile, &setup).expect("guarded crash must recover");
+        assert!(hit.guard_breaker_trips >= 1, "node-lost must trip the breaker");
+        assert!(hit.task_reexecs > 0, "containers on the dead node must re-execute");
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct PerturbSpace {
     /// `Metrics::recovery_windows` / `JobOutcome::recovery_windows` of a
     /// base run). Empty when no base observation is available.
     pub windows: Vec<RecoveryWindow>,
+    /// Observed circuit-breaker half-open windows (the guard layer's
+    /// `breaker_windows`: half-open entered → probe success closed it).
+    /// A crash landing inside one hits the backend mid-probe — the
+    /// breaker-flap / shed-storm interleaving guarded tiers are blind to
+    /// in polite schedules. Probed exactly like [`windows`], labelled as
+    /// the `halfopen` phase. Empty for unguarded base runs.
+    pub halfopen_windows: Vec<RecoveryWindow>,
     /// Nodes eligible for window probes. The nastiest interleaving is
     /// usually a crash of a *different* node while the window's node is
     /// restarted-but-not-usable (on a 2-node tier that takes the whole
@@ -47,6 +54,7 @@ impl PerturbSpace {
             jitter_steps,
             reorder_pairs: false,
             windows: Vec::new(),
+            halfopen_windows: Vec::new(),
             probe_nodes: Vec::new(),
             window_steps: 0,
             probe_outage: SimDuration::ZERO,
@@ -67,10 +75,18 @@ impl PerturbSpace {
             jitter_steps: 1,
             reorder_pairs: true,
             windows,
+            halfopen_windows: Vec::new(),
             probe_nodes,
             window_steps: 2,
             probe_outage,
         }
+    }
+
+    /// This space, additionally probing the given circuit-breaker
+    /// half-open windows (from a guarded base run's `breaker_windows`).
+    pub fn with_halfopen_windows(mut self, windows: Vec<RecoveryWindow>) -> Self {
+        self.halfopen_windows = windows;
+        self
     }
 
     /// The probe-node set for window `w`: the configured tier, or just
@@ -119,12 +135,14 @@ fn shifted(at: SimTime, delta_s: f64) -> SimTime {
 /// 2. recovery-window probes — a `crash_restart` of the window's node at
 ///    each interior grid point (the highest-value candidates, so a small
 ///    budget still reaches them);
-/// 3. pairwise reorders of adjacent normalized faults;
-/// 4. the start-jitter grid, fault-major then step then `-`/`+` sign;
-/// 5. seed-derived randomized schedules filling the remaining budget —
+/// 3. breaker half-open-window probes (guarded base runs only) — the
+///    same grid over `halfopen_windows`, hunting breaker-flap cliffs;
+/// 4. pairwise reorders of adjacent normalized faults;
+/// 5. the start-jitter grid, fault-major then step then `-`/`+` sign;
+/// 6. seed-derived randomized schedules filling the remaining budget —
 ///    every fault jittered uniformly in `±start_jitter`, plus (when
-///    windows were observed) a coin-flipped probe at a uniform point of
-///    a uniformly chosen window.
+///    recovery or half-open windows were observed) a coin-flipped probe
+///    at a uniform point of a uniformly chosen window.
 ///
 /// The list is truncated to `budget.schedules` (minimum 1: the base is
 /// never dropped). Purely a function of its arguments.
@@ -150,7 +168,26 @@ pub fn candidates(base: &FaultPlan, space: &PerturbSpace, budget: &ExploreBudget
         }
     }
 
-    // 3. pairwise reorders of adjacent normalized faults
+    // 3. breaker half-open-window probes: a crash while the backend is
+    // being probed re-trips the breaker — the flap the polite base never
+    // shows
+    for (wi, w) in space.halfopen_windows.iter().enumerate() {
+        let width_s = w.end.saturating_since(w.start).as_secs_f64();
+        for node in space.probe_nodes_for(w) {
+            for k in 1..=space.window_steps {
+                let frac = f64::from(k) / f64::from(space.window_steps + 1);
+                let at = w.start + SimDuration::from_secs_f64(width_s * frac);
+                let plan = norm.clone().crash_restart(node, at, space.probe_outage);
+                out.push(Candidate::new(
+                    plan,
+                    "halfopen",
+                    format!("h{wi}+crash{node}@{:.2}s", at.as_secs_f64()),
+                ));
+            }
+        }
+    }
+
+    // 4. pairwise reorders of adjacent normalized faults
     if space.reorder_pairs {
         for i in 0..norm.len().saturating_sub(1) {
             let (a, b) = (norm.faults()[i], norm.faults()[i + 1]);
@@ -162,7 +199,7 @@ pub fn candidates(base: &FaultPlan, space: &PerturbSpace, budget: &ExploreBudget
         }
     }
 
-    // 4. the start-jitter grid
+    // 5. the start-jitter grid
     let jitter_s = space.start_jitter.as_secs_f64();
     if jitter_s > 0.0 {
         for i in 0..norm.len() {
@@ -182,7 +219,11 @@ pub fn candidates(base: &FaultPlan, space: &PerturbSpace, budget: &ExploreBudget
 
     out.truncate(cap);
 
-    // 5. seed-derived randomized fill
+    // 6. seed-derived randomized fill; recovery and half-open windows
+    // pool into one probe target list (an empty half-open list leaves
+    // the draw sequence — and therefore old candidates — untouched)
+    let pool: Vec<RecoveryWindow> =
+        space.windows.iter().chain(space.halfopen_windows.iter()).copied().collect();
     let mut ri: u64 = 0;
     while out.len() < cap {
         let mut rng = SimRng::new(derive_seed(budget.seed, "simexplore:rand", ri));
@@ -194,9 +235,9 @@ pub fn candidates(base: &FaultPlan, space: &PerturbSpace, budget: &ExploreBudget
                 plan = plan.with_fault_at(i, at);
             }
         }
-        if !space.windows.is_empty() && rng.chance(0.5) {
-            let wi = usize::try_from(rng.below(space.windows.len() as u64)).unwrap_or(0);
-            let w = space.windows[wi];
+        if !pool.is_empty() && rng.chance(0.5) {
+            let wi = usize::try_from(rng.below(pool.len() as u64)).unwrap_or(0);
+            let w = pool[wi];
             let nodes = space.probe_nodes_for(&w);
             let node = nodes[usize::try_from(rng.below(nodes.len() as u64)).unwrap_or(0)];
             let width_s = w.end.saturating_since(w.start).as_secs_f64();
@@ -246,6 +287,52 @@ mod tests {
         // window probes come right after the base so small budgets reach them
         assert_eq!(a[1].phase, "window");
         assert!(crashes_inside(&a[1].plan, &window()), "{:?}", a[1].plan);
+    }
+
+    #[test]
+    fn halfopen_windows_are_probed_after_recovery_windows() {
+        let ho = RecoveryWindow { node: 1, start: SimTime::from_secs(9), end: SimTime::from_secs(11) };
+        let space = PerturbSpace::full(
+            SimDuration::from_secs(1),
+            vec![window()],
+            vec![],
+            SimDuration::from_secs(2),
+        )
+        .with_halfopen_windows(vec![ho]);
+        let cands = candidates(&base(), &space, &ExploreBudget::new(16, 42));
+        // phase order: base, window probes, then half-open probes
+        assert_eq!(cands[0].phase, "base");
+        assert_eq!(cands[1].phase, "window");
+        let first_ho = cands.iter().position(|c| c.phase == "halfopen").expect("halfopen probed");
+        assert!(first_ho > 1);
+        assert!(
+            crashes_inside(&cands[first_ho].plan, &ho),
+            "half-open probe must land inside the breaker window: {:?}",
+            cands[first_ho].plan
+        );
+        // probes crash the window's own node when no tier list was given
+        assert!(cands[first_ho].label.contains("crash1"), "{}", cands[first_ho].label);
+        // an empty half-open list changes nothing (guards-off identity)
+        let plain = PerturbSpace::full(
+            SimDuration::from_secs(1),
+            vec![window()],
+            vec![],
+            SimDuration::from_secs(2),
+        );
+        let without: Vec<_> = candidates(&base(), &plain, &ExploreBudget::new(16, 42));
+        assert!(without.iter().all(|c| c.phase != "halfopen"));
+        // random tail draws identically with an empty half-open pool
+        assert_eq!(
+            without.iter().filter(|c| c.phase == "random").count() > 0,
+            true,
+            "budget 16 must reach the random phase for this check to bite"
+        );
+        let with_empty = candidates(
+            &base(),
+            &plain.clone().with_halfopen_windows(vec![]),
+            &ExploreBudget::new(16, 42),
+        );
+        assert_eq!(without, with_empty);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Brownout: a tier-wide degraded mode with hysteresis.
+//!
+//! Brownout in the Klein et al. sense: when the smoothed queue delay
+//! says the tier cannot serve everyone at full fidelity, serve the
+//! sheddable class a cheap degraded response (here: skip the
+//! memcached/MySQL stage) instead of making everyone time out. The
+//! controller is a two-threshold comparator over a signal the caller
+//! supplies — no internal clocks, so state changes only on observation
+//! and the controller is trivially deterministic.
+
+use edison_simcore::time::{SimDuration, SimTime};
+
+/// What one observation did to the brownout state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutStep {
+    /// No transition.
+    None,
+    /// Degraded mode just engaged.
+    Entered,
+    /// Degraded mode just released; carries when it had engaged (the
+    /// caller records the interval as a span).
+    Exited {
+        /// Start of the brownout interval that just ended.
+        since: SimTime,
+    },
+}
+
+/// The two-threshold brownout controller.
+#[derive(Debug, Clone)]
+pub struct Brownout {
+    enter: SimDuration,
+    exit: SimDuration,
+    active_since: Option<SimTime>,
+    entries: u64,
+}
+
+impl Brownout {
+    /// Engage above `enter`, release below `exit` (hysteresis). A zero
+    /// `enter` disables the controller.
+    pub fn new(enter: SimDuration, exit: SimDuration) -> Self {
+        Brownout { enter, exit, active_since: None, entries: 0 }
+    }
+
+    /// True while degraded mode is engaged.
+    pub fn active(&self) -> bool {
+        self.active_since.is_some()
+    }
+
+    /// When the current brownout engaged, if one is active.
+    pub fn active_since(&self) -> Option<SimTime> {
+        self.active_since
+    }
+
+    /// How many times degraded mode has engaged.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Feed the smoothed queue-delay signal (seconds) at `now`.
+    pub fn observe(&mut self, signal_s: f64, now: SimTime) -> BrownoutStep {
+        if self.enter.is_zero() {
+            return BrownoutStep::None;
+        }
+        match self.active_since {
+            None if signal_s > self.enter.as_secs_f64() => {
+                self.active_since = Some(now);
+                self.entries += 1;
+                BrownoutStep::Entered
+            }
+            Some(since) if signal_s < self.exit.as_secs_f64() => {
+                self.active_since = None;
+                BrownoutStep::Exited { since }
+            }
+            _ => BrownoutStep::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_controller_never_engages() {
+        let mut b = Brownout::new(SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(b.observe(100.0, t(1)), BrownoutStep::None);
+        assert!(!b.active());
+    }
+
+    #[test]
+    fn hysteresis_band() {
+        let mut b =
+            Brownout::new(SimDuration::from_millis(250), SimDuration::from_millis(50));
+        assert_eq!(b.observe(0.2, t(1)), BrownoutStep::None, "under enter");
+        assert_eq!(b.observe(0.3, t(2)), BrownoutStep::Entered);
+        assert!(b.active());
+        assert_eq!(b.active_since(), Some(t(2)));
+        assert_eq!(b.observe(0.1, t(3)), BrownoutStep::None, "inside the band: stays");
+        assert_eq!(b.observe(0.3, t(4)), BrownoutStep::None, "already active");
+        assert_eq!(b.observe(0.01, t(5)), BrownoutStep::Exited { since: t(2) });
+        assert!(!b.active());
+        assert_eq!(b.entries(), 1);
+    }
+}

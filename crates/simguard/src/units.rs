@@ -1,0 +1,145 @@
+//! Unit newtypes for deadline arithmetic.
+//!
+//! Deadline math mixes two time scales: budgets are configured and
+//! reported in *milliseconds* (the paper's Table 7 / Figure 10 axis),
+//! while the simulator's native [`SimTime`]/[`SimDuration`] arithmetic
+//! is in *seconds*. [`Millis`] and [`Secs`] make the scale part of the
+//! type, and simlint's R8 dimensional pass knows both (plus [`Deadline`]
+//! and [`Budget`]), so a `deadline_ms + timeout_s` slip is a lint
+//! finding, not a 1000× bug.
+
+use edison_simcore::time::{SimDuration, SimTime};
+
+/// A scalar duration in milliseconds (reporting/config scale).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Millis(pub f64);
+
+/// A scalar duration in seconds (the simulator's native scale).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Secs(pub f64);
+
+impl Millis {
+    /// Convert to seconds (the only sanctioned way across the scales).
+    pub fn to_secs(self) -> Secs {
+        Secs(self.0 / 1e3)
+    }
+}
+
+impl Secs {
+    /// Convert to milliseconds (the only sanctioned way across the
+    /// scales).
+    pub fn to_millis(self) -> Millis {
+        Millis(self.0 * 1e3)
+    }
+}
+
+/// A per-request deadline *budget*: how much wall (sim) time the request
+/// may spend end to end. `Budget::ZERO` means "no deadline" — guard
+/// logic treats it as a byte-identical no-op, never as "already late".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Budget(SimDuration);
+
+impl Budget {
+    /// The disabled budget: no deadline is ever derived from it.
+    pub const ZERO: Budget = Budget(SimDuration::ZERO);
+
+    /// Wrap a duration as a budget.
+    pub const fn new(d: SimDuration) -> Self {
+        Budget(d)
+    }
+
+    /// A budget of whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Budget(SimDuration::from_millis(ms))
+    }
+
+    /// True when deadlines are disabled.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// The underlying duration.
+    pub fn get(self) -> SimDuration {
+        self.0
+    }
+
+    /// The budget in milliseconds, typed.
+    pub fn as_millis(self) -> Millis {
+        Millis(self.0.as_millis_f64())
+    }
+
+    /// The budget in seconds, typed.
+    pub fn as_secs(self) -> Secs {
+        Secs(self.0.as_secs_f64())
+    }
+
+    /// The absolute deadline for a request sent at `start`, or `None`
+    /// when the budget is disabled.
+    pub fn deadline_from(self, start: SimTime) -> Option<Deadline> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(Deadline(start + self.0))
+        }
+    }
+}
+
+/// An absolute per-request deadline instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline(SimTime);
+
+impl Deadline {
+    /// The deadline instant itself.
+    pub fn at(self) -> SimTime {
+        self.0
+    }
+
+    /// True once `now` is past the deadline.
+    pub fn passed(self, now: SimTime) -> bool {
+        now > self.0
+    }
+
+    /// Time left before the deadline (zero once passed).
+    pub fn remaining(self, now: SimTime) -> SimDuration {
+        self.0.saturating_since(now)
+    }
+
+    /// True when less than `reserve` is left — the request cannot afford
+    /// a leg estimated to cost `reserve` and should degrade instead.
+    pub fn cannot_afford(self, now: SimTime, reserve: SimDuration) -> bool {
+        self.remaining(now) < reserve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_never_becomes_a_deadline() {
+        assert!(Budget::ZERO.deadline_from(SimTime::from_secs(5)).is_none());
+        assert!(Budget::default().is_zero());
+    }
+
+    #[test]
+    fn deadline_arithmetic() {
+        let b = Budget::from_millis(1500);
+        let d = b.deadline_from(SimTime::from_secs(10)).unwrap();
+        assert!(!d.passed(SimTime::from_secs(11)));
+        assert!(d.passed(SimTime::from_secs(12)));
+        assert_eq!(d.remaining(SimTime::from_secs(11)), SimDuration::from_millis(500));
+        assert!(d.cannot_afford(SimTime::from_secs(11), SimDuration::from_secs(1)));
+        assert!(!d.cannot_afford(SimTime::from_secs(11), SimDuration::from_millis(400)));
+        // passed ⇒ remaining saturates to zero, never negative
+        assert_eq!(d.remaining(SimTime::from_secs(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scale_conversions_round_trip() {
+        let ms = Millis(250.0);
+        let s = ms.to_secs();
+        assert!((s.0 - 0.25).abs() < 1e-12);
+        assert!((s.to_millis().0 - 250.0).abs() < 1e-9);
+        assert!((Budget::from_millis(2000).as_secs().0 - 2.0).abs() < 1e-12);
+    }
+}

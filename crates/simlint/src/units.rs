@@ -119,6 +119,9 @@ pub fn unit_of_name(name: &str) -> Unit {
 fn unit_of_ty(ty: &Ty) -> Unit {
     match ty.head.as_str() {
         "SimTime" | "SimDuration" | "Duration" => Unit::Seconds,
+        // simguard's deadline algebra: budgets, absolute deadlines, and
+        // their scalar views are all time-dimensioned
+        "Budget" | "Deadline" | "Millis" | "Secs" => Unit::Seconds,
         _ => Unit::Unknown,
     }
 }
@@ -479,6 +482,17 @@ mod tests {
         let f = findings("fn f(t: SimDuration, watts: f64) -> f64 { t.as_secs_f64() + watts }");
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(findings("fn f(t: SimDuration, secs: f64) -> f64 { t.as_secs_f64() + secs }").is_empty());
+    }
+
+    #[test]
+    fn simguard_newtypes_are_time() {
+        // Budget/Deadline/Millis/Secs (simguard's deadline algebra) carry
+        // the time dimension: mixing one with another unit is a finding
+        assert_eq!(findings("fn f(b: Budget, bytes: f64) -> bool { b < bytes }").len(), 1);
+        assert_eq!(findings("fn f(m: Millis, watts: f64) -> f64 { m + watts }").len(), 1);
+        // ...while they stay mutually compatible with the core newtypes
+        assert!(findings("fn f(b: Budget, t: SimDuration) -> bool { b < t }").is_empty());
+        assert!(findings("fn f(d: Deadline, t: SimTime) -> bool { d < t }").is_empty());
     }
 
     #[test]

@@ -32,8 +32,8 @@
 //! complete.
 
 use crate::model::{
-    AdmitStep, CrashOutcome, DbStep, Ev, PathStep, RedispatchStep, ReplyStep, Stage2Step,
-    StackConfig, SynStep, WebWorld,
+    AdmitStep, CrashOutcome, DbStep, Ev, PathStep, RedispatchStep, ReplyStep, Stage1Step,
+    Stage2Step, StackConfig, SynStep, WebWorld,
 };
 use crate::stack::phase_of;
 use edison_cluster::NodeId;
@@ -151,6 +151,8 @@ async fn drive_request(w: &W, conn: u64, req: u64) -> ReqOutcome {
     // like the state machine's never-completed requests)
     let mut open = w.with(|st, _| st.open_http_span(req));
     let mut went_to_db = false;
+    let mut degraded = false;
+    let mut shed = false;
 
     // on the wire → web node admission
     if w.ev(Key::AtWeb(req)).await == Delivery::Cancelled {
@@ -160,90 +162,109 @@ async fn drive_request(w: &W, conn: u64, req: u64) -> ReqOutcome {
         AdmitStep::Admitted => {}
         AdmitStep::Dropped => return dropped(w, conn),
         AdmitStep::Gone => return ReqOutcome::Closed,
+        // deadline already blown at admission: a header-only rejection
+        // is on its way to the client; skip straight to the reply await
+        AdmitStep::Shed => shed = true,
     }
 
-    // stage-1 CPU (parse + PHP)
-    if w.ev(Key::WebCpu(req)).await == Delivery::Cancelled {
-        return dropped(w, conn);
-    }
-    w.with(|st, s| st.stage1_to_cache(req, s.now(), s));
-
-    // memcached leg: lookup CPU on the cache node, verdict back at web
-    if w.ev(Key::AtCache(req)).await == Delivery::Cancelled {
-        return dropped(w, conn);
-    }
-    w.with(|st, s| st.req_at_cache(req, s.now(), s));
-    if w.ev(Key::CacheCpu(req)).await == Delivery::Cancelled {
-        return dropped(w, conn);
-    }
-    let Some(hit) = w.with(|st, s| st.cache_cpu_done(req, s.now(), s)) else {
-        return ReqOutcome::Closed;
-    };
-    if w.ev(Key::CacheReply(req)).await == Delivery::Cancelled {
-        return dropped(w, conn);
-    }
-    match w.with(|st, s| st.cache_reply_at_web(req, hit, s.now(), s)) {
-        PathStep::Continue => {}
-        PathStep::Dropped => return dropped(w, conn),
-        PathStep::Gone => return ReqOutcome::Closed,
-        PathStep::ToDb => {
-            // miss: MySQL query CPU, 2 % buffer-pool disk miss, reply
-            went_to_db = true;
-            if w.ev(Key::AtDb(req)).await == Delivery::Cancelled {
-                return dropped(w, conn);
-            }
-            w.with(|st, s| st.req_at_db(req, s.now(), s));
-            if w.ev(Key::DbCpu(req)).await == Delivery::Cancelled {
-                return dropped(w, conn);
-            }
-            match w.with(|st, s| st.db_cpu_done(req, s.now(), s)) {
-                DbStep::Sent => {}
-                DbStep::Gone => return ReqOutcome::Closed,
-                DbStep::Disk => {
-                    if w.ev(Key::Disk(req)).await == Delivery::Cancelled {
-                        return dropped(w, conn);
+    if !shed {
+        // stage-1 CPU (parse + PHP)
+        if w.ev(Key::WebCpu(req)).await == Delivery::Cancelled {
+            return dropped(w, conn);
+        }
+        match w.with(|st, s| st.stage1_to_cache(req, s.now(), s)) {
+            Stage1Step::Gone => return ReqOutcome::Closed,
+            // guard verdict: the cache/db stage is skipped, stage-2 CPU
+            // is already enqueued
+            Stage1Step::Degraded => degraded = true,
+            Stage1Step::ToCache => {
+                // memcached leg: lookup CPU on the cache node, verdict
+                // back at web
+                if w.ev(Key::AtCache(req)).await == Delivery::Cancelled {
+                    return dropped(w, conn);
+                }
+                w.with(|st, s| st.req_at_cache(req, s.now(), s));
+                if w.ev(Key::CacheCpu(req)).await == Delivery::Cancelled {
+                    return dropped(w, conn);
+                }
+                let Some(hit) = w.with(|st, s| st.cache_cpu_done(req, s.now(), s)) else {
+                    return ReqOutcome::Closed;
+                };
+                if w.ev(Key::CacheReply(req)).await == Delivery::Cancelled {
+                    return dropped(w, conn);
+                }
+                match w.with(|st, s| st.cache_reply_at_web(req, hit, s.now(), s)) {
+                    PathStep::Continue => {}
+                    PathStep::Dropped => return dropped(w, conn),
+                    PathStep::Gone => return ReqOutcome::Closed,
+                    // miss, but the budget can't afford MySQL: degraded
+                    PathStep::Degraded => degraded = true,
+                    PathStep::ToDb => {
+                        // miss: MySQL query CPU, 2 % buffer-pool disk
+                        // miss, reply
+                        went_to_db = true;
+                        if w.ev(Key::AtDb(req)).await == Delivery::Cancelled {
+                            return dropped(w, conn);
+                        }
+                        w.with(|st, s| st.req_at_db(req, s.now(), s));
+                        if w.ev(Key::DbCpu(req)).await == Delivery::Cancelled {
+                            return dropped(w, conn);
+                        }
+                        match w.with(|st, s| st.db_cpu_done(req, s.now(), s)) {
+                            DbStep::Sent => {}
+                            DbStep::Gone => return ReqOutcome::Closed,
+                            DbStep::Disk => {
+                                if w.ev(Key::Disk(req)).await == Delivery::Cancelled {
+                                    return dropped(w, conn);
+                                }
+                                w.with(|st, s| st.db_send_reply(req, s.now(), s));
+                            }
+                        }
+                        if w.ev(Key::DbReply(req)).await == Delivery::Cancelled {
+                            return dropped(w, conn);
+                        }
+                        match w.with(|st, s| st.db_reply_at_web(req, s.now(), s)) {
+                            PathStep::Continue => {}
+                            PathStep::Dropped => return dropped(w, conn),
+                            PathStep::ToDb | PathStep::Gone | PathStep::Degraded => {
+                                return ReqOutcome::Closed
+                            }
+                        }
                     }
-                    w.with(|st, s| st.db_send_reply(req, s.now(), s));
                 }
             }
-            if w.ev(Key::DbReply(req)).await == Delivery::Cancelled {
-                return dropped(w, conn);
-            }
-            match w.with(|st, s| st.db_reply_at_web(req, s.now(), s)) {
-                PathStep::Continue => {}
-                PathStep::Dropped => return dropped(w, conn),
-                PathStep::ToDb | PathStep::Gone => return ReqOutcome::Closed,
-            }
+        }
+
+        // stage-2 CPU (assemble the page)
+        if w.ev(Key::WebCpu(req)).await == Delivery::Cancelled {
+            return dropped(w, conn);
+        }
+        match w.with(|st, s| st.stage2_to_reply(req, s.now(), s)) {
+            Stage2Step::Sent => {}
+            Stage2Step::Gone => return ReqOutcome::Closed,
         }
     }
 
-    // stage-2 CPU (assemble the page)
-    if w.ev(Key::WebCpu(req)).await == Delivery::Cancelled {
-        return dropped(w, conn);
-    }
-    match w.with(|st, s| st.stage2_to_reply(req, s.now(), s)) {
-        Stage2Step::Sent => {}
-        Stage2Step::Gone => return ReqOutcome::Closed,
-    }
-
-    // reply body → client
+    // reply (full page, degraded fallback or shed rejection) → client
     if w.ev(Key::Reply(req)).await == Delivery::Cancelled {
         return dropped(w, conn);
     }
     let step = w.with(|st, s| {
         let step = st.finish_reply(req, s.now(), false, s);
         // the span the state machine records inside finish_reply; the
-        // task knows the path it took, so the args match r.went_to_db
+        // task knows the path it took, so the args match the request
         if !matches!(step, ReplyStep::Vanished) {
             if let Some(span) = open.take() {
-                let args = vec![(
-                    "path",
-                    if went_to_db {
-                        "php/memcached-miss/mysql".to_string()
-                    } else {
-                        "php/memcached-hit".to_string()
-                    },
-                )];
+                let path = if shed {
+                    "shed"
+                } else if degraded {
+                    "php/degraded"
+                } else if went_to_db {
+                    "php/memcached-miss/mysql"
+                } else {
+                    "php/memcached-hit"
+                };
+                let args = vec![("path", path.to_string())];
                 let end = s.now();
                 span.finish(&mut st.tel, end, args);
             }
@@ -277,7 +298,7 @@ async fn connection(w: W, guard: ConnGuard, conn: u64) {
                     if w.ev(Key::Retry(conn)).await == Delivery::Cancelled {
                         return;
                     }
-                    match w.with(|st, _| st.redispatch(conn)) {
+                    match w.with(|st, s| st.redispatch(conn, s.now())) {
                         RedispatchStep::Go => attempt = 0,
                         RedispatchStep::Gone => return,
                     }
@@ -294,7 +315,7 @@ async fn connection(w: W, guard: ConnGuard, conn: u64) {
                     if w.ev(Key::Retry(conn)).await == Delivery::Cancelled {
                         return;
                     }
-                    match w.with(|st, _| st.redispatch(conn)) {
+                    match w.with(|st, s| st.redispatch(conn, s.now())) {
                         RedispatchStep::Go => continue 'redispatched,
                         RedispatchStep::Gone => return,
                     }

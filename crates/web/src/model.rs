@@ -33,6 +33,11 @@ use edison_simcore::time::{SimDuration, SimTime};
 use edison_simcore::SchedBuf;
 use edison_simfault::metrics as fault_metrics;
 use edison_simfault::{Fault, FaultKind, FaultPlan, RecoveryWindow};
+use edison_simguard::metrics as guard_metrics;
+use edison_simguard::{
+    class_of, probe_eligible, BreakerState, BreakerVerdict, Brownout, BrownoutStep,
+    CircuitBreaker, Deadline, GateVerdict, GuardConfig, Priority, QueueGate, TokenBucket,
+};
 use edison_simrun::derive_seed;
 use edison_simtel::{labels, OpenSpan, Telemetry};
 use std::collections::{HashMap, VecDeque};
@@ -87,6 +92,10 @@ pub struct StackConfig {
     /// own room with their own NIC/OS limits; the load balancer spreads
     /// connections weighted by measured per-platform capacity.
     pub hybrid_web: usize,
+    /// Overload protection (deadlines, circuit breakers, LB admission
+    /// control, brownout). [`GuardConfig::off`] (the default) keeps the
+    /// run byte-identical to the pre-guard code path.
+    pub guard: GuardConfig,
 }
 
 impl StackConfig {
@@ -104,6 +113,7 @@ impl StackConfig {
             fault_plan: FaultPlan::new(),
             retry_budget: 0,
             hybrid_web: 0,
+            guard: GuardConfig::off(),
         }
     }
 }
@@ -180,6 +190,15 @@ pub(crate) struct Req {
     pub(crate) went_to_db: bool,
     /// Set while the request waits in the PHP backlog (telemetry span).
     pub(crate) t_queued: Option<SimTime>,
+    /// Absolute deadline derived from [`GuardConfig::deadline`] at send
+    /// time; `None` when deadlines are off.
+    pub(crate) deadline: Option<Deadline>,
+    /// Served degraded: the memcached/MySQL stage was skipped and a
+    /// cheap brownout response assembled instead.
+    pub(crate) degraded: bool,
+    /// Shed by the guard layer: a header-only rejection is on its way to
+    /// the client and the connection closes when it lands.
+    pub(crate) shed: bool,
 }
 
 #[derive(Debug)]
@@ -191,6 +210,12 @@ pub(crate) struct Conn {
     /// Failover re-dispatches consumed (bounded by
     /// [`StackConfig::retry_budget`]).
     pub(crate) retries: u32,
+    /// Shedding priority, drawn once from a derived seed
+    /// ([`class_of`]) — never from the workload RNG.
+    pub(crate) class: Priority,
+    /// True while this connection holds a half-open probe slot on the
+    /// breaker of `web`.
+    pub(crate) probe: bool,
 }
 
 /// Everything measured during the window.
@@ -236,6 +261,12 @@ pub struct Metrics {
     /// Client connections re-dispatched through the LB after hitting a
     /// dead backend.
     pub retries: u64,
+    /// Of [`Metrics::retries`]: re-dispatches after a connect/read
+    /// timeout on a crashed backend.
+    pub retry_dead_total: u64,
+    /// Of [`Metrics::retries`]: re-dispatches after a backlog-overflow
+    /// 5xx (guarded runs only; unguarded overflow is a hard error).
+    pub retry_overflow_total: u64,
     /// Seconds from crash injection until the victim is back in LB
     /// rotation (one sample per completed recovery).
     pub recovery_s: SampleSet,
@@ -243,6 +274,45 @@ pub struct Metrics {
     /// (the RISE interval). The simexplore perturbation space targets
     /// follow-up faults inside these.
     pub recovery_windows: Vec<RecoveryWindow>,
+    /// Guard-layer accounting; all-zero unless [`StackConfig::guard`] is
+    /// active.
+    pub guard: GuardStats,
+}
+
+/// simguard accounting for one run. Every request the guard layer
+/// admitted ([`GuardStats::admitted`]) ends in exactly one terminal
+/// bucket — the conservation identity
+/// `admitted = completed + degraded + shed + failed`
+/// is checked per seed and `--jobs` level by the property tests.
+/// [`GuardStats::lb_rejected`] counts connections refused *before* any
+/// request existed (token bucket, queue gate, breaker block) and sits
+/// outside the identity.
+#[derive(Debug, Default)]
+pub struct GuardStats {
+    /// Requests created past the guard layer's admission decisions.
+    pub admitted: u64,
+    /// Full-fidelity completions.
+    pub completed: u64,
+    /// Degraded completions (memcached/MySQL stage skipped).
+    pub degraded: u64,
+    /// Requests shed after admission (deadline already blown at the
+    /// worker pool): header-only rejection, connection closed.
+    pub shed: u64,
+    /// Requests retired on an error path (overflow, dead node, lost
+    /// connection, in flight when the run stopped).
+    pub failed: u64,
+    /// Connections refused at the LB before a request existed.
+    pub lb_rejected: u64,
+    /// Full responses delivered after their deadline.
+    pub deadline_miss: u64,
+    /// Circuit-breaker trips (closed→open and failed half-open probes).
+    pub breaker_trips: u64,
+    /// Times brownout (degraded) mode engaged.
+    pub brownout_entries: u64,
+    /// Breaker half-open → closed windows (probe success closes them):
+    /// the breaker analogue of health-check recovery windows, probed by
+    /// simexplore with follow-up faults.
+    pub breaker_windows: Vec<RecoveryWindow>,
 }
 
 impl Default for Metrics {
@@ -269,8 +339,11 @@ impl Default for Metrics {
             faults_injected: 0,
             failovers: 0,
             retries: 0,
+            retry_dead_total: 0,
+            retry_overflow_total: 0,
             recovery_s: SampleSet::new(),
             recovery_windows: Vec::new(),
+            guard: GuardStats::default(),
         }
     }
 }
@@ -358,6 +431,21 @@ pub(crate) enum AdmitStep {
     Dropped,
     /// 5xx overflow (request and connection gone) or a stale id.
     Gone,
+    /// Deadline already blown: a header-only rejection is on the wire
+    /// ([`Ev::ReplyAtClient`] scheduled); no worker was taken.
+    Shed,
+}
+
+/// Outcome of stage-1 CPU completion ([`WebWorld::stage1_to_cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Stage1Step {
+    /// The memcached get is on the wire ([`Ev::ReqAtCache`] scheduled).
+    ToCache,
+    /// Guard verdict (deadline blown, or brownout + bulk class): the
+    /// cache/db stage is skipped and stage-2 CPU was enqueued directly.
+    Degraded,
+    /// Stale request id.
+    Gone,
 }
 
 /// Outcome of a reply landing back on the web node
@@ -372,6 +460,9 @@ pub(crate) enum PathStep {
     Dropped,
     /// Stale request id.
     Gone,
+    /// Guard verdict on the miss path: the remaining deadline budget
+    /// cannot afford the MySQL leg; stage-2 CPU was enqueued directly.
+    Degraded,
 }
 
 /// Outcome of MySQL CPU completion ([`WebWorld::db_cpu_done`]).
@@ -414,6 +505,38 @@ pub(crate) enum RedispatchStep {
     Go,
     /// Nothing to fail over to (connection retired) or a stale id.
     Gone,
+}
+
+/// What the (breaker-aware) load balancer picked for one connection.
+enum LbPick {
+    /// Route to `web`; `probe` means a half-open probe slot was claimed.
+    Backend { web: usize, probe: bool },
+    /// Every backend is out of LB rotation (crashed / health-checked
+    /// out): the legacy hard client error.
+    AllDead,
+    /// At least one backend is in rotation but every one of them is
+    /// breaker-blocked: shed instead of erroring.
+    Blocked,
+}
+
+/// Why a client re-dispatched its connection through the LB — satellite
+/// split of the previously conflated retry accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RetryCause {
+    /// Connect/read timeout on a crashed backend.
+    Dead,
+    /// Backlog-overflow 5xx with guards on (the client retries instead
+    /// of surfacing a hard error).
+    Overflow,
+}
+
+impl RetryCause {
+    fn name(self) -> &'static str {
+        match self {
+            RetryCause::Dead => "dead",
+            RetryCause::Overflow => "overflow",
+        }
+    }
 }
 
 /// One request torn down by [`WebWorld::apply_crash`] while it was on the
@@ -511,6 +634,22 @@ pub struct WebWorld {
     /// once by [`WebWorld::init_tracing`] when tracing — per-event span
     /// recording then does no string formatting or comparison.
     pub(crate) web_tracks: Vec<usize>,
+    // ---- guard layer (simguard) ---------------------------------------
+    /// Cached [`GuardConfig::is_active`]: every guard side effect —
+    /// accounting, telemetry, state — is gated on this, so guards-off
+    /// runs are byte-identical to the pre-guard code path.
+    pub(crate) guard_on: bool,
+    /// One circuit breaker per web backend; empty when breakers are off
+    /// (the LB then uses the legacy pick path verbatim).
+    pub(crate) brk: Vec<CircuitBreaker>,
+    /// LB admission token bucket (disabled at rate 0).
+    pub(crate) admit_bucket: TokenBucket,
+    /// CoDel-style queue-delay gate fed by PHP-backlog sojourns.
+    pub(crate) admit_gate: QueueGate,
+    /// Brownout (degraded-mode) controller over the smoothed sojourn.
+    pub(crate) brownout: Brownout,
+    /// Span track for guard-layer intervals (brownout windows).
+    pub(crate) guard_track: Option<usize>,
 }
 
 /// Fraction of the per-request web CPU spent before the cache RPC (parse +
@@ -542,6 +681,20 @@ const FAILOVER_TIMEOUT: SimDuration = SimDuration::from_secs(1);
 const RETRY_BACKOFF_CAP: u32 = 2;
 /// Jitter spread (± fraction) around the backed-off re-dispatch delay.
 const RETRY_JITTER: f64 = 0.25;
+/// Body size of a degraded (brownout) response: the cheap static
+/// fallback PHP serves when the memcached/MySQL stage is skipped.
+const DEGRADED_REPLY_BYTES: u64 = 512;
+
+/// Span label for a completed request's service path.
+fn span_path(r: &Req) -> &'static str {
+    if r.degraded {
+        "php/degraded"
+    } else if r.went_to_db {
+        "php/memcached-miss/mysql"
+    } else {
+        "php/memcached-hit"
+    }
+}
 
 /// Scale a duration by a fault multiplier (identity fast path keeps
 /// fault-free runs bit-exact with the pre-fault arithmetic).
@@ -692,6 +845,24 @@ impl WebWorld {
         let fplan = full_plan.normalized();
         let n_tier = n_web + n_cache;
         let fault_rng = SimRng::new(fplan.fault_seed(0));
+        // guard layer: every sub-feature is zero-disabled, so building
+        // from the (all-zero) off() config costs nothing and does nothing
+        let guard_on = cfg.guard.is_active();
+        let brk = if cfg.guard.breaker_threshold > 0 {
+            vec![
+                CircuitBreaker::new(
+                    cfg.guard.breaker_threshold,
+                    cfg.guard.breaker_cooldown,
+                    cfg.guard.breaker_probes,
+                );
+                n_web
+            ]
+        } else {
+            Vec::new()
+        };
+        let admit_bucket = TokenBucket::new(cfg.guard.admit_rate, cfg.guard.admit_burst);
+        let admit_gate = QueueGate::new(cfg.guard.queue_target, cfg.guard.queue_interval);
+        let brownout = Brownout::new(cfg.guard.brownout_enter, cfg.guard.brownout_exit);
         WebWorld {
             cfg,
             nodes,
@@ -736,6 +907,12 @@ impl WebWorld {
             metrics: Metrics::default(),
             tel: Telemetry::off(),
             web_tracks: Vec::new(),
+            guard_on,
+            brk,
+            admit_bucket,
+            admit_gate,
+            brownout,
+            guard_track: None,
         }
     }
 
@@ -770,7 +947,13 @@ impl WebWorld {
         // registered whether or not any fault fires, so exports stay
         // byte-identical across fault-free and faulted configurations
         edison_simfault::metrics::register_help(&mut self.tel);
-        self.tel.help("web_client_retries_total", "Connections re-dispatched through the LB after failover timeouts");
+        self.tel.help("web_client_retries_total", "Connections re-dispatched through the LB, by cause (dead backend / backlog overflow)");
+        // guard help is registered only when the guard is active, so
+        // guards-off exports stay byte-identical to pre-guard runs
+        if self.guard_on {
+            guard_metrics::register_help(&mut self.tel);
+            self.guard_track = Some(self.tel.track_id("guard", "web-tier"));
+        }
         // intern one span track per web node up front: per-event span
         // recording is then id-indexed, no string work on the hot path
         let n_web = self.n_web();
@@ -816,6 +999,12 @@ impl WebWorld {
     /// or the request/connection is already gone. Byte-equivalent to the
     /// state machine's `span_on` at the reply arm: same track, category,
     /// name and start instant.
+    /// Current circuit-breaker state per web backend (empty when the
+    /// breaker is disabled). Introspection for tests and experiments.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.brk.iter().map(|b| b.state()).collect()
+    }
+
     pub(crate) fn open_http_span(&mut self, req: u64) -> Option<OpenSpan> {
         if !self.tel.is_on() {
             return None;
@@ -897,6 +1086,210 @@ impl WebWorld {
         Some(web)
     }
 
+    /// LB pick with breaker awareness. With breakers off this *is* the
+    /// legacy [`WebWorld::lb_pick`] (same stride counter, same draws);
+    /// with breakers on, open backends leave the candidate set and
+    /// half-open ones admit only probe-eligible connections.
+    fn lb_pick_any(&mut self, conn_id: u64, now: SimTime) -> LbPick {
+        if self.brk.is_empty() {
+            return match self.lb_pick() {
+                Some(web) => LbPick::Backend { web, probe: false },
+                None => LbPick::AllDead,
+            };
+        }
+        self.lb_pick_breakered(conn_id, now)
+    }
+
+    /// The breaker-aware WRR: identical golden-ratio stride over the
+    /// cumulative weights, restricted to backends whose breaker admits
+    /// this connection. A `Probe` pick claims the half-open slot.
+    fn lb_pick_breakered(&mut self, conn_id: u64, now: SimTime) -> LbPick {
+        let n_web = self.n_web();
+        let probe_ok = probe_eligible(self.cfg.seed, conn_id, self.cfg.guard.probe_ratio);
+        let mut allowed = vec![false; n_web];
+        let mut probing = vec![false; n_web];
+        let mut any_alive = false;
+        for i in 0..n_web {
+            let alive = !self.dead[i] && !self.lb_dead[i];
+            any_alive |= alive;
+            // check() lazily advances open → half-open; surface that
+            // transition in telemetry exactly once
+            let before = self.brk[i].state();
+            let verdict = self.brk[i].check(now);
+            if self.brk[i].state() != before {
+                self.note_brk_transition(i);
+            }
+            let (adm, prb) = match verdict {
+                BreakerVerdict::Pass => (true, false),
+                BreakerVerdict::Probe => (probe_ok, true),
+                BreakerVerdict::Reject => (false, false),
+            };
+            allowed[i] = alive && adm;
+            probing[i] = prb;
+        }
+        let total_w: f64 =
+            (0..n_web).filter(|&i| allowed[i]).map(|i| self.lb_weights[i]).sum();
+        if total_w <= 0.0 {
+            return if any_alive { LbPick::Blocked } else { LbPick::AllDead };
+        }
+        let target = (self.rr_web as f64 * 0.618_033_988_749_895).fract() * total_w;
+        self.rr_web += 1;
+        let mut web = 0;
+        let mut acc = 0.0;
+        for i in 0..n_web {
+            if !allowed[i] {
+                continue;
+            }
+            acc += self.lb_weights[i];
+            web = i;
+            if target < acc {
+                break;
+            }
+        }
+        let probe = probing[web];
+        if probe {
+            self.brk[web].begin_probe();
+        }
+        LbPick::Backend { web, probe }
+    }
+
+    // ---- guard layer (simguard) ---------------------------------------
+
+    /// Record a breaker state change: transition counter + per-backend
+    /// state gauge (0 closed, 0.5 half-open, 1 open).
+    fn note_brk_transition(&mut self, web: usize) {
+        let (to, level) = match self.brk[web].state() {
+            BreakerState::Closed => ("closed", 0.0),
+            BreakerState::HalfOpen => ("half_open", 0.5),
+            BreakerState::Open => ("open", 1.0),
+        };
+        self.tel.counter_inc(
+            guard_metrics::BREAKER_TRANSITIONS_TOTAL,
+            labels(&[("tier", "web"), ("to", to)]),
+        );
+        if self.tel.is_on() {
+            let backend = format!("web-{web}");
+            self.tel.gauge_set(
+                guard_metrics::BREAKER_STATE,
+                labels(&[("tier", "web"), ("backend", &backend)]),
+                level,
+            );
+        }
+    }
+
+    /// Feed one backend failure signal (dead-node drop, overflow 5xx,
+    /// fd exhaustion) into `web`'s breaker.
+    fn guard_brk_failure(&mut self, web: usize, now: SimTime) {
+        if self.brk.is_empty() {
+            return;
+        }
+        let before = self.brk[web].state();
+        if self.brk[web].record_failure(now) {
+            self.metrics.guard.breaker_trips += 1;
+        }
+        if self.brk[web].state() != before {
+            self.note_brk_transition(web);
+        }
+    }
+
+    /// Feed one backend success into `web`'s breaker; a success that
+    /// closes a half-open phase reports the recovery window.
+    fn guard_brk_success(&mut self, web: usize, now: SimTime) {
+        if self.brk.is_empty() {
+            return;
+        }
+        let before = self.brk[web].state();
+        if let Some(since) = self.brk[web].record_success() {
+            self.metrics
+                .guard
+                .breaker_windows
+                .push(RecoveryWindow { node: web, start: since, end: now });
+        }
+        if self.brk[web].state() != before {
+            self.note_brk_transition(web);
+        }
+    }
+
+    /// Release the half-open probe slot `conn_id` holds, if any (the
+    /// probe request reached a verdict, or the connection moved on).
+    fn guard_probe_done(&mut self, conn_id: u64) {
+        if self.brk.is_empty() {
+            return;
+        }
+        if let Some(c) = self.conns.get_mut(&conn_id) {
+            if c.probe {
+                c.probe = false;
+                let web = c.web;
+                self.brk[web].end_probe();
+            }
+        }
+    }
+
+    /// A connection left the world for good: release its probe slot.
+    /// Called at every `conns.remove` site (no-op with breakers off).
+    fn guard_conn_retired(&mut self, conn: &Conn) {
+        if conn.probe && !self.brk.is_empty() {
+            self.brk[conn.web].end_probe();
+        }
+    }
+
+    /// One connection refused at the LB before any request existed
+    /// (token bucket / queue gate / breaker block).
+    fn guard_shed_lb(&mut self, reason: &'static str) {
+        self.metrics.guard.lb_rejected += 1;
+        self.tel.counter_inc(
+            guard_metrics::SHED_TOTAL,
+            labels(&[("tier", "web"), ("reason", reason)]),
+        );
+        self.tel_outcome("shed");
+    }
+
+    /// One admitted request retired on an error path (closes the
+    /// conservation identity's `failed` bucket).
+    fn guard_req_failed(&mut self, reason: &'static str) {
+        self.metrics.guard.failed += 1;
+        self.tel.counter_inc(
+            guard_metrics::FAILED_TOTAL,
+            labels(&[("tier", "web"), ("reason", reason)]),
+        );
+    }
+
+    /// Feed one observed PHP-backlog sojourn into the queue gate and the
+    /// brownout controller (zero for requests admitted straight to a
+    /// worker). The smoothed sojourn is the brownout signal; entering or
+    /// leaving degraded mode flips the gauge and records the interval as
+    /// a span on exit.
+    fn guard_observe_queue(&mut self, sojourn: SimDuration, now: SimTime) {
+        self.admit_gate.observe(sojourn, now);
+        self.tel.observe(
+            guard_metrics::QUEUE_DELAY_SECONDS,
+            labels(&[("tier", "web")]),
+            guard_metrics::QUEUE_DELAY_BOUNDS_S,
+            sojourn.as_secs_f64(),
+        );
+        match self.brownout.observe(self.admit_gate.smoothed_sojourn_s(), now) {
+            BrownoutStep::Entered => {
+                self.metrics.guard.brownout_entries += 1;
+                self.tel.gauge_set(
+                    guard_metrics::BROWNOUT_ACTIVE,
+                    labels(&[("tier", "web")]),
+                    1.0,
+                );
+            }
+            BrownoutStep::Exited { since } => {
+                self.tel.gauge_set(
+                    guard_metrics::BROWNOUT_ACTIVE,
+                    labels(&[("tier", "web")]),
+                    0.0,
+                );
+                if let Some(track) = self.guard_track {
+                    self.tel.span_on(track, "guard", "brownout", since, now, vec![]);
+                }
+            }
+            BrownoutStep::None => {}
+        }
+    }
+
     /// Everything [`open_connection`](crate::stack) did *except* the first
     /// SYN attempt: pick a backend, a client and the call count, and
     /// register the connection. Returns the new connection id, or `None`
@@ -907,6 +1300,9 @@ impl WebWorld {
     pub(crate) fn open_conn_prepare(&mut self, now: SimTime) -> Option<u64> {
         let id = self.next_conn;
         self.next_conn += 1;
+        if self.guard_on {
+            return self.open_conn_prepare_guarded(id, now);
+        }
         // HAProxy weighted round robin, health-checked around dead servers
         let Some(web) = self.lb_pick() else {
             // whole tier down
@@ -917,8 +1313,65 @@ impl WebWorld {
         let client = self.rr_client % self.client_hosts.len();
         self.rr_client += 1;
         let calls = self.draw_calls();
-        self.conns.insert(id, Conn { client, web, calls_left: calls, t_first_syn: now, retries: 0 });
+        self.conns.insert(
+            id,
+            Conn {
+                client,
+                web,
+                calls_left: calls,
+                t_first_syn: now,
+                retries: 0,
+                class: Priority::Interactive,
+                probe: false,
+            },
+        );
         Some(id)
+    }
+
+    /// The guarded front door: priority class (derived seed), token
+    /// bucket, CoDel queue gate, then the breaker-aware LB pick. Every
+    /// refusal is a shed, not an error — except the legacy whole-tier-down
+    /// case, which stays a client error.
+    fn open_conn_prepare_guarded(&mut self, id: u64, now: SimTime) -> Option<u64> {
+        let class = class_of(self.cfg.seed, id, self.cfg.guard.shed_ratio);
+        if !self.admit_bucket.try_take(now) {
+            self.guard_shed_lb("lb_bucket");
+            return None;
+        }
+        match self.admit_gate.verdict(now, class) {
+            GateVerdict::Admit => {}
+            GateVerdict::ShedAll => {
+                self.guard_shed_lb("queue");
+                return None;
+            }
+            GateVerdict::ShedBulk => {
+                if class == Priority::Bulk {
+                    self.guard_shed_lb("queue");
+                    return None;
+                }
+            }
+        }
+        match self.lb_pick_any(id, now) {
+            LbPick::Backend { web, probe } => {
+                let client = self.rr_client % self.client_hosts.len();
+                self.rr_client += 1;
+                let calls = self.draw_calls();
+                self.conns.insert(
+                    id,
+                    Conn { client, web, calls_left: calls, t_first_syn: now, retries: 0, class, probe },
+                );
+                Some(id)
+            }
+            LbPick::Blocked => {
+                self.guard_shed_lb("breaker");
+                None
+            }
+            LbPick::AllDead => {
+                self.metrics.client_errors += 1;
+                self.tel_outcome("client_error");
+                None
+            }
+        }
     }
 
     /// Consume one unit of the client retry budget and schedule a
@@ -928,7 +1381,13 @@ impl WebWorld {
     /// (connection, attempt), so clients caught by the same failover
     /// spread out instead of re-dispatching in lockstep, and a given
     /// retry's delay never depends on event-arrival order.
-    fn conn_retry(&mut self, conn_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> bool {
+    fn conn_retry(
+        &mut self,
+        conn_id: u64,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+        cause: RetryCause,
+    ) -> bool {
         if self.cfg.retry_budget == 0 {
             return false;
         }
@@ -939,7 +1398,11 @@ impl WebWorld {
         conn.retries += 1;
         let attempt = conn.retries;
         self.metrics.retries += 1;
-        self.tel.counter_inc("web_client_retries_total", labels(&[]));
+        match cause {
+            RetryCause::Dead => self.metrics.retry_dead_total += 1,
+            RetryCause::Overflow => self.metrics.retry_overflow_total += 1,
+        }
+        self.tel.counter_inc(guard_metrics::RETRY_CAUSE, labels(&[("cause", cause.name())]));
         // connection ids count up from 0 and never reach 2^56, so packing
         // the attempt into the top byte keeps the stream index unique
         let stream_idx = conn_id | (u64::from(attempt) << 56);
@@ -955,10 +1418,17 @@ impl WebWorld {
     fn drop_req_on_dead_node(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
         let Some(r) = self.reqs.remove(&req_id) else { return };
         let conn_id = r.conn;
-        if self.conn_retry(conn_id, now, sched) {
+        if self.guard_on {
+            // the request is terminal even when its connection retries
+            self.guard_req_failed("dead_node");
+            self.guard_brk_failure(r.web, now);
+        }
+        if self.conn_retry(conn_id, now, sched, RetryCause::Dead) {
             return;
         }
-        self.conns.remove(&conn_id);
+        if let Some(c) = self.conns.remove(&conn_id) {
+            self.guard_conn_retired(&c);
+        }
         self.metrics.server_errors += 1;
         self.tel_outcome("server_error");
     }
@@ -977,10 +1447,15 @@ impl WebWorld {
         if self.dead[web] && self.cfg.retry_budget > 0 {
             // a crashed host sends no RST: the connect times out and the
             // client re-resolves through the LB (or gives up)
-            if self.conn_retry(conn_id, now, sched) {
+            if self.guard_on {
+                self.guard_brk_failure(web, now);
+            }
+            if self.conn_retry(conn_id, now, sched, RetryCause::Dead) {
                 return SynStep::AwaitRedispatch;
             }
-            self.conns.remove(&conn_id);
+            if let Some(c) = self.conns.remove(&conn_id) {
+                self.guard_conn_retired(&c);
+            }
             self.metrics.client_errors += 1;
             self.tel_outcome("client_error");
             return SynStep::Gone;
@@ -1014,15 +1489,22 @@ impl WebWorld {
                 } else {
                     self.metrics.client_errors += 1;
                     self.tel_outcome("client_error");
-                    self.conns.remove(&conn_id);
+                    if let Some(c) = self.conns.remove(&conn_id) {
+                        self.guard_conn_retired(&c);
+                    }
                     SynStep::Gone
                 }
             }
             Err(_) => {
                 // fd exhaustion → lighttpd answers 5xx on this node
+                if self.guard_on {
+                    self.guard_brk_failure(web, now);
+                }
                 self.metrics.server_errors += 1;
                 self.tel_outcome("server_error");
-                self.conns.remove(&conn_id);
+                if let Some(c) = self.conns.remove(&conn_id) {
+                    self.guard_conn_retired(&c);
+                }
                 SynStep::Gone
             }
         }
@@ -1045,6 +1527,10 @@ impl WebWorld {
         let query = db::draw_query(&self.cfg.mix, &mut self.rng);
         let cache = Self::cache_for(query.key, self.caches.len());
         let db_node = self.rng.below(2) as usize;
+        // the deadline budget starts when the request leaves the client;
+        // Budget::ZERO (deadlines off) derives no deadline at all
+        let deadline =
+            if self.guard_on { self.cfg.guard.deadline.deadline_from(send_at) } else { None };
         self.reqs.insert(
             id,
             Req {
@@ -1062,8 +1548,15 @@ impl WebWorld {
                 db_delay: None,
                 went_to_db: false,
                 t_queued: None,
+                deadline,
+                degraded: false,
+                shed: false,
             },
         );
+        if self.guard_on {
+            self.metrics.guard.admitted += 1;
+            self.tel.counter_inc(guard_metrics::ADMITTED_TOTAL, labels(&[("tier", "web")]));
+        }
         let lat = scaled(self.topo.latency(client_host, self.node_hosts[web]), self.nic_lat[web]);
         sched.schedule_at(send_at + lat, Ev::ReqAtWeb { req: id });
         id
@@ -1085,8 +1578,36 @@ impl WebWorld {
                 self.tel.span_on(track, "queue", "php_backlog", tq, now, vec![]);
             }
         }
+        if self.guard_on {
+            // every worker grant feeds the gate: zero sojourn when the
+            // request went straight to a worker
+            let sojourn =
+                queued_at.map_or(SimDuration::ZERO, |tq| now.since(tq));
+            self.guard_observe_queue(sojourn, now);
+        }
         self.nodes.node_mut(NodeId(web)).add_cpu_task(now, req_id, mi);
         self.schedule_node_cpu(web, now, sched);
+    }
+
+    /// The deadline is already blown at the worker pool: skip the worker
+    /// entirely and send a header-only rejection to the client. The
+    /// request parks in `Reply` state (so a concurrent crash will not
+    /// tear it down twice) and is accounted when the rejection lands.
+    fn shed_request(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> AdmitStep {
+        let Some(r) = self.reqs.get_mut(&req_id) else { return AdmitStep::Gone };
+        r.shed = true;
+        r.state = ReqState::Reply;
+        let (web, client) = (r.web, r.client);
+        self.tel.counter_inc(
+            guard_metrics::SHED_TOTAL,
+            labels(&[("tier", "web"), ("reason", "deadline")]),
+        );
+        let lat = scaled(
+            self.topo.latency(self.node_hosts[web], self.client_hosts[client]),
+            self.nic_lat[web],
+        );
+        sched.schedule_at(now + lat, Ev::ReplyAtClient { req: req_id });
+        AdmitStep::Shed
     }
 
     /// The request arrived at the web node: take a PHP worker (or queue,
@@ -1094,11 +1615,16 @@ impl WebWorld {
     pub(crate) fn admit_to_worker(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> AdmitStep {
         // the target server may have died while this request was in flight
         let Some(req) = self.reqs.get(&req_id) else { return AdmitStep::Gone };
-        let web = req.web;
+        let (web, deadline) = (req.web, req.deadline);
         if self.dead[web] {
             // connection reset by a dead server (retryable)
             self.drop_req_on_dead_node(req_id, now, sched);
             return AdmitStep::Dropped;
+        }
+        if self.guard_on && deadline.is_some_and(|d| d.passed(now)) {
+            // already late at the front of the worker pool: shedding now
+            // is strictly cheaper than timing out at full cost later
+            return self.shed_request(req_id, now, sched);
         }
         let pool = &mut self.workers[web];
         if pool.busy < pool.max {
@@ -1111,6 +1637,23 @@ impl WebWorld {
                 r.t_queued = Some(now);
             }
             AdmitStep::Admitted
+        } else if self.guard_on {
+            // overflow with guards on: a backend-overload signal for the
+            // breaker, and the client may re-dispatch through the LB
+            // instead of eating the legacy hard 5xx
+            self.guard_brk_failure(web, now);
+            self.guard_req_failed("overflow");
+            let Some(req) = self.reqs.remove(&req_id) else { return AdmitStep::Gone };
+            self.nodes.node_mut(NodeId(web)).close_connection();
+            if self.conn_retry(req.conn, now, sched, RetryCause::Overflow) {
+                return AdmitStep::Dropped;
+            }
+            self.metrics.server_errors += 1;
+            self.tel_outcome("server_error");
+            if let Some(c) = self.conns.remove(&req.conn) {
+                self.guard_conn_retired(&c);
+            }
+            AdmitStep::Gone
         } else {
             // 5xx: backlog overflow
             self.metrics.server_errors += 1;
@@ -1133,6 +1676,7 @@ impl WebWorld {
 
     fn abort_conn(&mut self, conn_id: u64) {
         if let Some(conn) = self.conns.remove(&conn_id) {
+            self.guard_conn_retired(&conn);
             self.nodes.node_mut(NodeId(conn.web)).close_connection();
         }
     }
@@ -1149,7 +1693,9 @@ impl WebWorld {
             None => return,
         };
         match state {
-            ReqState::Stage1 => self.stage1_to_cache(req_id, now, sched),
+            ReqState::Stage1 => {
+                let _ = self.stage1_to_cache(req_id, now, sched);
+            }
             ReqState::Stage2 => {
                 let _ = self.stage2_to_reply(req_id, now, sched);
             }
@@ -1157,9 +1703,33 @@ impl WebWorld {
         }
     }
 
-    /// Stage-1 CPU finished: issue the memcached get.
-    pub(crate) fn stage1_to_cache(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) {
-        let Some(r) = self.reqs.get_mut(&req_id) else { return };
+    /// Stage-1 CPU finished: issue the memcached get — or, with guards
+    /// on, degrade (skip the cache/db stage) when the deadline is blown
+    /// or the tier is in brownout and the connection is bulk-class.
+    pub(crate) fn stage1_to_cache(
+        &mut self,
+        req_id: u64,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+    ) -> Stage1Step {
+        let Some(r) = self.reqs.get(&req_id) else { return Stage1Step::Gone };
+        let (conn_id, deadline) = (r.conn, r.deadline);
+        if self.guard_on {
+            let reason = if deadline.is_some_and(|d| d.passed(now)) {
+                Some("deadline")
+            } else if self.brownout.active()
+                && self.conns.get(&conn_id).is_some_and(|c| c.class == Priority::Bulk)
+            {
+                Some("brownout")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                self.degrade_request(req_id, reason, now, sched);
+                return Stage1Step::Degraded;
+            }
+        }
+        let Some(r) = self.reqs.get_mut(&req_id) else { return Stage1Step::Gone };
         r.state = ReqState::CacheRpc;
         r.t_cache_sent = now;
         let (web, cache) = (r.web, r.cache);
@@ -1169,6 +1739,26 @@ impl WebWorld {
             self.nic_lat[web] * self.nic_lat[cache_node],
         );
         sched.schedule_at(now + lat, Ev::ReqAtCache { req: req_id });
+        Stage1Step::ToCache
+    }
+
+    /// Serve `req_id` degraded: skip the memcached/MySQL stage and
+    /// assemble the cheap static fallback body on stage-2 CPU.
+    fn degrade_request(
+        &mut self,
+        req_id: u64,
+        reason: &'static str,
+        now: SimTime,
+        sched: &mut SchedBuf<Ev>,
+    ) {
+        self.tel.counter_inc(
+            guard_metrics::DEGRADED_TOTAL,
+            labels(&[("tier", "web"), ("reason", reason)]),
+        );
+        let Some(r) = self.reqs.get_mut(&req_id) else { return };
+        r.degraded = true;
+        r.query.reply_bytes = DEGRADED_REPLY_BYTES;
+        self.begin_stage2(req_id, now, sched);
     }
 
     /// Stage-2 CPU finished: put the reply on the wire to the client. See
@@ -1176,11 +1766,13 @@ impl WebWorld {
     pub(crate) fn stage2_to_reply(&mut self, req_id: u64, now: SimTime, sched: &mut SchedBuf<Ev>) -> Stage2Step {
         let Some(r) = self.reqs.get_mut(&req_id) else { return Stage2Step::Gone };
         r.state = ReqState::Reply;
-        let (web, conn_id, bytes, t_cache_sent, went_to_db, db_delay) =
-            (r.web, r.conn, r.query.reply_bytes, r.t_cache_sent, r.went_to_db, r.db_delay);
+        let (web, conn_id, bytes, t_cache_sent, went_to_db, db_delay, degraded) =
+            (r.web, r.conn, r.query.reply_bytes, r.t_cache_sent, r.went_to_db, r.db_delay, r.degraded);
         // Table 7 bookkeeping: cache delay includes this CPU slice
         // (PHP unserialize); db delay was closed at reply arrival.
-        if self.tel.is_on() && !went_to_db {
+        // Degraded requests skipped (or abandoned) the cache stage, so
+        // they contribute no cache/db samples or rpc spans.
+        if self.tel.is_on() && !went_to_db && !degraded {
             let track = self.web_track(web);
             self.tel.span_on(track, "rpc", "memcached_get", t_cache_sent, now, vec![]);
         }
@@ -1189,7 +1781,7 @@ impl WebWorld {
                 if let Some(d) = db_delay {
                     self.metrics.db_delays_ms.push(d);
                 }
-            } else {
+            } else if !degraded {
                 let d = now.since(t_cache_sent).as_millis_f64();
                 self.metrics.cache_delays_ms.push(d);
             }
@@ -1197,6 +1789,9 @@ impl WebWorld {
         self.release_worker(web, now, sched);
         let Some(conn) = self.conns.get(&conn_id) else {
             self.reqs.remove(&req_id);
+            if self.guard_on {
+                self.guard_req_failed("conn_lost");
+            }
             return Stage2Step::Gone;
         };
         let client_host = self.client_hosts[conn.client];
@@ -1274,6 +1869,17 @@ impl WebWorld {
             self.begin_stage2(req_id, now, sched);
             PathStep::Continue
         } else {
+            if self.guard_on {
+                // a miss means a MySQL round trip: degrade when the
+                // deadline is blown or cannot afford the reserved db leg
+                let deadline = self.reqs[&req_id].deadline;
+                if deadline.is_some_and(|d| {
+                    d.passed(now) || d.cannot_afford(now, self.cfg.guard.db_reserve)
+                }) {
+                    self.degrade_request(req_id, "deadline", now, sched);
+                    return PathStep::Degraded;
+                }
+            }
             // go to the database
             let db_node = {
                 let r = self.reqs.get_mut(&req_id).expect("req exists");
@@ -1414,6 +2020,11 @@ impl WebWorld {
         sched: &mut SchedBuf<Ev>,
     ) -> ReplyStep {
         let Some(r) = self.reqs.remove(&req_id) else { return ReplyStep::Vanished };
+        if r.shed {
+            // header-only rejection: no transfer was begun, no worker
+            // taken — just retire the connection
+            return self.finish_shed_reply(&r, now, record_span);
+        }
         let client_host = self.client_hosts[r.client];
         let (path, _) = self.topo.path(self.node_hosts[r.web], client_host);
         self.gauge.end(&path);
@@ -1422,22 +2033,40 @@ impl WebWorld {
                 conn.calls_left -= 1;
                 (conn.t_first_syn, conn.calls_left, conn.web)
             }
-            None => return ReplyStep::Vanished,
+            None => {
+                if self.guard_on {
+                    self.guard_req_failed("conn_lost");
+                }
+                return ReplyStep::Vanished;
+            }
         };
         // delay: first call measured from the first SYN (includes
         // handshake + any retries), later calls from request send
         let start = if r.first_call { t_first_syn } else { r.t_sent };
         self.metrics.completed_total += 1;
+        if self.guard_on {
+            self.guard_probe_done(r.conn);
+            self.guard_brk_success(web, now);
+            if r.deadline.is_some_and(|d| d.passed(now)) {
+                self.metrics.guard.deadline_miss += 1;
+                self.tel.counter_inc(
+                    guard_metrics::DEADLINE_MISS_TOTAL,
+                    labels(&[("tier", "web")]),
+                );
+            }
+            if r.degraded {
+                self.metrics.guard.degraded += 1;
+            } else {
+                self.metrics.guard.completed += 1;
+            }
+        }
         if self.tel.is_on() {
             if record_span {
                 let track = self.web_track(web);
-                let args = vec![(
-                    "path",
-                    if r.went_to_db { "php/memcached-miss/mysql".to_string() } else { "php/memcached-hit".to_string() },
-                )];
+                let args = vec![("path", span_path(&r).to_string())];
                 self.tel.span_on(track, "request", "http_request", start, now, args);
             }
-            self.tel_outcome("ok");
+            self.tel_outcome(if r.degraded { "degraded" } else { "ok" });
             self.tel.observe(
                 "web_request_delay_seconds",
                 labels(&[]),
@@ -1445,7 +2074,10 @@ impl WebWorld {
                 now.since(start).as_secs_f64(),
             );
         }
-        if self.in_window(now) && r.t_sent >= self.measure_start {
+        // degraded responses never count as full successes: the window
+        // goodput/latency samples stay full-fidelity-only (availability
+        // math in the sweep depends on this)
+        if self.in_window(now) && r.t_sent >= self.measure_start && !r.degraded {
             self.metrics.completed += 1;
             self.metrics.delays_ms.push(now.since(start).as_millis_f64());
         }
@@ -1456,29 +2088,72 @@ impl WebWorld {
             let next = self.start_request(r.conn, false, now, sched);
             ReplyStep::NextCall { req: next }
         } else {
-            self.conns.remove(&r.conn);
+            if let Some(c) = self.conns.remove(&r.conn) {
+                self.guard_conn_retired(&c);
+            }
             self.nodes.node_mut(NodeId(web)).close_connection();
             ReplyStep::Closed
         }
     }
 
+    /// A shed request's header-only rejection reached the client: retire
+    /// the request (terminal `shed` bucket) and close its connection.
+    fn finish_shed_reply(&mut self, r: &Req, now: SimTime, record_span: bool) -> ReplyStep {
+        self.metrics.guard.shed += 1;
+        let conn = self.conns.remove(&r.conn);
+        if self.tel.is_on() && record_span {
+            if let Some(c) = &conn {
+                let start = if r.first_call { c.t_first_syn } else { r.t_sent };
+                let track = self.web_track(r.web);
+                self.tel.span_on(
+                    track,
+                    "request",
+                    "http_request",
+                    start,
+                    now,
+                    vec![("path", "shed".to_string())],
+                );
+            }
+        }
+        self.tel_outcome("shed");
+        if let Some(c) = conn {
+            self.guard_conn_retired(&c);
+            self.nodes.node_mut(NodeId(c.web)).close_connection();
+        }
+        ReplyStep::Closed
+    }
+
     /// A failover timeout elapsed: pick a fresh backend for `conn` (the
     /// follow-up SYN attempt is the caller's move) or retire it when the
     /// whole tier is out. See [`RedispatchStep`].
-    pub(crate) fn redispatch(&mut self, conn_id: u64) -> RedispatchStep {
+    pub(crate) fn redispatch(&mut self, conn_id: u64, now: SimTime) -> RedispatchStep {
         if !self.conns.contains_key(&conn_id) {
             return RedispatchStep::Gone;
         }
-        match self.lb_pick() {
-            Some(web) => {
+        // a retried probe is no longer probing the backend it left
+        self.guard_probe_done(conn_id);
+        match self.lb_pick_any(conn_id, now) {
+            LbPick::Backend { web, probe } => {
                 if let Some(c) = self.conns.get_mut(&conn_id) {
                     c.web = web;
+                    c.probe = probe;
                 }
                 RedispatchStep::Go
             }
-            None => {
+            LbPick::Blocked => {
+                // backends alive but every breaker is open: shed rather
+                // than hammer a recovering tier
+                if let Some(c) = self.conns.remove(&conn_id) {
+                    self.guard_conn_retired(&c);
+                }
+                self.guard_shed_lb("breaker");
+                RedispatchStep::Gone
+            }
+            LbPick::AllDead => {
                 // nothing left to fail over to
-                self.conns.remove(&conn_id);
+                if let Some(c) = self.conns.remove(&conn_id) {
+                    self.guard_conn_retired(&c);
+                }
                 self.metrics.client_errors += 1;
                 self.tel_outcome("client_error");
                 RedispatchStep::Gone
@@ -1753,6 +2428,30 @@ impl WebWorld {
 
     /// The measurement window ended: close the energy meter and stop.
     pub(crate) fn stop_tick(&mut self, now: SimTime, sched: &mut SchedBuf<Ev>) {
+        if self.guard_on {
+            // drain the conservation identity: whatever is still in
+            // flight when the run ends lands in the `failed` bucket so
+            // admitted = completed + degraded + shed + failed holds
+            let inflight = u64::try_from(self.reqs.len()).unwrap_or(u64::MAX);
+            if inflight > 0 {
+                self.metrics.guard.failed += inflight;
+                self.tel.counter_add(
+                    guard_metrics::FAILED_TOTAL,
+                    labels(&[("tier", "web"), ("reason", "inflight_at_stop")]),
+                    inflight,
+                );
+            }
+            if let Some(since) = self.brownout.active_since() {
+                self.tel.gauge_set(
+                    guard_metrics::BROWNOUT_ACTIVE,
+                    labels(&[("tier", "web")]),
+                    0.0,
+                );
+                if let Some(track) = self.guard_track {
+                    self.tel.span_on(track, "guard", "brownout", since, now, vec![]);
+                }
+            }
+        }
         self.metrics.energy_j = self.nodes.energy_joules(now) - self.metrics.energy_at_start;
         sched.stop();
     }
@@ -1858,7 +2557,7 @@ impl WebWorld {
             }
             Ev::HealthCheck => self.health_check_tick(now, sched),
             Ev::RetryConn { conn } => {
-                if let RedispatchStep::Go = self.redispatch(conn) {
+                if let RedispatchStep::Go = self.redispatch(conn, now) {
                     let _ = self.syn_attempt(conn, 0, now, sched);
                 }
             }
